@@ -1,0 +1,102 @@
+// Command benchgen emits the built-in benchmark circuits as ISCAS-85
+// `.bench` netlists and prints catalog statistics.
+//
+// Usage:
+//
+//	benchgen -list                  # catalog table
+//	benchgen -circuit c499s         # netlist to stdout
+//	benchgen -all -out bench/       # write every circuit to a directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/circuits"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "print the catalog with statistics")
+		circuit = flag.String("circuit", "", "emit one circuit's netlist to stdout")
+		all     = flag.Bool("all", false, "emit every circuit (requires -out)")
+		out     = flag.String("out", "", "output directory for -all")
+		dot     = flag.Bool("dot", false, "with -circuit, emit Graphviz DOT instead of .bench")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		printCatalog()
+	case *circuit != "":
+		c, err := circuits.Get(*circuit)
+		if err != nil {
+			fatal(err)
+		}
+		if *dot {
+			fmt.Print(c.DOT())
+			return
+		}
+		if err := c.WriteBench(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *all:
+		if *out == "" {
+			fatal(fmt.Errorf("-all requires -out <dir>"))
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, name := range circuits.Names() {
+			c, err := circuits.Get(name)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, name+".bench")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := c.WriteBench(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printCatalog() {
+	t := report.Table{
+		Title:   "benchmark catalog (stand-ins documented in DESIGN.md §3)",
+		Columns: []string{"name", "paper circuit", "PIs", "POs", "gates", "depth", "description"},
+	}
+	for _, e := range circuits.Catalog() {
+		c, err := circuits.Get(e.Name)
+		if err != nil {
+			fatal(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Name, e.PaperName,
+			fmt.Sprintf("%d", len(c.Inputs)),
+			fmt.Sprintf("%d", len(c.Outputs)),
+			fmt.Sprintf("%d", c.NumGates()),
+			fmt.Sprintf("%d", c.Depth()),
+			e.Description,
+		})
+	}
+	fmt.Println(t.Text())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+// Command diffprop runs exact Difference Propagation fault analysis on a
+// single circuit and prints a per-fault report: exact detectability,
+// syndrome/excitation bound, adherence, observable outputs, and one
+// extracted test vector per detectable fault.
+//
+// Usage:
+//
+//	diffprop -circuit alu181                  # collapsed checkpoint stuck-ats
+//	diffprop -circuit c95s -model and         # wired-AND bridging faults
+//	diffprop -bench my.bench -model or -max 50
+//	diffprop -circuit c17 -summary            # aggregates only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "built-in circuit name (see cmd/benchgen -list)")
+		bench   = flag.String("bench", "", "path to an ISCAS-85 .bench netlist")
+		model   = flag.String("model", "stuckat", "fault model: stuckat, and, or")
+		max     = flag.Int("max", 0, "analyze at most this many faults (0 = all)")
+		maxBFs  = flag.Int("maxbfs", 1000, "bridging fault sample ceiling")
+		theta   = flag.Float64("theta", 0.3, "exponential distance parameter for sampling")
+		seed    = flag.Int64("seed", 1990, "sampling seed")
+		summary = flag.Bool("summary", false, "print aggregates only")
+		dotOut  = flag.String("dot", "", "write the first analyzed fault's complete-test-set BDD as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuit, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		fatal(err)
+	}
+	w := e.Circuit
+	fmt.Printf("circuit: %s (analyzed as %d two-input gates, %d PIs, %d POs)\n\n",
+		c, w.NumGates(), len(w.Inputs), len(w.Outputs))
+
+	switch strings.ToLower(*model) {
+	case "stuckat", "sa":
+		fs := faults.CheckpointStuckAts(w)
+		if *max > 0 && len(fs) > *max {
+			fs = fs[:*max]
+		}
+		study := analysis.RunStuckAt(e, fs)
+		if *dotOut != "" && len(fs) > 0 {
+			res := e.StuckAt(fs[0])
+			dot := e.Manager().DOT(fs[0].Describe(w), res.Complete)
+			if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (complete test set of %s)\n", *dotOut, fs[0].Describe(w))
+		}
+		if !*summary {
+			printStuckAt(e, w, study)
+		}
+		fmt.Printf("faults: %d   detectable: %.1f%%   mean detectability (detectable): %.4f   observed==fed rate: %.3f\n",
+			len(study.Records), 100*study.CoverageRate(), study.MeanDetectable(), study.ObservedEqualsFedRate())
+		fmt.Printf("selective trace: %.1f of %d gates evaluated per fault on average\n",
+			study.MeanGatesEvaluated(), w.NumGates())
+	case "and", "or":
+		kind := faults.WiredAND
+		if strings.ToLower(*model) == "or" {
+			kind = faults.WiredOR
+		}
+		set, pop, sampled := analysis.BridgingSet(w, kind, *maxBFs, *theta, *seed)
+		if *max > 0 && len(set) > *max {
+			set = set[:*max]
+		}
+		study := analysis.RunBridging(e, set, kind, pop, sampled)
+		if !*summary {
+			printBridging(w, study)
+		}
+		fmt.Printf("faults: %d of %d potentially detectable NFBFs (sampled: %v)\n", len(study.Records), pop, sampled)
+		fmt.Printf("detectable: %.1f%%   mean detectability (detectable): %.4f   stuck-at behavior: %.1f%%\n",
+			100*study.CoverageRate(), study.MeanDetectable(), 100*study.StuckAtProportion())
+	default:
+		fatal(fmt.Errorf("unknown fault model %q (stuckat, and, or)", *model))
+	}
+}
+
+func loadCircuit(name, bench string) (*netlist.Circuit, error) {
+	switch {
+	case name != "" && bench != "":
+		return nil, fmt.Errorf("pass either -circuit or -bench, not both")
+	case name != "":
+		return circuits.Get(name)
+	case bench != "":
+		f, err := os.Open(bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(bench, f)
+	default:
+		return nil, fmt.Errorf("pass -circuit <name> or -bench <file>")
+	}
+}
+
+func printStuckAt(e *diffprop.Engine, w *netlist.Circuit, study analysis.StuckAtStudy) {
+	t := report.Table{
+		Columns: []string{"fault", "detect", "bound", "adher", "POs obs/fed", "toPO", "test"},
+	}
+	for _, r := range study.Records {
+		test := "(redundant)"
+		if r.Detectable() {
+			res := e.StuckAt(r.Fault)
+			test = vectorString(e, res)
+		}
+		adher := "-"
+		if r.AdherenceOK {
+			adher = fmt.Sprintf("%.3f", r.Adherence)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Fault.Describe(w),
+			fmt.Sprintf("%.4f", r.Detectability),
+			fmt.Sprintf("%.4f", r.UpperBound),
+			adher,
+			fmt.Sprintf("%d/%d", r.ObservedPOs, r.POsFed),
+			fmt.Sprintf("%d", r.MaxLevelsToPO),
+			test,
+		})
+	}
+	fmt.Println(t.Text())
+}
+
+func printBridging(w *netlist.Circuit, study analysis.BridgingStudy) {
+	t := report.Table{
+		Columns: []string{"fault", "detect", "bound", "adher", "POs obs/fed", "stuck-at?"},
+	}
+	for _, r := range study.Records {
+		adher := "-"
+		if r.AdherenceOK {
+			adher = fmt.Sprintf("%.3f", r.Adherence)
+		}
+		sa := ""
+		if r.ActsStuckAt {
+			sa = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Fault.Describe(w),
+			fmt.Sprintf("%.4f", r.Detectability),
+			fmt.Sprintf("%.4f", r.UpperBound),
+			adher,
+			fmt.Sprintf("%d/%d", r.ObservedPOs, r.POsFed),
+			sa,
+		})
+	}
+	fmt.Println(t.Text())
+}
+
+// vectorString extracts one test from the complete test set and renders it
+// in primary-input declaration order.
+func vectorString(e *diffprop.Engine, res diffprop.Result) string {
+	cube := e.Manager().AnySat(res.Complete)
+	if cube == nil {
+		return "(redundant)"
+	}
+	v2i := e.VarToInput()
+	out := make([]byte, len(cube))
+	for i := range out {
+		out[i] = '-'
+	}
+	for v, s := range cube {
+		if v2i[v] < 0 {
+			continue
+		}
+		switch s {
+		case 0:
+			out[v2i[v]] = '0'
+		case 1:
+			out[v2i[v]] = '1'
+		}
+	}
+	return string(out[:len(e.Circuit.Inputs)])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffprop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command faultgen generates and inspects fault sets: collapsed
+// checkpoint stuck-at faults and screened, layout-sampled non-feedback
+// bridging fault sets, exactly as the paper's §2 prescribes.
+//
+// Usage:
+//
+//	faultgen -circuit c432s                       # checkpoint stuck-ats
+//	faultgen -circuit c432s -model and -sample 50 # sampled AND NFBFs
+//	faultgen -circuit c1355s -model or -stats     # population statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "built-in circuit name")
+		bench   = flag.String("bench", "", "path to a .bench netlist")
+		model   = flag.String("model", "stuckat", "fault model: stuckat, and, or")
+		sample  = flag.Int("sample", 1000, "bridging-fault sample size ceiling")
+		theta   = flag.Float64("theta", 0.3, "exponential distance parameter")
+		seed    = flag.Int64("seed", 1990, "sampling seed")
+		stats   = flag.Bool("stats", false, "print statistics only, not the fault list")
+		decomp  = flag.Bool("decompose", false, "generate over the two-input decomposition (as the analyses do)")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuit, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	if *decomp {
+		c = c.Decompose2()
+	}
+
+	switch strings.ToLower(*model) {
+	case "stuckat", "sa":
+		sites := faults.Checkpoints(c)
+		fs := faults.CheckpointStuckAts(c)
+		fmt.Printf("%s: %d checkpoint sites, %d collapsed checkpoint stuck-at faults (%d uncollapsed)\n",
+			c.Name, len(sites), len(fs), 2*len(sites))
+		if !*stats {
+			for _, f := range fs {
+				fmt.Println(" ", f.Describe(c))
+			}
+		}
+	case "and", "or":
+		kind := faults.WiredAND
+		if strings.ToLower(*model) == "or" {
+			kind = faults.WiredOR
+		}
+		all := faults.AllNFBFs(c, kind)
+		n := c.NumNets()
+		fb := faults.CountFeedbackPairs(c)
+		fmt.Printf("%s: %d nets, %d unordered pairs, %d feedback pairs, %d potentially detectable %v\n",
+			c.Name, n, n*(n-1)/2, fb, len(all), kind)
+		set := all
+		if len(all) > *sample {
+			set = layout.SampleNFBFs(c, all, *sample, *theta, *seed)
+			p := layout.Place(c)
+			norm := layout.MaxDistance(p, all)
+			fmt.Printf("sampled %d faults with theta=%g (mean normalized distance %.3f vs population %.3f)\n",
+				len(set), *theta, layout.MeanDistance(p, set, norm), layout.MeanDistance(p, all, norm))
+		}
+		if !*stats {
+			for _, b := range set {
+				fmt.Println(" ", b.Describe(c))
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown fault model %q (stuckat, and, or)", *model))
+	}
+}
+
+func loadCircuit(name, bench string) (*netlist.Circuit, error) {
+	switch {
+	case name != "" && bench != "":
+		return nil, fmt.Errorf("pass either -circuit or -bench, not both")
+	case name != "":
+		return circuits.Get(name)
+	case bench != "":
+		f, err := os.Open(bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(bench, f)
+	default:
+		return nil, fmt.Errorf("pass -circuit <name> or -bench <file>")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultgen:", err)
+	os.Exit(1)
+}

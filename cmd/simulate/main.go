@@ -1,0 +1,113 @@
+// Command simulate fault-simulates a test-vector file against a circuit
+// and reports stuck-at (and optionally bridging) coverage, using either
+// the 64-way bit-parallel engine or the deductive (one pass, all faults)
+// engine — and checks that the two agree when asked.
+//
+// Usage:
+//
+//	atpg -circuit alu181 -o t.vec
+//	simulate -circuit alu181 -vectors t.vec
+//	simulate -circuit alu181 -vectors t.vec -engine deductive -bridging
+//	simulate -circuit c95s -vectors t.vec -engine both   # cross-check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+func main() {
+	var (
+		circuit  = flag.String("circuit", "", "built-in circuit name")
+		bench    = flag.String("bench", "", "path to a .bench netlist")
+		vectors  = flag.String("vectors", "", "test vector file (one 0/1 vector per line)")
+		engine   = flag.String("engine", "bitparallel", "bitparallel, deductive, or both")
+		bridging = flag.Bool("bridging", false, "also report bridging fault coverage")
+		decomp   = flag.Bool("decompose", true, "fault-model the two-input decomposition (as the analyses do)")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuit, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	if *decomp {
+		c = c.Decompose2()
+	}
+	if *vectors == "" {
+		fatal(fmt.Errorf("pass -vectors <file>"))
+	}
+	f, err := os.Open(*vectors)
+	if err != nil {
+		fatal(err)
+	}
+	vecs, err := simulate.ReadVectors(f, len(c.Inputs))
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d vectors\n", c, len(vecs))
+
+	fs := faults.CheckpointStuckAts(c)
+	var bit, ded simulate.CoverageResult
+	runBit := *engine == "bitparallel" || *engine == "both"
+	runDed := *engine == "deductive" || *engine == "both"
+	if !runBit && !runDed {
+		fatal(fmt.Errorf("unknown engine %q (bitparallel, deductive, both)", *engine))
+	}
+	if runBit {
+		bit = simulate.CoverageStuckAt(c, fs, simulate.FromVectors(len(c.Inputs), vecs))
+		fmt.Printf("bit-parallel: stuck-at coverage %d/%d (%.2f%%)\n", bit.Detected, bit.Total, 100*bit.Coverage())
+	}
+	if runDed {
+		ded = simulate.DeductiveCoverage(c, fs, vecs)
+		fmt.Printf("deductive:    stuck-at coverage %d/%d (%.2f%%)\n", ded.Detected, ded.Total, 100*ded.Coverage())
+	}
+	if runBit && runDed {
+		if bit.Detected != ded.Detected {
+			fatal(fmt.Errorf("engines disagree: %d vs %d", bit.Detected, ded.Detected))
+		}
+		fmt.Println("engines agree")
+	}
+	if *bridging {
+		p := simulate.FromVectors(len(c.Inputs), vecs)
+		for _, kind := range []faults.BridgeKind{faults.WiredAND, faults.WiredOR} {
+			bs := faults.AllNFBFs(c, kind)
+			if len(bs) > 5000 {
+				bs = bs[:5000]
+				fmt.Printf("(%v truncated to 5000 faults)\n", kind)
+			}
+			cov := simulate.CoverageBridging(c, bs, p)
+			fmt.Printf("%v coverage %d/%d (%.2f%%)\n", kind, cov.Detected, cov.Total, 100*cov.Coverage())
+		}
+	}
+}
+
+func loadCircuit(name, bench string) (*netlist.Circuit, error) {
+	switch {
+	case name != "" && bench != "":
+		return nil, fmt.Errorf("pass either -circuit or -bench, not both")
+	case name != "":
+		return circuits.Get(name)
+	case bench != "":
+		f, err := os.Open(bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(bench, f)
+	default:
+		return nil, fmt.Errorf("pass -circuit <name> or -bench <file>")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

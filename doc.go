@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	K. M. Butler and M. R. Mercer, "The Influences of Fault Type and
+//	Topology on Fault Model Performance and the Implications to Test and
+//	Testable Design", 27th ACM/IEEE Design Automation Conference (DAC),
+//	1990, pp. 673-678.
+//
+// The library implements Difference Propagation — exact, OBDD-based
+// computation of complete test sets, detection probabilities, syndromes
+// and adherence for stuck-at and non-feedback bridging faults — together
+// with every substrate it needs: a ROBDD engine, an ISCAS-85-style
+// netlist layer, fault models with the paper's screening and collapsing
+// rules, a layout-distance fault sampler, a parallel-pattern fault
+// simulator used as the exhaustive baseline, and a benchmark circuit set
+// mirroring the paper's (see DESIGN.md for the documented stand-ins).
+//
+// Entry points:
+//
+//   - internal/diffprop: the core engine (Engine.StuckAt, Engine.Bridging)
+//   - internal/experiments: regenerates Table 1 and Figures 1-8
+//   - cmd/figures, cmd/diffprop, cmd/faultgen, cmd/benchgen: CLIs
+//   - examples/: runnable walkthroughs
+//
+// bench_test.go in this directory regenerates every exhibit of the
+// paper's evaluation under `go test -bench`.
+package repro

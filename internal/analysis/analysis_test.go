@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+)
+
+func studyFor(t testing.TB, name string) (StuckAtStudy, *diffprop.Engine) {
+	t.Helper()
+	e, err := diffprop.New(circuits.MustGet(name), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunStuckAt(e, faults.CheckpointStuckAts(e.Circuit)), e
+}
+
+func TestRunStuckAtC17(t *testing.T) {
+	s, _ := studyFor(t, "c17")
+	if s.Circuit != "c17" || s.NumPIs != 5 || s.NumPOs != 2 || s.NetlistSize != 6 {
+		t.Fatalf("study header wrong: %+v", s)
+	}
+	if len(s.Records) != 18 {
+		t.Fatalf("c17 collapsed checkpoint study has %d records, want 18", len(s.Records))
+	}
+	for _, r := range s.Records {
+		if !r.Detectable() {
+			t.Fatalf("c17 is irredundant; %v reported undetectable", r.Fault.Describe(nil))
+		}
+		if r.Detectability > r.UpperBound+1e-12 {
+			t.Fatal("syndrome bound violated")
+		}
+		if !r.AdherenceOK || r.Adherence <= 0 || r.Adherence > 1 {
+			t.Fatalf("adherence %v invalid", r.Adherence)
+		}
+		if r.ObservedPOs < 1 || r.ObservedPOs > r.POsFed {
+			t.Fatalf("observed %d fed %d", r.ObservedPOs, r.POsFed)
+		}
+		if r.MaxLevelsToPO < 0 || r.LevelFromPI < 0 {
+			t.Fatal("distances must be non-negative")
+		}
+	}
+	if s.CoverageRate() != 1 {
+		t.Fatal("coverage must be 1 on c17")
+	}
+	if m := s.MeanDetectable(); m <= 0 || m > 1 {
+		t.Fatalf("mean detectability %v", m)
+	}
+}
+
+func TestBranchSiteDistances(t *testing.T) {
+	s, e := studyFor(t, "c17")
+	w := e.Circuit
+	toPO := w.MaxLevelsToPO()
+	for _, r := range s.Records {
+		if r.Fault.IsBranch() {
+			want := toPO[r.Fault.Gate] + 1
+			if r.MaxLevelsToPO != want {
+				t.Fatalf("branch %v distance %d, want %d", r.Fault.Describe(w), r.MaxLevelsToPO, want)
+			}
+		} else if r.MaxLevelsToPO != toPO[r.Fault.Net] {
+			t.Fatalf("net fault distance mismatch for %v", r.Fault.Describe(w))
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.0, 0.1, 0.5, 0.99, 1.0}, 10)
+	if len(h) != 10 {
+		t.Fatal("bin count wrong")
+	}
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("histogram mass %v, want 1", sum)
+	}
+	if h[0] != 0.2 { // 0.0 lands in bin 0
+		t.Fatalf("bin 0 = %v", h[0])
+	}
+	if h[9] != 0.4 { // 0.99 and 1.0 in the last bin
+		t.Fatalf("bin 9 = %v", h[9])
+	}
+	if Histogram(nil, 4)[0] != 0 {
+		t.Fatal("empty histogram must be zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bins <= 0 must panic")
+		}
+	}()
+	Histogram([]float64{1}, 0)
+}
+
+func TestCurveByMaxLevelsToPO(t *testing.T) {
+	s, _ := studyFor(t, "alu181")
+	curve := s.CurveByMaxLevelsToPO()
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	total := 0
+	last := -1
+	for _, p := range curve {
+		if p.Distance <= last {
+			t.Fatal("curve not sorted by distance")
+		}
+		last = p.Distance
+		if p.Mean <= 0 || p.Mean > 1 || p.Count <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+		total += p.Count
+	}
+	det := 0
+	for _, r := range s.Records {
+		if r.Detectable() {
+			det++
+		}
+	}
+	if total != det {
+		t.Fatalf("curve covers %d faults, want %d detectable", total, det)
+	}
+}
+
+func TestObservedEqualsFedRate(t *testing.T) {
+	// The paper: "These numbers are almost always the same." The tiny c17
+	// (12 faults on 2 POs) is granted a looser floor; realistic circuits
+	// must sit high.
+	for _, tc := range []struct {
+		name  string
+		floor float64
+	}{{"c17", 0.6}, {"c95s", 0.7}, {"alu181", 0.7}} {
+		s, _ := studyFor(t, tc.name)
+		rate := s.ObservedEqualsFedRate()
+		if rate < tc.floor || rate > 1 {
+			t.Fatalf("%s observed==fed rate %v, expected >= %v", tc.name, rate, tc.floor)
+		}
+	}
+}
+
+func TestBridgingStudy(t *testing.T) {
+	e, err := diffprop.New(circuits.MustGet("c95s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Circuit
+	for _, kind := range []faults.BridgeKind{faults.WiredAND, faults.WiredOR} {
+		set, pop, sampled := BridgingSet(w, kind, 200, 0.3, 7)
+		if pop < len(set) {
+			t.Fatal("population smaller than set")
+		}
+		if len(set) > 200 {
+			t.Fatal("sample larger than requested")
+		}
+		if !sampled && pop != len(set) {
+			t.Fatal("unsampled set must be the population")
+		}
+		s := RunBridging(e, set, kind, pop, sampled)
+		if s.Kind != kind || s.Population != pop || s.Sampled != sampled {
+			t.Fatal("study header wrong")
+		}
+		for _, r := range s.Records {
+			if r.Detectability > r.UpperBound+1e-12 {
+				t.Fatalf("%v: excitation bound violated", r.Fault.Describe(w))
+			}
+			if r.ObservedPOs > r.POsFed {
+				t.Fatalf("%v: observed %d > fed %d", r.Fault.Describe(w), r.ObservedPOs, r.POsFed)
+			}
+			if r.ActsStuckAt && r.UpperBound == 0 && r.Detectable() {
+				t.Fatal("constant-site fault cannot be detectable with zero bound")
+			}
+		}
+		if p := s.StuckAtProportion(); p < 0 || p > 0.5 {
+			t.Fatalf("stuck-at proportion %v suspicious (paper: generally low)", p)
+		}
+		if s.CoverageRate() <= 0 {
+			t.Fatal("some bridging faults must be detectable")
+		}
+	}
+}
+
+func TestBridgingSetSamplingKicksIn(t *testing.T) {
+	e, err := diffprop.New(circuits.MustGet("c432s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, pop, sampled := BridgingSet(e.Circuit, faults.WiredAND, 100, 0.3, 3)
+	if !sampled || len(set) != 100 || pop <= 100 {
+		t.Fatalf("expected sampling: set=%d pop=%d sampled=%v", len(set), pop, sampled)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if c := Correlation(xs, []float64{2, 4, 6, 8}); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	if c := Correlation(xs, []float64{8, 6, 4, 2}); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	if c := Correlation(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("constant series correlation = %v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series must panic")
+		}
+	}()
+	Correlation(xs, []float64{1})
+}
+
+func TestDetectabilityDistanceCorrelations(t *testing.T) {
+	s, _ := studyFor(t, "alu181")
+	po, pi := s.DetectabilityVsDistanceCorrelations()
+	if math.IsNaN(po) || math.IsNaN(pi) {
+		t.Fatal("NaN correlation")
+	}
+	if po < -1 || po > 1 || pi < -1 || pi > 1 {
+		t.Fatal("correlation out of range")
+	}
+}
+
+func TestAdherencesFilterUnexcitable(t *testing.T) {
+	s, _ := studyFor(t, "alu181")
+	as := s.Adherences()
+	for _, a := range as {
+		if a < 0 || a > 1 {
+			t.Fatalf("adherence %v out of range", a)
+		}
+	}
+	if len(as) == 0 {
+		t.Fatal("alu181 must have excitable faults")
+	}
+}
+
+func TestSelectiveTraceStat(t *testing.T) {
+	s, e := studyFor(t, "c95s")
+	mean := s.MeanGatesEvaluated()
+	if mean <= 0 {
+		t.Fatal("no gates evaluated?")
+	}
+	// Selective trace must be doing real work: on average far fewer gates
+	// than the whole circuit are touched per fault.
+	if mean >= float64(e.Circuit.NumGates()) {
+		t.Fatalf("selective trace ineffective: %v of %d gates", mean, e.Circuit.NumGates())
+	}
+	var empty StuckAtStudy
+	if empty.MeanGatesEvaluated() != 0 {
+		t.Fatal("empty study must report 0")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone transform preserves rank correlation exactly.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25}
+	if rho := Spearman(xs, ys); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("monotone series rho = %v, want 1", rho)
+	}
+	if rho := Spearman(xs, []float64{25, 16, 9, 4, 1}); math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("anti-monotone rho = %v, want -1", rho)
+	}
+	// Ties get average ranks; a constant series has zero variance.
+	if rho := Spearman(xs, []float64{7, 7, 7, 7, 7}); rho != 0 {
+		t.Fatalf("constant rho = %v", rho)
+	}
+	// Average-rank ties: [1,1,2] vs [1,2,2] still positively correlated.
+	if rho := Spearman([]float64{1, 1, 2}, []float64{1, 2, 2}); rho <= 0 {
+		t.Fatalf("tied series rho = %v, want > 0", rho)
+	}
+}
+
+func TestPredictedRandomCoverage(t *testing.T) {
+	if PredictedRandomCoverage(nil, 10) != 0 {
+		t.Fatal("empty set")
+	}
+	ps := []float64{1, 0.5, 0}
+	// After one pattern: (1 + 0.5 + 0) / 3.
+	if got := PredictedRandomCoverage(ps, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("N=1 coverage %v, want 0.5", got)
+	}
+	// Asymptotically only the p=0 fault stays undetected.
+	if got := PredictedRandomCoverage(ps, 1<<20); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("asymptotic coverage %v, want 2/3", got)
+	}
+	// Monotone in N.
+	prev := 0.0
+	for n := 1; n <= 64; n *= 2 {
+		cur := PredictedRandomCoverage(ps, n)
+		if cur < prev {
+			t.Fatal("coverage must be nondecreasing in N")
+		}
+		prev = cur
+	}
+}
+
+func TestMeanDetectableEmptyAndZero(t *testing.T) {
+	var s StuckAtStudy
+	if s.MeanDetectable() != 0 || s.CoverageRate() != 0 || s.ObservedEqualsFedRate() != 0 {
+		t.Fatal("empty study aggregates must be zero")
+	}
+	var b BridgingStudy
+	if b.MeanDetectable() != 0 || b.CoverageRate() != 0 || b.StuckAtProportion() != 0 {
+		t.Fatal("empty bridging study aggregates must be zero")
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+)
+
+// Exact functional fault equivalence (McCluskey & Clegg, the paper's ref
+// [7], decided exactly): two faults are functionally equivalent iff the
+// faulty circuits behave identically at every primary output, i.e. iff
+// their per-output difference functions coincide. Because Difference
+// Propagation returns those functions as canonical BDDs, equivalence is a
+// reference comparison — no test generation, no simulation, no
+// approximation. Structural checkpoint collapsing keeps one
+// representative per *locally provable* class; this analysis finds the
+// true classes, including non-obvious ones created by reconvergence.
+
+// EquivalenceClass is one set of functionally equivalent faults.
+type EquivalenceClass struct {
+	Faults []faults.StuckAt
+	// Detectable is false for the class of redundant faults (all faults
+	// with empty test sets are mutually equivalent — they all behave like
+	// the fault-free circuit).
+	Detectable bool
+}
+
+// ExactEquivalenceClasses partitions the fault list into functional
+// equivalence classes. The engine must have been created with a rebuild
+// limit large enough that no compaction occurs during this call (BDD
+// references are only comparable within one manager generation); the
+// function enforces that by checking the engine's rebuild counter.
+func ExactEquivalenceClasses(e *diffprop.Engine, fs []faults.StuckAt) ([]EquivalenceClass, error) {
+	before := e.Rebuilds()
+	type key string
+	classes := map[key][]int{}
+	order := []key{}
+	for i, f := range fs {
+		res := e.StuckAt(f)
+		k := make([]byte, 0, len(res.PerPO)*4)
+		for _, d := range res.PerPO {
+			k = append(k, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+		}
+		kk := key(k)
+		if _, seen := classes[kk]; !seen {
+			order = append(order, kk)
+		}
+		classes[kk] = append(classes[kk], i)
+	}
+	if e.Rebuilds() != before {
+		return nil, fmt.Errorf("analysis: BDD manager compacted mid-run; raise Options.RebuildLimit for equivalence analysis")
+	}
+	out := make([]EquivalenceClass, 0, len(classes))
+	for _, kk := range order {
+		idxs := classes[kk]
+		cl := EquivalenceClass{Faults: make([]faults.StuckAt, len(idxs))}
+		for j, i := range idxs {
+			cl.Faults[j] = fs[i]
+		}
+		// A class is undetectable iff its members' differences are all
+		// empty; re-deriving one member suffices.
+		res := e.StuckAt(cl.Faults[0])
+		cl.Detectable = res.Detectable()
+		out = append(out, cl)
+	}
+	return out, nil
+}
+
+// DominanceEdge records that detecting Dominated implies detecting
+// Dominator is unnecessary... precisely: every test for Dominated also
+// detects Dominator (test-set inclusion), so a test set targeting
+// Dominated covers Dominator for free.
+type DominanceEdge struct {
+	Dominator, Dominated faults.StuckAt
+}
+
+// ExactDominance returns, over the fault list, all strict test-set
+// inclusions: Complete(dominated) ⊆ Complete(dominator) with the sets
+// unequal and the dominated fault detectable. (Classic fault dominance,
+// decided exactly via BDD implication.) Quadratic in the fault count —
+// intended for collapsed fault lists.
+func ExactDominance(e *diffprop.Engine, fs []faults.StuckAt) ([]DominanceEdge, error) {
+	before := e.Rebuilds()
+	sets := make([]bdd.Ref, len(fs))
+	for i, f := range fs {
+		sets[i] = e.StuckAt(f).Complete
+	}
+	if e.Rebuilds() != before {
+		return nil, fmt.Errorf("analysis: BDD manager compacted mid-run; raise Options.RebuildLimit for dominance analysis")
+	}
+	m := e.Manager()
+	var out []DominanceEdge
+	for i := range fs {
+		if sets[i] == bdd.False {
+			continue
+		}
+		for j := range fs {
+			if i == j || sets[i] == sets[j] {
+				continue
+			}
+			// sets[i] ⊆ sets[j] ?
+			if m.Diff(sets[i], sets[j]) == bdd.False {
+				out = append(out, DominanceEdge{Dominator: fs[j], Dominated: fs[i]})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SyndromeTestable decides, exactly, whether a fault is detectable by
+// syndrome testing (Savir, the paper's ref [11]): apply all 2^n inputs
+// and compare each output's ones-count against the good syndrome. The
+// fault is syndrome-testable iff it changes some output's syndrome, i.e.
+// iff at some output the minterms it flips 0→1 and 1→0 are unequal in
+// number:
+//
+//	S(F_o) − S(f_o) = |¬f_o ∧ Δ_o| − |f_o ∧ Δ_o| ≠ 0.
+//
+// A fault can be detectable in the ordinary sense yet syndrome-untestable
+// when its flips cancel exactly — the blind spot of ones-counting that
+// Savir's "syndrome-testable design" rules out by construction.
+func SyndromeTestable(e *diffprop.Engine, res diffprop.Result) bool {
+	m := e.Manager()
+	for i, delta := range res.PerPO {
+		if delta == bdd.False {
+			continue
+		}
+		fo := e.Good(e.Circuit.Outputs[i])
+		up := m.SatCount(m.And(m.Not(fo), delta))
+		down := m.SatCount(m.And(fo, delta))
+		if up.Cmp(down) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CollapseRatio summarizes an equivalence partition: classes / faults
+// (lower means more collapsing was possible).
+func CollapseRatio(classes []EquivalenceClass) float64 {
+	n := 0
+	for _, c := range classes {
+		n += len(c.Faults)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(len(classes)) / float64(n)
+}

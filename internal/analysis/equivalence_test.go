@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+func eqEngine(t testing.TB, name string) *diffprop.Engine {
+	t.Helper()
+	e, err := diffprop.New(circuits.MustGet(name), &diffprop.Options{RebuildLimit: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExactEquivalenceKnownClasses(t *testing.T) {
+	// On a single AND gate, the input SA0 faults and the output SA0 fault
+	// are all equivalent; input SA1 faults are not equivalent to each
+	// other.
+	c := netlist.New("andgate")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", netlist.And, a, b)
+	c.MarkOutput(z)
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Circuit
+	fs := faults.AllStuckAts(w)
+	classes, err := ExactEquivalenceClasses(e, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(f faults.StuckAt) int {
+		for ci, cl := range classes {
+			for _, g := range cl.Faults {
+				if g == f {
+					return ci
+				}
+			}
+		}
+		t.Fatalf("fault %v not classified", f.Describe(w))
+		return -1
+	}
+	aSA0 := faults.StuckAt{Net: w.NetByName("a"), Gate: -1, Pin: -1, Stuck: false}
+	bSA0 := faults.StuckAt{Net: w.NetByName("b"), Gate: -1, Pin: -1, Stuck: false}
+	zSA0 := faults.StuckAt{Net: w.NetByName("z"), Gate: -1, Pin: -1, Stuck: false}
+	aSA1 := faults.StuckAt{Net: w.NetByName("a"), Gate: -1, Pin: -1, Stuck: true}
+	bSA1 := faults.StuckAt{Net: w.NetByName("b"), Gate: -1, Pin: -1, Stuck: true}
+	if find(aSA0) != find(bSA0) || find(aSA0) != find(zSA0) {
+		t.Fatal("AND-gate SA0 faults must share a class")
+	}
+	if find(aSA1) == find(bSA1) {
+		t.Fatal("a/SA1 and b/SA1 must be distinguishable")
+	}
+}
+
+func TestExactEquivalenceMatchesSimulation(t *testing.T) {
+	// Two faults share a class iff their full exhaustive responses agree
+	// at every output and pattern.
+	e := eqEngine(t, "c95s")
+	w := e.Circuit
+	fs := faults.CheckpointStuckAts(w)
+	classes, err := ExactEquivalenceClasses(e, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build full per-output response fingerprints via simulation.
+	p := simulate.Exhaustive(len(w.Inputs))
+	fingerprint := func(f faults.StuckAt) string {
+		var sig []byte
+		for _, o := range w.Outputs {
+			single := w.Clone()
+			single.Outputs = []int{o}
+			for _, word := range simulate.DetectStuckAt(single, f, p) {
+				for k := 0; k < 8; k++ {
+					sig = append(sig, byte(word>>uint(8*k)))
+				}
+			}
+		}
+		return string(sig)
+	}
+	fpClass := map[string]int{}
+	for ci, cl := range classes {
+		for _, f := range cl.Faults {
+			fp := fingerprint(f)
+			if prev, ok := fpClass[fp]; ok {
+				if prev != ci {
+					t.Fatalf("faults with equal responses in different classes")
+				}
+			} else {
+				fpClass[fp] = ci
+			}
+		}
+	}
+	if len(fpClass) != len(classes) {
+		t.Fatalf("class count %d but %d distinct responses", len(classes), len(fpClass))
+	}
+}
+
+func TestExactEquivalenceFindsMoreThanStructural(t *testing.T) {
+	// The structural checkpoint collapsing keeps one representative per
+	// locally provable class; the exact partition over the *collapsed* set
+	// may still merge classes reconvergence makes equal. At minimum it
+	// never has more classes than faults, and the ratio is meaningful.
+	e := eqEngine(t, "alu181")
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	classes, err := ExactEquivalenceClasses(e, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) > len(fs) {
+		t.Fatal("more classes than faults")
+	}
+	if r := CollapseRatio(classes); r <= 0 || r > 1 {
+		t.Fatalf("collapse ratio %v", r)
+	}
+	if CollapseRatio(nil) != 0 {
+		t.Fatal("empty partition ratio must be 0")
+	}
+}
+
+func TestExactDominance(t *testing.T) {
+	// Classic textbook case: on z = AND(a, b), every test for a/SA1
+	// (a=0, b=1) is also a test for z/SA1 — z/SA1's test set (ab=01, 10,
+	// 00 with propagation... exactly the vectors where z flips to 1) is a
+	// superset.
+	c := netlist.New("andgate")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", netlist.And, a, b)
+	c.MarkOutput(z)
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Circuit
+	aSA1 := faults.StuckAt{Net: w.NetByName("a"), Gate: -1, Pin: -1, Stuck: true}
+	zSA1 := faults.StuckAt{Net: w.NetByName("z"), Gate: -1, Pin: -1, Stuck: true}
+	edges, err := ExactDominance(e, []faults.StuckAt{aSA1, zSA1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ed := range edges {
+		if ed.Dominated == aSA1 && ed.Dominator == zSA1 {
+			found = true
+		}
+		// Verify the inclusion claim by simulation on every pattern.
+		p := simulate.Exhaustive(2)
+		dm := simulate.DetectStuckAt(w, ed.Dominated, p)
+		dr := simulate.DetectStuckAt(w, ed.Dominator, p)
+		for i := range dm {
+			if dm[i]&^dr[i] != 0 {
+				t.Fatalf("dominance edge %v -> %v violated", ed.Dominated, ed.Dominator)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("z/SA1 must dominate a/SA1 on an AND gate")
+	}
+}
+
+func TestExactDominanceOnBenchmark(t *testing.T) {
+	e := eqEngine(t, "c17")
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	edges, err := ExactDominance(e, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-verify every edge by exhaustive simulation.
+	p := simulate.Exhaustive(5)
+	for _, ed := range edges {
+		dm := simulate.DetectStuckAt(e.Circuit, ed.Dominated, p)
+		dr := simulate.DetectStuckAt(e.Circuit, ed.Dominator, p)
+		for i := range dm {
+			if dm[i]&^dr[i] != 0 {
+				t.Fatalf("edge %v -> %v violated", ed.Dominated.Describe(e.Circuit), ed.Dominator.Describe(e.Circuit))
+			}
+		}
+	}
+	if len(edges) == 0 {
+		t.Fatal("c17 should exhibit some dominance relations")
+	}
+}
+
+func TestSyndromeTestableKnownCases(t *testing.T) {
+	// On z = XOR(a, b): a/SA0 flips z on the two minterms where a=1 —
+	// one flip is 0→1 (a=1,b=1 makes z go 0→1) and one is 1→0
+	// (a=1,b=0): the flips cancel, so the fault is detectable but NOT
+	// syndrome-testable. On z = AND(a, b): a/SA0 only ever flips z 1→0,
+	// so it IS syndrome-testable.
+	cx := netlist.New("x")
+	ax := cx.AddInput("a")
+	bx := cx.AddInput("b")
+	zx := cx.AddGate("z", netlist.Xor, ax, bx)
+	cx.MarkOutput(zx)
+	ex, err := diffprop.New(cx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := faults.StuckAt{Net: ex.Circuit.NetByName("a"), Gate: -1, Pin: -1, Stuck: false}
+	resx := ex.StuckAt(fx)
+	if !resx.Detectable() {
+		t.Fatal("a/SA0 on XOR must be detectable")
+	}
+	if SyndromeTestable(ex, resx) {
+		t.Fatal("XOR input fault flips cancel; must not be syndrome-testable")
+	}
+
+	ca := netlist.New("and")
+	aa := ca.AddInput("a")
+	ba := ca.AddInput("b")
+	za := ca.AddGate("z", netlist.And, aa, ba)
+	ca.MarkOutput(za)
+	ea, err := diffprop.New(ca, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := faults.StuckAt{Net: ea.Circuit.NetByName("a"), Gate: -1, Pin: -1, Stuck: false}
+	resa := ea.StuckAt(fa)
+	if !SyndromeTestable(ea, resa) {
+		t.Fatal("AND input SA0 must be syndrome-testable")
+	}
+}
+
+func TestSyndromeTestableAgainstBruteForce(t *testing.T) {
+	// Exhaustive reference: compare per-output ones-counts of good and
+	// faulty circuits.
+	e := eqEngine(t, "c95s")
+	w := e.Circuit
+	p := simulate.Exhaustive(len(w.Inputs))
+	good := simulate.GoodValues(w, p)
+	for _, f := range faults.CheckpointStuckAts(w)[:60] {
+		res := e.StuckAt(f)
+		want := false
+		for _, o := range w.Outputs {
+			single := w.Clone()
+			single.Outputs = []int{o}
+			mask := simulate.DetectStuckAt(single, f, p)
+			up, down := 0, 0
+			for wd := range mask {
+				flips := mask[wd]
+				up += simulate.CountBits([]uint64{flips &^ good[o][wd]})
+				down += simulate.CountBits([]uint64{flips & good[o][wd]})
+			}
+			if up != down {
+				want = true
+			}
+		}
+		if got := SyndromeTestable(e, res); got != want {
+			t.Fatalf("%v: syndrome-testable=%v, brute force=%v", f.Describe(w), got, want)
+		}
+	}
+}

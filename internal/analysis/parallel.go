@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Workers picks a worker count: n if positive, otherwise one per CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// RunStuckAtParallel analyzes the fault set with `workers` independent
+// engines (diffprop engines are single-threaded) and returns a study
+// bit-identical to the serial RunStuckAt: every fault is analyzed exactly,
+// so the partitioning cannot change any result, only the wall clock.
+// Fault sites must refer to the two-input decomposition of c (the working
+// circuit of any engine built from c), which is deterministic.
+func RunStuckAtParallel(c *netlist.Circuit, opts *diffprop.Options, fs []faults.StuckAt, workers int) (StuckAtStudy, error) {
+	workers = Workers(workers)
+	if workers > len(fs) {
+		workers = len(fs)
+	}
+	if workers <= 1 {
+		e, err := diffprop.New(c, opts)
+		if err != nil {
+			return StuckAtStudy{}, err
+		}
+		return RunStuckAt(e, fs), nil
+	}
+	records := make([]StuckAtRecord, len(fs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	var header StuckAtStudy
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, err := diffprop.New(c, opts)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			// Contiguous chunk per worker.
+			lo := w * len(fs) / workers
+			hi := (w + 1) * len(fs) / workers
+			sub := RunStuckAt(e, fs[lo:hi])
+			copy(records[lo:hi], sub.Records)
+			if w == 0 {
+				mu.Lock()
+				header = sub
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return StuckAtStudy{}, fmt.Errorf("analysis: parallel run failed: %w", firstErr)
+	}
+	header.Records = records
+	return header, nil
+}
+
+// RunBridgingParallel is the bridging-fault counterpart of
+// RunStuckAtParallel.
+func RunBridgingParallel(c *netlist.Circuit, opts *diffprop.Options, bs []faults.Bridging, kind faults.BridgeKind, population int, sampled bool, workers int) (BridgingStudy, error) {
+	workers = Workers(workers)
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	if workers <= 1 {
+		e, err := diffprop.New(c, opts)
+		if err != nil {
+			return BridgingStudy{}, err
+		}
+		return RunBridging(e, bs, kind, population, sampled), nil
+	}
+	records := make([]BridgingRecord, len(bs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	var header BridgingStudy
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, err := diffprop.New(c, opts)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			lo := w * len(bs) / workers
+			hi := (w + 1) * len(bs) / workers
+			sub := RunBridging(e, bs[lo:hi], kind, population, sampled)
+			copy(records[lo:hi], sub.Records)
+			if w == 0 {
+				mu.Lock()
+				header = sub
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return BridgingStudy{}, fmt.Errorf("analysis: parallel run failed: %w", firstErr)
+	}
+	header.Records = records
+	return header, nil
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count ignored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("auto worker count must be positive")
+	}
+}
+
+func TestParallelStuckAtMatchesSerial(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	serial := RunStuckAt(e, fs)
+	for _, workers := range []int{1, 3, 8} {
+		par, err := RunStuckAtParallel(c, nil, fs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Records) != len(serial.Records) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(par.Records), len(serial.Records))
+		}
+		if par.Circuit != serial.Circuit || par.NetlistSize != serial.NetlistSize ||
+			par.NumPIs != serial.NumPIs || par.NumPOs != serial.NumPOs {
+			t.Fatalf("workers=%d: header mismatch", workers)
+		}
+		for i := range par.Records {
+			a, b := par.Records[i], serial.Records[i]
+			if a.Fault != b.Fault || a.Detectability != b.Detectability ||
+				a.UpperBound != b.UpperBound || a.Adherence != b.Adherence ||
+				a.ObservedPOs != b.ObservedPOs || a.POsFed != b.POsFed ||
+				a.MaxLevelsToPO != b.MaxLevelsToPO {
+				t.Fatalf("workers=%d record %d differs: %+v vs %+v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+func TestParallelBridgingMatchesSerial(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, pop, sampled := BridgingSet(e.Circuit, faults.WiredOR, 150, 0.3, 7)
+	serial := RunBridging(e, set, faults.WiredOR, pop, sampled)
+	par, err := RunBridgingParallel(c, nil, set, faults.WiredOR, pop, sampled, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Kind != serial.Kind || par.Population != serial.Population || par.Sampled != serial.Sampled {
+		t.Fatal("header mismatch")
+	}
+	for i := range par.Records {
+		if par.Records[i] != serial.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestParallelRejectsBadCircuit(t *testing.T) {
+	c := circuits.MustGet("c17")
+	bad := &diffprop.Options{Order: []string{"nope"}}
+	fs := faults.CheckpointStuckAts(c.Decompose2())
+	if _, err := RunStuckAtParallel(c, bad, fs, 4); err == nil {
+		t.Fatal("bad options must surface an error")
+	}
+	if _, err := RunBridgingParallel(c, bad, faults.AllNFBFs(c, faults.WiredAND), faults.WiredAND, 1, false, 4); err == nil {
+		t.Fatal("bad options must surface an error (bridging)")
+	}
+}

@@ -1,0 +1,165 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+func engineFor(t testing.TB, name string) *diffprop.Engine {
+	t.Helper()
+	e, err := diffprop.New(circuits.MustGet(name), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGenerateAchievesFullCoverage(t *testing.T) {
+	for _, name := range []string{"c17", "fadd", "c95s", "alu181"} {
+		e := engineFor(t, name)
+		fs := faults.CheckpointStuckAts(e.Circuit)
+		res := GenerateStuckAt(e, fs, 1)
+		p := simulate.FromVectors(len(e.Circuit.Inputs), res.Vectors)
+		cov := simulate.CoverageStuckAt(e.Circuit, fs, p)
+		want := len(fs) - len(res.Redundant)
+		if cov.Detected != want {
+			t.Fatalf("%s: %d/%d detected, %d redundant", name, cov.Detected, len(fs), len(res.Redundant))
+		}
+		if len(res.Vectors) == 0 || len(res.Vectors) > len(fs) {
+			t.Fatalf("%s: suspicious vector count %d for %d faults", name, len(res.Vectors), len(fs))
+		}
+	}
+}
+
+func TestGenerateFindsRedundancy(t *testing.T) {
+	// z = a OR (a AND b): ab/SA0 is redundant and must be reported, not
+	// aborted or silently dropped.
+	c := netlist.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	ab := c.AddGate("ab", netlist.And, a, b)
+	z := c.AddGate("z", netlist.Or, a, ab)
+	c.MarkOutput(z)
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Circuit
+	fs := []faults.StuckAt{
+		{Net: w.NetByName("ab"), Gate: -1, Pin: -1, Stuck: false},
+		{Net: w.NetByName("ab"), Gate: -1, Pin: -1, Stuck: true},
+	}
+	res := GenerateStuckAt(e, fs, 1)
+	if len(res.Redundant) != 1 || res.Redundant[0].Stuck != false {
+		t.Fatalf("expected exactly ab/SA0 redundant, got %v", res.Redundant)
+	}
+	if len(res.Vectors) != 1 {
+		t.Fatalf("one vector should cover ab/SA1, got %d", len(res.Vectors))
+	}
+}
+
+func TestCompactKeepsCoverageAndShrinks(t *testing.T) {
+	e := engineFor(t, "c95s")
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	res := GenerateStuckAt(e, fs, 2)
+	before := simulate.CoverageStuckAt(e.Circuit, fs,
+		simulate.FromVectors(len(e.Circuit.Inputs), res.Vectors))
+	compacted := Compact(e, fs, res.Vectors)
+	after := simulate.CoverageStuckAt(e.Circuit, fs,
+		simulate.FromVectors(len(e.Circuit.Inputs), compacted))
+	if after.Detected != before.Detected {
+		t.Fatalf("compaction lost coverage: %d -> %d", before.Detected, after.Detected)
+	}
+	if len(compacted) > len(res.Vectors) {
+		t.Fatalf("compaction grew the set: %d -> %d", len(res.Vectors), len(compacted))
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	e := engineFor(t, "c17")
+	if Compact(e, faults.CheckpointStuckAts(e.Circuit), nil) != nil {
+		t.Fatal("compacting nothing must yield nothing")
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	e1 := engineFor(t, "c17")
+	e2 := engineFor(t, "c17")
+	fs1 := faults.CheckpointStuckAts(e1.Circuit)
+	fs2 := faults.CheckpointStuckAts(e2.Circuit)
+	r1 := GenerateStuckAt(e1, fs1, 42)
+	r2 := GenerateStuckAt(e2, fs2, 42)
+	if len(r1.Vectors) != len(r2.Vectors) {
+		t.Fatal("nondeterministic vector count")
+	}
+	for i := range r1.Vectors {
+		for j := range r1.Vectors[i] {
+			if r1.Vectors[i][j] != r2.Vectors[i][j] {
+				t.Fatal("nondeterministic vectors")
+			}
+		}
+	}
+}
+
+func TestStuckAtTestSetForBridges(t *testing.T) {
+	e := engineFor(t, "c95s")
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	bs := faults.AllNFBFs(e.Circuit, faults.WiredAND)
+	vectors, saCov, bfCov := StuckAtTestSetForBridges(e, fs, bs, 3)
+	if len(vectors) == 0 {
+		t.Fatal("no vectors generated")
+	}
+	// c95s has exactly one redundant checkpoint fault (a masked carry pin
+	// inside a full-adder cell); everything else must be covered.
+	red := len(GenerateStuckAt(e, fs, 3).Redundant)
+	if red != 1 {
+		t.Fatalf("c95s should prove exactly 1 redundant checkpoint fault, got %d", red)
+	}
+	want := float64(len(fs)-red) / float64(len(fs))
+	if saCov < want-1e-12 {
+		t.Fatalf("stuck-at coverage %v, want %v", saCov, want)
+	}
+	// The paper's premise: stuck-at test sets miss some NFBFs; but they
+	// should still catch a substantial share.
+	if bfCov <= 0.5 || bfCov > 1 {
+		t.Fatalf("bridging coverage %v out of plausible range", bfCov)
+	}
+}
+
+func TestGenerateHybridFullCoverage(t *testing.T) {
+	for _, name := range []string{"c17", "c95s", "alu181"} {
+		e := engineFor(t, name)
+		fs := faults.CheckpointStuckAts(e.Circuit)
+		res := GenerateHybrid(e, fs, 32, 7)
+		p := simulate.FromVectors(len(e.Circuit.Inputs), res.Vectors)
+		cov := simulate.CoverageStuckAt(e.Circuit, fs, p)
+		want := len(fs) - len(res.Redundant)
+		if cov.Detected != want {
+			t.Fatalf("%s: hybrid covers %d/%d (redundant %d)", name, cov.Detected, len(fs), len(res.Redundant))
+		}
+	}
+}
+
+func TestGenerateHybridZeroRandomBudgetEqualsDeterministic(t *testing.T) {
+	e := engineFor(t, "c17")
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	res := GenerateHybrid(e, fs, 0, 7)
+	p := simulate.FromVectors(len(e.Circuit.Inputs), res.Vectors)
+	if simulate.CoverageStuckAt(e.Circuit, fs, p).Coverage() != 1 {
+		t.Fatal("deterministic-only hybrid must still reach full coverage")
+	}
+}
+
+func TestGenerateHybridFindsRedundancy(t *testing.T) {
+	e := engineFor(t, "c95s")
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	res := GenerateHybrid(e, fs, 64, 3)
+	if len(res.Redundant) != 1 {
+		t.Fatalf("c95s must yield exactly 1 redundant fault, got %d", len(res.Redundant))
+	}
+}

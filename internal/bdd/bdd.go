@@ -1,0 +1,535 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// in the style of Bryant (IEEE Trans. Computers, 1986): hash-consed nodes,
+// memoized apply/ITE, quantification, composition, exact satisfying-set
+// counting, and manager-to-manager transfer used for generational garbage
+// collection and static variable reordering.
+//
+// The node store is a struct-of-arrays with a chained hash unique table and
+// direct-mapped operation caches (in the manner of CUDD's computed table),
+// which keeps the engine fast enough for the exhaustive per-fault analyses
+// this repository runs on thousand-gate circuits.
+//
+// A Manager owns a set of ordered variables and a node table. Functions are
+// referred to by Ref values that are only meaningful within their manager.
+// The two terminals are the package-level constants False and True and are
+// shared by every manager.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Ref identifies a BDD node within a Manager. Refs are stable for the
+// lifetime of the manager (there is no in-place mutation; reclamation is
+// done by rebuilding into a fresh manager, see Rebuild).
+type Ref int32
+
+// Terminal nodes, shared across managers.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+const terminalLevel = int32(1) << 30
+
+// opcode identifies a binary apply operation in the cache.
+type opcode uint32
+
+const (
+	opAnd opcode = iota
+	opOr
+	opXor
+)
+
+type applyEntry struct {
+	op   opcode
+	f, g Ref
+	res  Ref
+}
+
+type iteEntry struct {
+	f, g, h Ref
+	res     Ref
+}
+
+type notEntry struct {
+	f   Ref
+	res Ref
+}
+
+const (
+	minCacheBits = 12
+	maxCacheBits = 21
+)
+
+// Manager owns a BDD node table over a fixed, ordered variable set.
+// Managers are not safe for concurrent use.
+type Manager struct {
+	names   []string
+	nameIdx map[string]int
+
+	// Node store (struct of arrays); slots 0 and 1 are the terminals.
+	level []int32
+	low   []Ref
+	high  []Ref
+
+	// Unique table: chained hashing over the node store.
+	buckets []int32
+	next    []int32
+	mask    uint32
+
+	// Direct-mapped operation caches; an entry with f < 2 is empty since
+	// terminal operands never reach the caches.
+	applyC    []applyEntry
+	iteC      []iteEntry
+	notC      []notEntry
+	cacheBits uint
+
+	satC map[Ref]*big.Int
+}
+
+// New creates a manager over the named variables, ordered as given.
+// Variable names must be unique and non-empty.
+func New(names ...string) *Manager {
+	m := &Manager{
+		names:   append([]string(nil), names...),
+		nameIdx: make(map[string]int, len(names)),
+		satC:    make(map[Ref]*big.Int),
+	}
+	for i, n := range names {
+		if n == "" {
+			panic("bdd: empty variable name")
+		}
+		if _, dup := m.nameIdx[n]; dup {
+			panic(fmt.Sprintf("bdd: duplicate variable name %q", n))
+		}
+		m.nameIdx[n] = i
+	}
+	m.level = append(m.level, terminalLevel, terminalLevel)
+	m.low = append(m.low, False, True)
+	m.high = append(m.high, False, True)
+	m.next = append(m.next, -1, -1)
+	m.buckets = make([]int32, 1<<minCacheBits)
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	m.mask = uint32(len(m.buckets) - 1)
+	m.setCacheBits(minCacheBits)
+	return m
+}
+
+// NewAnon creates a manager with n anonymous variables named x0..x(n-1).
+func NewAnon(n int) *Manager {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	return New(names...)
+}
+
+func (m *Manager) setCacheBits(bits uint) {
+	m.cacheBits = bits
+	m.applyC = make([]applyEntry, 1<<bits)
+	m.iteC = make([]iteEntry, 1<<bits)
+	m.notC = make([]notEntry, 1<<bits)
+}
+
+// NumVars reports the number of variables in the manager.
+func (m *Manager) NumVars() int { return len(m.names) }
+
+// VarName returns the name of the variable at order position i.
+func (m *Manager) VarName(i int) string { return m.names[i] }
+
+// VarIndex returns the order position of the named variable, or -1.
+func (m *Manager) VarIndex(name string) int {
+	if i, ok := m.nameIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns a copy of the variable order.
+func (m *Manager) Names() []string { return append([]string(nil), m.names...) }
+
+// NodeCount reports the total number of live nodes in the manager's table,
+// including the two terminals.
+func (m *Manager) NodeCount() int { return len(m.level) }
+
+// Var returns the function of the single variable at order position i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= len(m.names) {
+		panic(fmt.Sprintf("bdd: variable index %d out of range [0,%d)", i, len(m.names)))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the complemented single-variable function ¬x_i.
+func (m *Manager) NVar(i int) Ref {
+	if i < 0 || i >= len(m.names) {
+		panic(fmt.Sprintf("bdd: variable index %d out of range [0,%d)", i, len(m.names)))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+// VarNamed returns the function of the named variable.
+func (m *Manager) VarNamed(name string) Ref {
+	i := m.VarIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("bdd: unknown variable %q", name))
+	}
+	return m.Var(i)
+}
+
+// Const returns the terminal for the given boolean.
+func Const(b bool) Ref {
+	if b {
+		return True
+	}
+	return False
+}
+
+// IsConst reports whether f is a terminal.
+func IsConst(f Ref) bool { return f == False || f == True }
+
+// levelOf returns the decision level of f (terminalLevel for terminals).
+func (m *Manager) levelOf(f Ref) int32 { return m.level[f] }
+
+// Level exposes the variable order position tested at the root of f,
+// or -1 for terminals.
+func (m *Manager) Level(f Ref) int {
+	l := m.level[f]
+	if l == terminalLevel {
+		return -1
+	}
+	return int(l)
+}
+
+// Low returns the else-cofactor edge of a non-terminal node.
+func (m *Manager) Low(f Ref) Ref { return m.low[f] }
+
+// High returns the then-cofactor edge of a non-terminal node.
+func (m *Manager) High(f Ref) Ref { return m.high[f] }
+
+func nodeHash(level int32, low, high Ref) uint32 {
+	h := uint32(level)*0x9e3779b1 ^ uint32(low)*0x85ebca6b ^ uint32(high)*0xc2b2ae35
+	h ^= h >> 15
+	return h
+}
+
+// mk returns the canonical node (level, low, high), applying the reduction
+// rules: redundant tests collapse, identical nodes are shared.
+func (m *Manager) mk(level int32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	slot := nodeHash(level, low, high) & m.mask
+	for id := m.buckets[slot]; id >= 0; id = m.next[id] {
+		if m.level[id] == level && m.low[id] == low && m.high[id] == high {
+			return Ref(id)
+		}
+	}
+	r := Ref(len(m.level))
+	m.level = append(m.level, level)
+	m.low = append(m.low, low)
+	m.high = append(m.high, high)
+	m.next = append(m.next, m.buckets[slot])
+	m.buckets[slot] = int32(r)
+	if len(m.level) > len(m.buckets) {
+		m.grow()
+	}
+	return r
+}
+
+// grow doubles the unique table and (up to a limit) the operation caches.
+func (m *Manager) grow() {
+	nb := make([]int32, len(m.buckets)*2)
+	for i := range nb {
+		nb[i] = -1
+	}
+	m.mask = uint32(len(nb) - 1)
+	for id := range m.level {
+		if id < 2 {
+			continue
+		}
+		slot := nodeHash(m.level[id], m.low[id], m.high[id]) & m.mask
+		m.next[id] = nb[slot]
+		nb[slot] = int32(id)
+	}
+	m.buckets = nb
+	if m.cacheBits < maxCacheBits {
+		// Growing the caches drops their contents, which is harmless.
+		m.setCacheBits(m.cacheBits + 1)
+	}
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.not(f) }
+
+// Nand returns ¬(f ∧ g).
+func (m *Manager) Nand(f, g Ref) Ref { return m.Not(m.And(f, g)) }
+
+// Nor returns ¬(f ∨ g).
+func (m *Manager) Nor(f, g Ref) Ref { return m.Not(m.Or(f, g)) }
+
+// Xnor returns ¬(f ⊕ g).
+func (m *Manager) Xnor(f, g Ref) Ref { return m.Not(m.Xor(f, g)) }
+
+// Implies returns ¬f ∨ g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.Or(m.Not(f), g) }
+
+// Diff returns f ∧ ¬g (set difference).
+func (m *Manager) Diff(f, g Ref) Ref { return m.And(f, m.Not(g)) }
+
+// AndN folds And over its arguments (True for no arguments).
+func (m *Manager) AndN(fs ...Ref) Ref {
+	acc := True
+	for _, f := range fs {
+		acc = m.And(acc, f)
+	}
+	return acc
+}
+
+// OrN folds Or over its arguments (False for no arguments).
+func (m *Manager) OrN(fs ...Ref) Ref {
+	acc := False
+	for _, f := range fs {
+		acc = m.Or(acc, f)
+	}
+	return acc
+}
+
+// XorN folds Xor over its arguments (False for no arguments).
+func (m *Manager) XorN(fs ...Ref) Ref {
+	acc := False
+	for _, f := range fs {
+		acc = m.Xor(acc, f)
+	}
+	return acc
+}
+
+func (m *Manager) not(f Ref) Ref {
+	switch f {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	slot := (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
+	if e := &m.notC[slot]; e.f == f {
+		return e.res
+	}
+	r := m.mk(m.level[f], m.not(m.low[f]), m.not(m.high[f]))
+	slot = (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
+	m.notC[slot] = notEntry{f: f, res: r}
+	slot = (uint32(r) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
+	m.notC[slot] = notEntry{f: r, res: f}
+	return r
+}
+
+func applyHash(op opcode, f, g Ref, size uint32) uint32 {
+	h := uint32(f)*0x85ebca6b ^ uint32(g)*0xc2b2ae35 ^ uint32(op)*0x27d4eb2f
+	h ^= h >> 13
+	return h & (size - 1)
+}
+
+// apply implements the memoized Shannon-expansion product construction.
+func (m *Manager) apply(op opcode, f, g Ref) Ref {
+	// Terminal rules.
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opOr:
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opXor:
+		if f == g {
+			return False
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == True {
+			return m.not(g)
+		}
+		if g == True {
+			return m.not(f)
+		}
+	}
+	// Commutative: normalize operand order for cache hits.
+	if f > g {
+		f, g = g, f
+	}
+	slot := applyHash(op, f, g, uint32(len(m.applyC)))
+	if e := &m.applyC[slot]; e.f == f && e.g == g && e.op == op {
+		return e.res
+	}
+	fl, gl := m.level[f], m.level[g]
+	var level int32
+	var f0, f1, g0, g1 Ref
+	switch {
+	case fl == gl:
+		level = fl
+		f0, f1 = m.low[f], m.high[f]
+		g0, g1 = m.low[g], m.high[g]
+	case fl < gl:
+		level = fl
+		f0, f1 = m.low[f], m.high[f]
+		g0, g1 = g, g
+	default:
+		level = gl
+		f0, f1 = f, f
+		g0, g1 = m.low[g], m.high[g]
+	}
+	r := m.mk(level, m.apply(op, f0, g0), m.apply(op, f1, g1))
+	// The caches may have been resized by mk; recompute the slot.
+	slot = applyHash(op, f, g, uint32(len(m.applyC)))
+	m.applyC[slot] = applyEntry{op: op, f: f, g: g, res: r}
+	return r
+}
+
+// Ite returns if-then-else: (f ∧ g) ∨ (¬f ∧ h).
+func (m *Manager) Ite(f, g, h Ref) Ref { return m.ite(f, g, h) }
+
+func iteHash(f, g, h Ref, size uint32) uint32 {
+	x := uint32(f)*0x9e3779b1 ^ uint32(g)*0x85ebca6b ^ uint32(h)*0xc2b2ae35
+	x ^= x >> 14
+	return x & (size - 1)
+}
+
+func (m *Manager) ite(f, g, h Ref) Ref {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.not(f)
+	}
+	slot := iteHash(f, g, h, uint32(len(m.iteC)))
+	if e := &m.iteC[slot]; e.f == f && e.g == g && e.h == h {
+		return e.res
+	}
+	level := m.level[f]
+	if l := m.level[g]; l < level {
+		level = l
+	}
+	if l := m.level[h]; l < level {
+		level = l
+	}
+	f0, f1 := m.cofactors(f, level)
+	g0, g1 := m.cofactors(g, level)
+	h0, h1 := m.cofactors(h, level)
+	r := m.mk(level, m.ite(f0, g0, h0), m.ite(f1, g1, h1))
+	slot = iteHash(f, g, h, uint32(len(m.iteC)))
+	m.iteC[slot] = iteEntry{f: f, g: g, h: h, res: r}
+	return r
+}
+
+// cofactors returns the (low, high) cofactors of f with respect to the
+// variable at 'level'; if f does not test that variable both are f.
+func (m *Manager) cofactors(f Ref, level int32) (Ref, Ref) {
+	if m.level[f] == level {
+		return m.low[f], m.high[f]
+	}
+	return f, f
+}
+
+// Eval evaluates f under the assignment (one bool per variable, in order).
+func (m *Manager) Eval(f Ref, assignment []bool) bool {
+	if len(assignment) != len(m.names) {
+		panic(fmt.Sprintf("bdd: assignment has %d values, want %d", len(assignment), len(m.names)))
+	}
+	for !IsConst(f) {
+		if assignment[m.level[f]] {
+			f = m.high[f]
+		} else {
+			f = m.low[f]
+		}
+	}
+	return f == True
+}
+
+// Size reports the number of distinct nodes reachable from f, including
+// terminals.
+func (m *Manager) Size(f Ref) int { return m.TotalSize(f) }
+
+// Support returns the sorted order positions of the variables f depends on.
+func (m *Manager) Support(f Ref) []int {
+	seen := map[Ref]struct{}{}
+	vars := map[int32]struct{}{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if IsConst(r) {
+			return
+		}
+		if _, ok := seen[r]; ok {
+			return
+		}
+		seen[r] = struct{}{}
+		vars[m.level[r]] = struct{}{}
+		walk(m.low[r])
+		walk(m.high[r])
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, int(v))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SupportSize returns the number of variables f depends on. The paper's
+// Figure 5 classification uses SupportSize == 0 at a bridging-fault site to
+// identify bridging faults with stuck-at (constant) behavior.
+func (m *Manager) SupportSize(f Ref) int { return len(m.Support(f)) }
+
+// String renders a short human-readable description of f.
+func (m *Manager) String(f Ref) string {
+	switch f {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	}
+	return fmt.Sprintf("bdd(%s; %d nodes)", m.names[m.level[f]], m.Size(f))
+}

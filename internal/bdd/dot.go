@@ -1,0 +1,71 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the BDDs rooted at the given functions as a Graphviz
+// digraph: solid edges for the then-cofactor, dashed for else, boxed
+// terminals, one rank per variable level. Useful for debugging and for
+// documentation figures.
+func (m *Manager) DOT(name string, roots ...Ref) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=TB;\n")
+	sb.WriteString("  node [shape=circle];\n")
+	sb.WriteString("  f0 [label=\"0\", shape=box];\n")
+	sb.WriteString("  f1 [label=\"1\", shape=box];\n")
+
+	seen := map[Ref]bool{}
+	byLevel := map[int32][]Ref{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if IsConst(r) || seen[r] {
+			return
+		}
+		seen[r] = true
+		byLevel[m.level[r]] = append(byLevel[m.level[r]], r)
+		walk(m.low[r])
+		walk(m.high[r])
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+
+	nodeName := func(r Ref) string {
+		if r == False {
+			return "f0"
+		}
+		if r == True {
+			return "f1"
+		}
+		return fmt.Sprintf("n%d", r)
+	}
+	levels := make([]int32, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(a, b int) bool { return levels[a] < levels[b] })
+	for _, l := range levels {
+		nodes := byLevel[l]
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		sb.WriteString("  { rank=same;")
+		for _, r := range nodes {
+			fmt.Fprintf(&sb, " %s;", nodeName(r))
+		}
+		sb.WriteString(" }\n")
+		for _, r := range nodes {
+			fmt.Fprintf(&sb, "  %s [label=%q];\n", nodeName(r), m.names[l])
+			fmt.Fprintf(&sb, "  %s -> %s [style=dashed];\n", nodeName(r), nodeName(m.low[r]))
+			fmt.Fprintf(&sb, "  %s -> %s;\n", nodeName(r), nodeName(m.high[r]))
+		}
+	}
+	for i, r := range roots {
+		fmt.Fprintf(&sb, "  root%d [label=\"f%d\", shape=plaintext];\n", i, i)
+		fmt.Fprintf(&sb, "  root%d -> %s;\n", i, nodeName(r))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermutations(t *testing.T) {
+	if got := len(permutations(2)); got != 2 {
+		t.Fatalf("2! = %d", got)
+	}
+	if got := len(permutations(3)); got != 6 {
+		t.Fatalf("3! = %d", got)
+	}
+	if got := len(permutations(4)); got != 24 {
+		t.Fatalf("4! = %d", got)
+	}
+	seen := map[string]bool{}
+	for _, p := range permutations(3) {
+		key := ""
+		for _, v := range p {
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate permutation %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// blockedComparator builds the classic order-sensitive function
+// (a0∧b0) ∨ (a1∧b1) ∨ ... under the bad blocked order a0..ak b0..bk.
+func blockedComparator(k int) (*Manager, Ref) {
+	names := make([]string, 0, 2*k)
+	for i := 0; i < k; i++ {
+		names = append(names, "a"+string(rune('0'+i)))
+	}
+	for i := 0; i < k; i++ {
+		names = append(names, "b"+string(rune('0'+i)))
+	}
+	m := New(names...)
+	f := False
+	for i := 0; i < k; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(k+i)))
+	}
+	return m, f
+}
+
+func TestWindowReorderShrinksBlockedOrder(t *testing.T) {
+	const k = 6
+	m, f := blockedComparator(k)
+	before := m.Size(f)
+	m2, roots, size := m.WindowReorder([]Ref{f}, 3, 20)
+	if size >= before {
+		t.Fatalf("window reorder failed to shrink: %d -> %d", before, size)
+	}
+	// The interleaved optimum for this function has 2k+2 nodes; window
+	// permutation should get close (it is a local search).
+	if size > before/2 {
+		t.Fatalf("reorder too weak: %d -> %d (optimum ~%d)", before, size, 3*k+2)
+	}
+	// Function must be preserved: compare under the variable name mapping.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		a1 := make([]bool, m.NumVars())
+		for i := range a1 {
+			a1[i] = rng.Intn(2) == 1
+		}
+		a2 := make([]bool, m2.NumVars())
+		for i := 0; i < m2.NumVars(); i++ {
+			a2[i] = a1[m.VarIndex(m2.VarName(i))]
+		}
+		if m.Eval(f, a1) != m2.Eval(roots[0], a2) {
+			t.Fatal("window reorder changed the function")
+		}
+	}
+}
+
+func TestWindowReorderNoImprovementStillValid(t *testing.T) {
+	// Parity is order-invariant: reorder must hand back an equivalent
+	// manager without shrinking.
+	m := NewAnon(6)
+	f := m.XorN(m.Var(0), m.Var(1), m.Var(2), m.Var(3), m.Var(4), m.Var(5))
+	before := m.Size(f)
+	m2, roots, size := m.WindowReorder([]Ref{f}, 2, 3)
+	if size != before {
+		t.Fatalf("parity size changed: %d -> %d", before, size)
+	}
+	if m2 == m {
+		t.Fatal("result must be a fresh manager")
+	}
+	for i := 0; i < 64; i++ {
+		a := make([]bool, 6)
+		for v := 0; v < 6; v++ {
+			a[v] = i>>v&1 == 1
+		}
+		a2 := make([]bool, 6)
+		for v := 0; v < 6; v++ {
+			a2[v] = a[m.VarIndex(m2.VarName(v))]
+		}
+		if m.Eval(f, a) != m2.Eval(roots[0], a2) {
+			t.Fatal("function changed")
+		}
+	}
+}
+
+func TestWindowReorderMultipleRoots(t *testing.T) {
+	m, f := blockedComparator(4)
+	g := m.Not(f)
+	m2, roots, _ := m.WindowReorder([]Ref{f, g}, 2, 10)
+	if m2.Not(roots[0]) != roots[1] {
+		t.Fatal("root relationship broken by reorder")
+	}
+}
+
+func TestSiftReachesInterleavedOptimum(t *testing.T) {
+	const k = 6
+	m, f := blockedComparator(k)
+	before := m.Size(f)
+	m2, roots, size := m.Sift([]Ref{f}, 10)
+	// The optimum for the comparator is the interleaved order: one a-node
+	// and one b-node per pair plus the terminals, 2k+2 in all.
+	// Exhaustive-position sifting must find it from the worst-case
+	// blocked order.
+	if size != 2*k+2 {
+		t.Fatalf("sift reached %d nodes from %d, want optimum %d", size, before, 2*k+2)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		a1 := make([]bool, m.NumVars())
+		for i := range a1 {
+			a1[i] = rng.Intn(2) == 1
+		}
+		a2 := make([]bool, m2.NumVars())
+		for i := 0; i < m2.NumVars(); i++ {
+			a2[i] = a1[m.VarIndex(m2.VarName(i))]
+		}
+		if m.Eval(f, a1) != m2.Eval(roots[0], a2) {
+			t.Fatal("sifting changed the function")
+		}
+	}
+}
+
+func TestSiftBeatsOrTiesWindow(t *testing.T) {
+	m, f := blockedComparator(5)
+	_, _, winSize := m.WindowReorder([]Ref{f}, 3, 10)
+	_, _, siftSize := m.Sift([]Ref{f}, 10)
+	if siftSize > winSize {
+		t.Fatalf("sift (%d) worse than window (%d)", siftSize, winSize)
+	}
+}
+
+func TestSiftPreservesMultipleRoots(t *testing.T) {
+	m, f := blockedComparator(4)
+	g := m.Xor(f, m.Var(0))
+	m2, roots, _ := m.Sift([]Ref{f, g}, 5)
+	// Structural relationship must survive: g = f xor (variable "a0").
+	va := m2.VarNamed("a0")
+	if m2.Xor(roots[0], va) != roots[1] {
+		t.Fatal("root relationship broken by sifting")
+	}
+}
+
+func TestWindowReorderPanics(t *testing.T) {
+	m := NewAnon(3)
+	for _, w := range []int{1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("window %d must panic", w)
+				}
+			}()
+			m.WindowReorder([]Ref{True}, w, 1)
+		}()
+	}
+}

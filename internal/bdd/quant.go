@@ -1,0 +1,112 @@
+package bdd
+
+import "fmt"
+
+// Restrict returns f with the variable at order position v fixed to val
+// (the cofactor f|v=val).
+func (m *Manager) Restrict(f Ref, v int, val bool) Ref {
+	if v < 0 || v >= len(m.names) {
+		panic(fmt.Sprintf("bdd: restrict variable %d out of range", v))
+	}
+	memo := map[Ref]Ref{}
+	return m.restrict(f, int32(v), val, memo)
+}
+
+func (m *Manager) restrict(f Ref, v int32, val bool, memo map[Ref]Ref) Ref {
+	lv := m.level[f]
+	if lv > v {
+		// Terminals have terminalLevel, so this also covers constants.
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	var r Ref
+	if lv == v {
+		if val {
+			r = m.high[f]
+		} else {
+			r = m.low[f]
+		}
+	} else {
+		r = m.mk(lv, m.restrict(m.low[f], v, val, memo), m.restrict(m.high[f], v, val, memo))
+	}
+	memo[f] = r
+	return r
+}
+
+// Exists existentially quantifies the listed variables out of f.
+func (m *Manager) Exists(f Ref, vars ...int) Ref {
+	for _, v := range vars {
+		f = m.Or(m.Restrict(f, v, false), m.Restrict(f, v, true))
+	}
+	return f
+}
+
+// ForAll universally quantifies the listed variables out of f.
+func (m *Manager) ForAll(f Ref, vars ...int) Ref {
+	for _, v := range vars {
+		f = m.And(m.Restrict(f, v, false), m.Restrict(f, v, true))
+	}
+	return f
+}
+
+// Compose substitutes the function g for the variable at order position v
+// inside f: f[v := g].
+func (m *Manager) Compose(f Ref, v int, g Ref) Ref {
+	if v < 0 || v >= len(m.names) {
+		panic(fmt.Sprintf("bdd: compose variable %d out of range", v))
+	}
+	memo := map[Ref]Ref{}
+	return m.compose(f, int32(v), g, memo)
+}
+
+func (m *Manager) compose(f Ref, v int32, g Ref, memo map[Ref]Ref) Ref {
+	lv := m.level[f]
+	if lv > v {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	var r Ref
+	if lv == v {
+		r = m.Ite(g, m.high[f], m.low[f])
+	} else {
+		lo := m.compose(m.low[f], v, g, memo)
+		hi := m.compose(m.high[f], v, g, memo)
+		top := m.mk(lv, False, True) // the variable itself
+		r = m.Ite(top, hi, lo)
+	}
+	memo[f] = r
+	return r
+}
+
+// VectorCompose simultaneously substitutes subst[v] (when present) for each
+// variable v in f. Substitutions see the original variables, not each other.
+func (m *Manager) VectorCompose(f Ref, subst map[int]Ref) Ref {
+	memo := map[Ref]Ref{}
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		if IsConst(r) {
+			return r
+		}
+		if out, ok := memo[r]; ok {
+			return out
+		}
+		lv := m.level[r]
+		lo := rec(m.low[r])
+		hi := rec(m.high[r])
+		v := int(lv)
+		var top Ref
+		if g, ok := subst[v]; ok {
+			top = g
+		} else {
+			top = m.mk(lv, False, True)
+		}
+		out := m.Ite(top, hi, lo)
+		memo[r] = out
+		return out
+	}
+	return rec(f)
+}

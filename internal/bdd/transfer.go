@@ -1,0 +1,103 @@
+package bdd
+
+import "fmt"
+
+// Transfer copies the functions rooted at refs from m into dst, returning
+// the corresponding refs in dst. Variables are matched by name, so dst may
+// use a different order (the copy is rebuilt through ITE in that case) or a
+// superset of m's variables. Every variable of m must exist in dst.
+func (m *Manager) Transfer(dst *Manager, refs ...Ref) []Ref {
+	varMap := make([]Ref, len(m.names))
+	sameOrder := len(m.names) == len(dst.names)
+	for i, name := range m.names {
+		j := dst.VarIndex(name)
+		if j < 0 {
+			panic(fmt.Sprintf("bdd: transfer target lacks variable %q", name))
+		}
+		varMap[i] = dst.Var(j)
+		if j != i {
+			sameOrder = false
+		}
+	}
+	memo := map[Ref]Ref{False: False, True: True}
+	var rec func(Ref) Ref
+	if sameOrder {
+		// Fast path: identical order, structural copy.
+		rec = func(r Ref) Ref {
+			if out, ok := memo[r]; ok {
+				return out
+			}
+			out := dst.mk(m.level[r], rec(m.low[r]), rec(m.high[r]))
+			memo[r] = out
+			return out
+		}
+	} else {
+		rec = func(r Ref) Ref {
+			if out, ok := memo[r]; ok {
+				return out
+			}
+			out := dst.Ite(varMap[m.level[r]], rec(m.high[r]), rec(m.low[r]))
+			memo[r] = out
+			return out
+		}
+	}
+	out := make([]Ref, len(refs))
+	for i, r := range refs {
+		out[i] = rec(r)
+	}
+	return out
+}
+
+// Rebuild copies the given root functions into a fresh manager with the
+// same variable order and returns it together with the remapped roots.
+// This is the package's generational garbage collection: everything not
+// reachable from roots is dropped.
+func (m *Manager) Rebuild(roots []Ref) (*Manager, []Ref) {
+	dst := New(m.names...)
+	out := m.Transfer(dst, roots...)
+	return dst, out
+}
+
+// ReorderTo rebuilds the root functions under a new variable order (a
+// permutation of the manager's names) and returns the new manager and the
+// remapped roots.
+func (m *Manager) ReorderTo(order []string, roots []Ref) (*Manager, []Ref) {
+	if len(order) != len(m.names) {
+		panic("bdd: reorder must permute all variables")
+	}
+	seen := map[string]bool{}
+	for _, n := range order {
+		if m.VarIndex(n) < 0 {
+			panic(fmt.Sprintf("bdd: reorder names unknown variable %q", n))
+		}
+		if seen[n] {
+			panic(fmt.Sprintf("bdd: reorder repeats variable %q", n))
+		}
+		seen[n] = true
+	}
+	dst := New(order...)
+	out := m.Transfer(dst, roots...)
+	return dst, out
+}
+
+// TotalSize reports the number of distinct nodes reachable from the union
+// of the given roots (shared nodes counted once, terminals included).
+func (m *Manager) TotalSize(roots ...Ref) int {
+	seen := map[Ref]struct{}{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if _, ok := seen[r]; ok {
+			return
+		}
+		seen[r] = struct{}{}
+		if IsConst(r) {
+			return
+		}
+		walk(m.low[r])
+		walk(m.high[r])
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return len(seen)
+}

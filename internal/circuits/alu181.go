@@ -1,0 +1,108 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// buildALU181 constructs a gate-level 74181 4-bit ALU with active-high
+// operands, following the classic datasheet decomposition: per-bit X/Y
+// first-level functions selected by S0..S3, a fully expanded carry
+// lookahead, and the M (mode) gate that forces the carry contribution high
+// in logic mode.
+//
+// Inputs (14): a0..a3, b0..b3, s0..s3, m, cn.
+// Outputs (8): f0..f3, cn4 (ripple carry out, active low like cn), p
+// (group propagate, active low), g (group generate, active low), aeqb.
+//
+// Semantics implemented (verified exhaustively in tests):
+//
+//	X_i = NOR(A_i, B_i·S0, ¬B_i·S1)
+//	Y_i = NOR(A_i·¬B_i·S2, A_i·B_i·S3)
+//	c_0 = ¬Cn,  c_{k+1} = ¬Y_k ∨ ¬X_k·c_k   (expanded lookahead)
+//	F_i = X_i ⊕ Y_i ⊕ (M ∨ c_i)
+//
+// so that e.g. S=1001, M=0, Cn=1 yields F = A plus B, and M=1 selects the
+// sixteen logic functions of the datasheet table.
+func buildALU181() *netlist.Circuit {
+	c := netlist.New("alu181")
+	a := make([]int, 4)
+	b := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	s := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		s[i] = c.AddInput(fmt.Sprintf("s%d", i))
+	}
+	m := c.AddInput("m")
+	cn := c.AddInput("cn")
+
+	x := make([]int, 4)
+	y := make([]int, 4)
+	p := make([]int, 4) // propagate = ¬X
+	g := make([]int, 4) // generate = ¬Y
+	for i := 0; i < 4; i++ {
+		nb := c.AddGate(fmt.Sprintf("nb%d", i), netlist.Not, b[i])
+		t1 := c.AddGate(fmt.Sprintf("xs0_%d", i), netlist.And, b[i], s[0])
+		t2 := c.AddGate(fmt.Sprintf("xs1_%d", i), netlist.And, nb, s[1])
+		x[i] = c.AddGate(fmt.Sprintf("x%d", i), netlist.Nor, a[i], t1, t2)
+		t3 := c.AddGate(fmt.Sprintf("ys2_%d", i), netlist.And, a[i], nb, s[2])
+		t4 := c.AddGate(fmt.Sprintf("ys3_%d", i), netlist.And, a[i], b[i], s[3])
+		y[i] = c.AddGate(fmt.Sprintf("y%d", i), netlist.Nor, t3, t4)
+		p[i] = c.AddGate(fmt.Sprintf("p%d", i), netlist.Not, x[i])
+		g[i] = c.AddGate(fmt.Sprintf("g%d", i), netlist.Not, y[i])
+	}
+
+	// Expanded carry lookahead over c_0 = ¬cn.
+	c0 := c.AddGate("c0", netlist.Not, cn)
+	carry := make([]int, 5)
+	carry[0] = c0
+	for k := 1; k <= 4; k++ {
+		// c_k = g_{k-1} ∨ p_{k-1}g_{k-2} ∨ ... ∨ p_{k-1}..p_0 c_0
+		terms := make([]int, 0, k+1)
+		for j := k - 1; j >= 0; j-- {
+			// term: p_{k-1}..p_{j+1} · g_j
+			fan := []int{g[j]}
+			for q := j + 1; q <= k-1; q++ {
+				fan = append(fan, p[q])
+			}
+			var t int
+			if len(fan) == 1 {
+				t = fan[0]
+			} else {
+				t = c.AddGate(fmt.Sprintf("cg%d_%d", k, j), netlist.And, fan...)
+			}
+			terms = append(terms, t)
+		}
+		// trailing term: p_{k-1}..p_0 · c_0
+		fan := append([]int{c0}, p[:k]...)
+		terms = append(terms, c.AddGate(fmt.Sprintf("cp%d", k), netlist.And, fan...))
+		carry[k] = c.AddGate(fmt.Sprintf("c%d", k), netlist.Or, terms...)
+	}
+
+	f := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		w := c.AddGate(fmt.Sprintf("w%d", i), netlist.Xor, x[i], y[i])
+		z := c.AddGate(fmt.Sprintf("z%d", i), netlist.Or, m, carry[i])
+		f[i] = c.AddGate(fmt.Sprintf("f%d", i), netlist.Xor, w, z)
+		c.MarkOutput(f[i])
+	}
+	cn4 := c.AddGate("cn4", netlist.Not, carry[4])
+	c.MarkOutput(cn4)
+	pg := c.AddGate("pout", netlist.Nand, p[0], p[1], p[2], p[3])
+	c.MarkOutput(pg)
+	// Group generate (active low): ¬(g3 ∨ p3g2 ∨ p3p2g1 ∨ p3p2p1g0).
+	gg1 := c.AddGate("gg1", netlist.And, p[3], g[2])
+	gg2 := c.AddGate("gg2", netlist.And, p[3], p[2], g[1])
+	gg3 := c.AddGate("gg3", netlist.And, p[3], p[2], p[1], g[0])
+	gout := c.AddGate("gout", netlist.Nor, g[3], gg1, gg2, gg3)
+	c.MarkOutput(gout)
+	aeqb := c.AddGate("aeqb", netlist.And, f[0], f[1], f[2], f[3])
+	c.MarkOutput(aeqb)
+	return c
+}

@@ -1,0 +1,121 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// buildC1908s constructs a 16-bit SEC/DED (single-error-correct,
+// double-error-detect) extended-Hamming corrector with a tag-parity chain,
+// standing in for ISCAS-85 C1908 (33 PI, 25 PO, NAND-dominated). The whole
+// network is XOR-expanded and decomposed to two-input gates to land in
+// C1908's implementation style and size class.
+//
+// Inputs (33): d0..d15 received data, k0..k4 Hamming checks, k5 overall
+// parity, enc (correction enable), end (detection enable), t0..t8 tag bits.
+//
+// Outputs (25): f0..f15 corrected data, s0..s5 syndrome, err (single error
+// detected), derr (double error detected), tpar (tag parity folded with
+// derr).
+func buildC1908s() *netlist.Circuit {
+	const (
+		nData  = 16
+		nCheck = 5
+	)
+	codes := hammingCodes(nData, nCheck)
+	c := netlist.New("c1908s")
+	d := make([]int, nData)
+	for i := range d {
+		d[i] = c.AddInput(fmt.Sprintf("d%d", i))
+	}
+	k := make([]int, nCheck+1)
+	for i := range k {
+		k[i] = c.AddInput(fmt.Sprintf("k%d", i))
+	}
+	enc := c.AddInput("enc")
+	end := c.AddInput("end")
+	t := make([]int, 9)
+	for i := range t {
+		t[i] = c.AddInput(fmt.Sprintf("t%d", i))
+	}
+
+	// Hamming syndrome bits.
+	s := make([]int, nCheck)
+	ns := make([]int, nCheck)
+	for j := 0; j < nCheck; j++ {
+		fan := []int{k[j]}
+		for i := 0; i < nData; i++ {
+			if codes[i]>>uint(j)&1 == 1 {
+				fan = append(fan, d[i])
+			}
+		}
+		s[j] = xorTree(c, fmt.Sprintf("s%d", j), fan)
+		ns[j] = c.AddGate(fmt.Sprintf("ns%d", j), netlist.Not, s[j])
+	}
+	// Overall parity syndrome: covers every received bit.
+	ofan := make([]int, 0, nData+nCheck+1)
+	ofan = append(ofan, k[nCheck])
+	ofan = append(ofan, d...)
+	ofan = append(ofan, k[:nCheck]...)
+	s5 := xorTree(c, "s5", ofan)
+	ns5 := c.AddGate("ns5", netlist.Not, s5)
+
+	// Error classification.
+	nz := c.AddGate("nz", netlist.Or, s[0], s[1], s[2], s[3], s[4])
+	errNet := c.AddGate("err", netlist.And, end, s5)
+	derr := c.AddGate("derr", netlist.And, end, nz, ns5)
+
+	// Correction: only on single errors (s5 = 1) matching a data column.
+	f := make([]int, nData)
+	for i := 0; i < nData; i++ {
+		fan := make([]int, 0, nCheck+2)
+		fan = append(fan, enc, s5)
+		for j := 0; j < nCheck; j++ {
+			if codes[i]>>uint(j)&1 == 1 {
+				fan = append(fan, s[j])
+			} else {
+				fan = append(fan, ns[j])
+			}
+		}
+		corr := c.AddGate(fmt.Sprintf("corr%d", i), netlist.And, fan...)
+		f[i] = c.AddGate(fmt.Sprintf("f%d", i), netlist.Xor, d[i], corr)
+	}
+
+	// Re-encode verification: recompute the Hamming syndrome over the
+	// corrected data and require it to cancel against the (possibly
+	// faulty) received checks. On a corrected single data error the
+	// recheck is zero; the resulting ok flag feeds the tag chain, giving
+	// the deep back-end structure C1908 is known for.
+	recheck := make([]int, nCheck)
+	for j := 0; j < nCheck; j++ {
+		fan := []int{k[j]}
+		for i := 0; i < nData; i++ {
+			if codes[i]>>uint(j)&1 == 1 {
+				fan = append(fan, f[i])
+			}
+		}
+		recheck[j] = xorTree(c, fmt.Sprintf("rc%d", j), fan)
+	}
+	ok := c.AddGate("ok", netlist.Nor, recheck[0], recheck[1], recheck[2], recheck[3], recheck[4])
+
+	// Tag parity chain folded with the double-error and validity flags.
+	tfan := append(append([]int{}, t...), derr, ok)
+	tpar := xorTree(c, "tpar", tfan)
+
+	for i := 0; i < nData; i++ {
+		c.MarkOutput(f[i])
+	}
+	for j := 0; j < nCheck; j++ {
+		c.MarkOutput(s[j])
+	}
+	c.MarkOutput(s5)
+	c.MarkOutput(errNet)
+	c.MarkOutput(derr)
+	c.MarkOutput(tpar)
+
+	// Match C1908's NAND-dominated, two-input implementation style.
+	e := c.ExpandXOR().Decompose2()
+	e.Name = "c1908s"
+	return e
+}

@@ -1,0 +1,107 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// buildC432s constructs a 27-request priority interrupt controller in the
+// same interface class as ISCAS-85 C432 (36 PI, 7 PO): 27 request lines in
+// nine groups of three, nine per-group enable lines, a fixed-priority
+// resolver (group 0 highest), a 4-bit group encoder, a valid flag and a
+// 2-bit within-group position encoder.
+//
+// Inputs (36): r0..r26 request lines, e0..e8 group enables.
+// Outputs (7): any (some enabled request active), v3..v0 (binary index of
+// the highest-priority active group), q1..q0 (binary index of the
+// highest-priority active request within the winning group).
+func buildC432s() *netlist.Circuit {
+	c := netlist.New("c432s")
+	r := make([]int, 27)
+	for i := range r {
+		r[i] = c.AddInput(fmt.Sprintf("r%d", i))
+	}
+	e := make([]int, 9)
+	for gidx := range e {
+		e[gidx] = c.AddInput(fmt.Sprintf("e%d", gidx))
+	}
+
+	// Gated requests and per-group activity.
+	gated := make([][]int, 9)
+	act := make([]int, 9)
+	for gidx := 0; gidx < 9; gidx++ {
+		gated[gidx] = make([]int, 3)
+		for j := 0; j < 3; j++ {
+			gated[gidx][j] = c.AddGate(fmt.Sprintf("t%d_%d", gidx, j), netlist.And, r[3*gidx+j], e[gidx])
+		}
+		act[gidx] = c.AddGate(fmt.Sprintf("act%d", gidx), netlist.Or, gated[gidx][0], gated[gidx][1], gated[gidx][2])
+	}
+
+	// Priority resolution: win_g = act_g AND no higher-priority activity.
+	// Only groups 0..7 need their complement (group 8 is lowest priority).
+	nact := make([]int, 8)
+	for gidx := 0; gidx < 8; gidx++ {
+		nact[gidx] = c.AddGate(fmt.Sprintf("nact%d", gidx), netlist.Not, act[gidx])
+	}
+	win := make([]int, 9)
+	win[0] = c.AddGate("win0", netlist.Buff, act[0])
+	for gidx := 1; gidx < 9; gidx++ {
+		fan := make([]int, 0, gidx+1)
+		fan = append(fan, act[gidx])
+		for h := 0; h < gidx; h++ {
+			fan = append(fan, nact[h])
+		}
+		win[gidx] = c.AddGate(fmt.Sprintf("win%d", gidx), netlist.And, fan...)
+	}
+
+	// Group index encoder (win is one-hot or all-zero).
+	encBit := func(name string, bit int) int {
+		fan := []int{}
+		for gidx := 0; gidx < 9; gidx++ {
+			if gidx>>uint(bit)&1 == 1 {
+				fan = append(fan, win[gidx])
+			}
+		}
+		switch len(fan) {
+		case 0:
+			panic("c432s: empty encoder column")
+		case 1:
+			return c.AddGate(name, netlist.Buff, fan[0])
+		default:
+			return c.AddGate(name, netlist.Or, fan...)
+		}
+	}
+	v0 := encBit("v0", 0)
+	v1 := encBit("v1", 1)
+	v2 := encBit("v2", 2)
+	v3 := encBit("v3", 3)
+
+	anyAct := c.AddGate("any", netlist.Or,
+		act[0], act[1], act[2], act[3], act[4], act[5], act[6], act[7], act[8])
+
+	// Winning group's request lines, ORed across groups.
+	rsel := make([]int, 3)
+	for j := 0; j < 3; j++ {
+		fan := make([]int, 9)
+		for gidx := 0; gidx < 9; gidx++ {
+			fan[gidx] = c.AddGate(fmt.Sprintf("sel%d_%d", gidx, j), netlist.And, win[gidx], gated[gidx][j])
+		}
+		rsel[j] = c.AddGate(fmt.Sprintf("rsel%d", j), netlist.Or, fan...)
+	}
+	// Position encoder within the winning group (request 0 highest):
+	// q = 00 for j0, 01 for j1, 10 for j2, 00 when idle.
+	nr0 := c.AddGate("nr0", netlist.Not, rsel[0])
+	nr1 := c.AddGate("nr1", netlist.Not, rsel[1])
+	q0 := c.AddGate("q0", netlist.And, nr0, rsel[1])
+	q1 := c.AddGate("q1", netlist.And, nr0, nr1, rsel[2])
+
+	c.MarkOutput(anyAct)
+	c.MarkOutput(v3)
+	c.MarkOutput(v2)
+	c.MarkOutput(v1)
+	c.MarkOutput(v0)
+	c.MarkOutput(q1)
+	c.MarkOutput(q0)
+	return c
+}

@@ -1,0 +1,110 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// hammingCodes returns n distinct column codes of the given bit width with
+// popcount >= 2 (so data-bit syndromes never collide with check-bit
+// syndromes, which are unit vectors).
+func hammingCodes(n, width int) []uint32 {
+	out := make([]uint32, 0, n)
+	for v := uint32(3); len(out) < n; v++ {
+		if v >= 1<<uint(width) {
+			panic(fmt.Sprintf("circuits: cannot build %d codes of width %d", n, width))
+		}
+		pc := 0
+		for b := 0; b < width; b++ {
+			if v>>uint(b)&1 == 1 {
+				pc++
+			}
+		}
+		if pc >= 2 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// xorTree folds the nets with a left-leaning XOR chain (matching the
+// natural structure of a serial parity network).
+func xorTree(c *netlist.Circuit, prefix string, nets []int) int {
+	if len(nets) == 0 {
+		panic("circuits: empty xor tree")
+	}
+	acc := nets[0]
+	for i := 1; i < len(nets); i++ {
+		acc = c.AddGate(fmt.Sprintf("%s_%d", prefix, i), netlist.Xor, acc, nets[i])
+	}
+	return acc
+}
+
+// buildC499s constructs a 32-bit Hamming single-error corrector standing in
+// for ISCAS-85 C499 (41 PI, 32 PO, XOR-dominated, ~200 gates).
+//
+// Inputs (41): d0..d31 received data, k0..k7 received check bits, en
+// (correction enable). Outputs (32): f0..f31, the corrected data.
+//
+// The syndrome s = k XOR H·d is decoded: when s equals the column code of
+// data bit i and en is high, bit i is flipped on the way out.
+func buildC499s() *netlist.Circuit {
+	const (
+		nData  = 32
+		nCheck = 8
+	)
+	codes := hammingCodes(nData, nCheck)
+	c := netlist.New("c499s")
+	d := make([]int, nData)
+	for i := range d {
+		d[i] = c.AddInput(fmt.Sprintf("d%d", i))
+	}
+	k := make([]int, nCheck)
+	for i := range k {
+		k[i] = c.AddInput(fmt.Sprintf("k%d", i))
+	}
+	en := c.AddInput("en")
+
+	// Syndrome bits: s_j = k_j XOR parity of the data bits whose code has
+	// bit j set.
+	s := make([]int, nCheck)
+	ns := make([]int, nCheck)
+	for j := 0; j < nCheck; j++ {
+		fan := []int{k[j]}
+		for i := 0; i < nData; i++ {
+			if codes[i]>>uint(j)&1 == 1 {
+				fan = append(fan, d[i])
+			}
+		}
+		s[j] = xorTree(c, fmt.Sprintf("s%d", j), fan)
+		ns[j] = c.AddGate(fmt.Sprintf("ns%d", j), netlist.Not, s[j])
+	}
+
+	// Decode and correct.
+	for i := 0; i < nData; i++ {
+		fan := make([]int, 0, nCheck+1)
+		fan = append(fan, en)
+		for j := 0; j < nCheck; j++ {
+			if codes[i]>>uint(j)&1 == 1 {
+				fan = append(fan, s[j])
+			} else {
+				fan = append(fan, ns[j])
+			}
+		}
+		corr := c.AddGate(fmt.Sprintf("corr%d", i), netlist.And, fan...)
+		f := c.AddGate(fmt.Sprintf("f%d", i), netlist.Xor, d[i], corr)
+		c.MarkOutput(f)
+	}
+	return c
+}
+
+// buildC1355s is buildC499s with every XOR expanded into its four-NAND
+// equivalent — by construction functionally identical to c499s, exactly
+// the relationship between ISCAS-85 C499 and C1355 that drives the paper's
+// "minimal designs are more testable" observation.
+func buildC1355s() *netlist.Circuit {
+	e := buildC499s().ExpandXOR()
+	e.Name = "c1355s"
+	return e
+}

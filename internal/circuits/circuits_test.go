@@ -1,0 +1,524 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestCatalogShapes(t *testing.T) {
+	want := []struct {
+		name   string
+		nPI    int
+		nPO    int
+		minGat int
+		maxGat int
+	}{
+		{"c17", 5, 2, 6, 6},
+		{"fadd", 3, 2, 5, 5},
+		{"c95s", 8, 8, 60, 140},
+		{"alu181", 14, 8, 50, 110},
+		{"c432s", 36, 7, 90, 260},
+		{"c499s", 41, 32, 150, 320},
+		{"c1355s", 41, 32, 450, 1100},
+		{"c1908s", 33, 25, 500, 1400},
+	}
+	if len(Names()) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(Names()), len(want))
+	}
+	for i, w := range want {
+		if Names()[i] != w.name {
+			t.Fatalf("catalog order: got %s at %d, want %s", Names()[i], i, w.name)
+		}
+		c := MustGet(w.name)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if len(c.Inputs) != w.nPI || len(c.Outputs) != w.nPO {
+			t.Errorf("%s: %d PI / %d PO, want %d / %d", w.name, len(c.Inputs), len(c.Outputs), w.nPI, w.nPO)
+		}
+		if g := c.NumGates(); g < w.minGat || g > w.maxGat {
+			t.Errorf("%s: %d gates, want within [%d, %d]", w.name, g, w.minGat, w.maxGat)
+		}
+	}
+}
+
+func TestGetCachesAndRejectsUnknown(t *testing.T) {
+	a := MustGet("c17")
+	b := MustGet("c17")
+	if a != b {
+		t.Fatal("Get must return the shared cached instance")
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("unknown circuit must error")
+	}
+	if e, ok := Lookup("c499s"); !ok || e.PaperName != "C499" {
+		t.Fatal("Lookup broken")
+	}
+	if _, ok := Lookup("zzz"); ok {
+		t.Fatal("Lookup must miss unknown names")
+	}
+}
+
+func TestFaddTruth(t *testing.T) {
+	c := MustGet("fadd")
+	for i := 0; i < 8; i++ {
+		a, b, cin := i&1, i>>1&1, i>>2&1
+		out := c.EvalBool([]bool{a == 1, b == 1, cin == 1})
+		total := a + b + cin
+		if out[0] != (total%2 == 1) || out[1] != (total >= 2) {
+			t.Fatalf("fadd(%d,%d,%d) = %v", a, b, cin, out)
+		}
+	}
+}
+
+func TestC95sIsA4x4Multiplier(t *testing.T) {
+	c := MustGet("c95s")
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>i&1 == 1
+				in[4+i] = b>>i&1 == 1
+			}
+			out := c.EvalBool(in)
+			got := 0
+			for i, v := range out {
+				if v {
+					got |= 1 << i
+				}
+			}
+			if got != a*b {
+				t.Fatalf("c95s(%d, %d) = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+// alu181Behavioral computes the reference outputs from the X/Y carry
+// equations, independently of the gate netlist.
+func alu181Behavioral(a, b, s int, m, cn bool) (f int, cn4, p, g, aeqb bool) {
+	bit := func(v, i int) bool { return v>>uint(i)&1 == 1 }
+	var x, y [4]bool
+	for i := 0; i < 4; i++ {
+		ai, bi := bit(a, i), bit(b, i)
+		x[i] = !(ai || (bi && bit(s, 0)) || (!bi && bit(s, 1)))
+		y[i] = !((ai && !bi && bit(s, 2)) || (ai && bi && bit(s, 3)))
+	}
+	carry := [5]bool{!cn}
+	for k := 0; k < 4; k++ {
+		carry[k+1] = !y[k] || (!x[k] && carry[k])
+	}
+	for i := 0; i < 4; i++ {
+		z := m || carry[i]
+		if (x[i] != y[i]) != z {
+			f |= 1 << i
+		}
+	}
+	cn4 = !carry[4]
+	p = !(!x[0] && !x[1] && !x[2] && !x[3])
+	gg := !y[3] || (!x[3] && !y[2]) || (!x[3] && !x[2] && !y[1]) || (!x[3] && !x[2] && !x[1] && !y[0])
+	g = !gg
+	aeqb = f == 15
+	return
+}
+
+func alu181Inputs(a, b, s int, m, cn bool) []bool {
+	in := make([]bool, 14)
+	for i := 0; i < 4; i++ {
+		in[i] = a>>i&1 == 1
+		in[4+i] = b>>i&1 == 1
+		in[8+i] = s>>i&1 == 1
+	}
+	in[12] = m
+	in[13] = cn
+	return in
+}
+
+func TestALU181AgainstBehavioralExhaustive(t *testing.T) {
+	c := MustGet("alu181")
+	for v := 0; v < 1<<14; v++ {
+		a := v & 15
+		b := v >> 4 & 15
+		s := v >> 8 & 15
+		m := v>>12&1 == 1
+		cn := v>>13&1 == 1
+		out := c.EvalBool(alu181Inputs(a, b, s, m, cn))
+		f := 0
+		for i := 0; i < 4; i++ {
+			if out[i] {
+				f |= 1 << i
+			}
+		}
+		wf, wcn4, wp, wg, waeqb := alu181Behavioral(a, b, s, m, cn)
+		if f != wf || out[4] != wcn4 || out[5] != wp || out[6] != wg || out[7] != waeqb {
+			t.Fatalf("alu181(a=%d b=%d s=%04b m=%v cn=%v): F=%d cn4=%v p=%v g=%v aeqb=%v, want F=%d cn4=%v p=%v g=%v aeqb=%v",
+				a, b, s, m, cn, f, out[4], out[5], out[6], out[7], wf, wcn4, wp, wg, waeqb)
+		}
+	}
+}
+
+// TestALU181DatasheetModes pins the netlist to the well-known 74181
+// function table entries rather than to our own equations.
+func TestALU181DatasheetModes(t *testing.T) {
+	c := MustGet("alu181")
+	fOf := func(a, b, s int, m, cn bool) int {
+		out := c.EvalBool(alu181Inputs(a, b, s, m, cn))
+		f := 0
+		for i := 0; i < 4; i++ {
+			if out[i] {
+				f |= 1 << i
+			}
+		}
+		return f
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			// Logic modes (M=1).
+			if got := fOf(a, b, 0b0000, true, true); got != ^a&15 {
+				t.Fatalf("S=0000 M=1: F(%d)=%d, want NOT A", a, got)
+			}
+			if got := fOf(a, b, 0b1111, true, true); got != a {
+				t.Fatalf("S=1111 M=1: F=%d, want A=%d", got, a)
+			}
+			if got := fOf(a, b, 0b1010, true, true); got != b {
+				t.Fatalf("S=1010 M=1: F=%d, want B=%d", got, b)
+			}
+			if got := fOf(a, b, 0b0110, true, true); got != a^b {
+				t.Fatalf("S=0110 M=1: F=%d, want A xor B=%d", got, a^b)
+			}
+			if got := fOf(a, b, 0b1011, true, true); got != a&b {
+				t.Fatalf("S=1011 M=1: F=%d, want AB=%d", got, a&b)
+			}
+			if got := fOf(a, b, 0b1110, true, true); got != a|b {
+				t.Fatalf("S=1110 M=1: F=%d, want A+B=%d", got, a|b)
+			}
+			// Arithmetic modes (M=0); cn high means "no carry" for
+			// active-high data.
+			if got := fOf(a, b, 0b1001, false, true); got != (a+b)&15 {
+				t.Fatalf("S=1001 M=0 Cn=1: F=%d, want A plus B=%d", got, (a+b)&15)
+			}
+			if got := fOf(a, b, 0b1001, false, false); got != (a+b+1)&15 {
+				t.Fatalf("S=1001 M=0 Cn=0: F=%d, want A plus B plus 1=%d", got, (a+b+1)&15)
+			}
+			if got := fOf(a, b, 0b0110, false, true); got != (a-b-1)&15 {
+				t.Fatalf("S=0110 M=0 Cn=1: F=%d, want A minus B minus 1=%d", got, (a-b-1)&15)
+			}
+			if got := fOf(a, b, 0b0000, false, true); got != a {
+				t.Fatalf("S=0000 M=0 Cn=1: F=%d, want A=%d", got, a)
+			}
+			if got := fOf(a, b, 0b1100, false, true); got != (a+a)&15 {
+				t.Fatalf("S=1100 M=0 Cn=1: F=%d, want A plus A=%d", got, (a+a)&15)
+			}
+		}
+	}
+	// Carry-out spot checks: adding with a resulting carry drives cn4 low
+	// (active-low, matching cn's polarity).
+	out := c.EvalBool(alu181Inputs(15, 1, 0b1001, false, true))
+	if out[4] != false {
+		t.Fatal("15 plus 1 must produce a carry (cn4 low)")
+	}
+	out = c.EvalBool(alu181Inputs(1, 1, 0b1001, false, true))
+	if out[4] != true {
+		t.Fatal("1 plus 1 must not produce a carry (cn4 high)")
+	}
+}
+
+// c432sBehavioral is the reference model of the priority controller.
+func c432sBehavioral(r [27]bool, e [9]bool) (any bool, v int, q int) {
+	act := [9]bool{}
+	var gated [9][3]bool
+	for g := 0; g < 9; g++ {
+		for j := 0; j < 3; j++ {
+			gated[g][j] = r[3*g+j] && e[g]
+			act[g] = act[g] || gated[g][j]
+		}
+	}
+	winner := -1
+	for g := 0; g < 9; g++ {
+		if act[g] {
+			winner = g
+			any = true
+			break
+		}
+	}
+	if winner < 0 {
+		return false, 0, 0
+	}
+	v = winner
+	for j := 0; j < 3; j++ {
+		if gated[winner][j] {
+			q = j
+			break
+		}
+	}
+	return
+}
+
+func TestC432sAgainstBehavioral(t *testing.T) {
+	c := MustGet("c432s")
+	rng := rand.New(rand.NewSource(41))
+	check := func(r [27]bool, e [9]bool) {
+		t.Helper()
+		in := make([]bool, 36)
+		for i := 0; i < 27; i++ {
+			in[i] = r[i]
+		}
+		for i := 0; i < 9; i++ {
+			in[27+i] = e[i]
+		}
+		out := c.EvalBool(in)
+		wantAny, wantV, wantQ := c432sBehavioral(r, e)
+		gotV := 0
+		for i := 0; i < 4; i++ {
+			if out[1+i] {
+				gotV |= 1 << (3 - i)
+			}
+		}
+		gotQ := 0
+		if out[5] {
+			gotQ |= 2
+		}
+		if out[6] {
+			gotQ |= 1
+		}
+		if out[0] != wantAny {
+			t.Fatalf("any = %v, want %v (r=%v e=%v)", out[0], wantAny, r, e)
+		}
+		if wantAny && (gotV != wantV || gotQ != wantQ) {
+			t.Fatalf("v=%d q=%d, want v=%d q=%d (r=%v e=%v)", gotV, gotQ, wantV, wantQ, r, e)
+		}
+	}
+	// Directed cases: single request at every position, all enables on.
+	for i := 0; i < 27; i++ {
+		var r [27]bool
+		var e [9]bool
+		for g := range e {
+			e[g] = true
+		}
+		r[i] = true
+		check(r, e)
+	}
+	// Disabled groups must be invisible to priority.
+	{
+		var r [27]bool
+		var e [9]bool
+		r[0], r[26] = true, true
+		e[8] = true // only group 8 enabled; winner must be group 8
+		check(r, e)
+	}
+	// Random cases.
+	for trial := 0; trial < 4000; trial++ {
+		var r [27]bool
+		var e [9]bool
+		for i := range r {
+			r[i] = rng.Intn(2) == 1
+		}
+		for i := range e {
+			e[i] = rng.Intn(3) > 0
+		}
+		check(r, e)
+	}
+}
+
+// hammingEncode32 computes the 8 check bits for 32 data bits using the same
+// column codes as the circuit generator.
+func hammingEncode32(data uint32) uint8 {
+	codes := hammingCodes(32, 8)
+	var k uint8
+	for i := 0; i < 32; i++ {
+		if data>>uint(i)&1 == 1 {
+			k ^= uint8(codes[i])
+		}
+	}
+	return k
+}
+
+func c499sEval(t *testing.T, c *netlist.Circuit, data uint32, check uint8, en bool) uint32 {
+	t.Helper()
+	in := make([]bool, 41)
+	for i := 0; i < 32; i++ {
+		in[i] = data>>uint(i)&1 == 1
+	}
+	for i := 0; i < 8; i++ {
+		in[32+i] = check>>uint(i)&1 == 1
+	}
+	in[40] = en
+	out := c.EvalBool(in)
+	var got uint32
+	for i, v := range out {
+		if v {
+			got |= 1 << uint(i)
+		}
+	}
+	return got
+}
+
+func testSECCircuit(t *testing.T, name string) {
+	c := MustGet(name)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		data := rng.Uint32()
+		check := hammingEncode32(data)
+		// Clean word passes through.
+		if got := c499sEval(t, c, data, check, true); got != data {
+			t.Fatalf("%s: clean word %08x corrupted to %08x", name, data, got)
+		}
+		// Any single data-bit error is corrected when enabled.
+		bit := uint(rng.Intn(32))
+		if got := c499sEval(t, c, data^(1<<bit), check, true); got != data {
+			t.Fatalf("%s: data error at %d not corrected: %08x -> %08x", name, bit, data, got)
+		}
+		// ...and passed through unmodified when disabled.
+		if got := c499sEval(t, c, data^(1<<bit), check, false); got != data^(1<<bit) {
+			t.Fatalf("%s: en=0 must not correct", name)
+		}
+		// A single check-bit error must not corrupt the data.
+		cbit := uint(rng.Intn(8))
+		if got := c499sEval(t, c, data, check^(1<<cbit), true); got != data {
+			t.Fatalf("%s: check error at %d corrupted data", name, cbit)
+		}
+	}
+}
+
+func TestC499sCorrectsSingleErrors(t *testing.T) { testSECCircuit(t, "c499s") }
+
+func TestC1355sIsC499sExpanded(t *testing.T) {
+	testSECCircuit(t, "c1355s")
+	a := MustGet("c499s")
+	b := MustGet("c1355s")
+	// Identical function on random vectors — the paper's central pair.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		in := make([]bool, 41)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa, ob := a.EvalBool(in), b.EvalBool(in)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("c499s and c1355s differ at output %d", j)
+			}
+		}
+	}
+	// No XORs remain and the circuit grew substantially.
+	for _, g := range b.Gates {
+		if g.Type == netlist.Xor || g.Type == netlist.Xnor {
+			t.Fatal("c1355s still contains XOR gates")
+		}
+	}
+	if b.NumGates() < 2*a.NumGates() {
+		t.Fatalf("expansion too small: %d -> %d gates", a.NumGates(), b.NumGates())
+	}
+}
+
+// c1908s reference model.
+func hammingEncode16(data uint16) (k uint8, overall bool) {
+	codes := hammingCodes(16, 5)
+	for i := 0; i < 16; i++ {
+		if data>>uint(i)&1 == 1 {
+			k ^= uint8(codes[i])
+			overall = !overall
+		}
+	}
+	for j := 0; j < 5; j++ {
+		if k>>uint(j)&1 == 1 {
+			overall = !overall
+		}
+	}
+	return
+}
+
+func c1908sEval(t *testing.T, data uint16, k uint8, kp bool, enc, end bool, tags uint16) (f uint16, s uint8, errF, derr, tpar bool) {
+	t.Helper()
+	c := MustGet("c1908s")
+	in := make([]bool, 33)
+	for i := 0; i < 16; i++ {
+		in[i] = data>>uint(i)&1 == 1
+	}
+	for j := 0; j < 5; j++ {
+		in[16+j] = k>>uint(j)&1 == 1
+	}
+	in[21] = kp
+	in[22] = enc
+	in[23] = end
+	for i := 0; i < 9; i++ {
+		in[24+i] = tags>>uint(i)&1 == 1
+	}
+	out := c.EvalBool(in)
+	for i := 0; i < 16; i++ {
+		if out[i] {
+			f |= 1 << uint(i)
+		}
+	}
+	for j := 0; j < 6; j++ {
+		if out[16+j] {
+			s |= 1 << uint(j)
+		}
+	}
+	return f, s, out[22], out[23], out[24]
+}
+
+func TestC1908sSECDED(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 120; trial++ {
+		data := uint16(rng.Uint32())
+		k, kp := hammingEncode16(data)
+		tags := uint16(rng.Uint32() & 0x1ff)
+		tagPar := false
+		for i := 0; i < 9; i++ {
+			if tags>>uint(i)&1 == 1 {
+				tagPar = !tagPar
+			}
+		}
+		// Clean word: no error flags, syndrome zero, data unchanged; the
+		// tag chain sees derr=0 and ok=1, so tpar = !tagPar.
+		f, s, e, de, tp := c1908sEval(t, data, k, kp, true, true, tags)
+		if f != data || s != 0 || e || de || tp == tagPar {
+			t.Fatalf("clean word misbehaves: f=%04x s=%02x err=%v derr=%v tpar=%v", f, s, e, de, tp)
+		}
+		// Single data error: corrected, err flagged.
+		bit := uint(rng.Intn(16))
+		f, _, e, de, _ = c1908sEval(t, data^(1<<bit), k, kp, true, true, tags)
+		if f != data || !e || de {
+			t.Fatalf("single error at %d: f=%04x err=%v derr=%v", bit, f, e, de)
+		}
+		// Double data error: detected, not "corrected" into the decoder
+		// (derr set, err clear).
+		b2 := (bit + 1 + uint(rng.Intn(15))) % 16
+		_, _, e, de, tp = c1908sEval(t, data^(1<<bit)^(1<<b2), k, kp, true, true, tags)
+		if e || !de {
+			t.Fatalf("double error %d,%d: err=%v derr=%v", bit, b2, e, de)
+		}
+		if tp == tagPar {
+			t.Fatal("derr must fold into tag parity")
+		}
+		// Detection disabled: flags quiet.
+		_, _, e, de, _ = c1908sEval(t, data^(1<<bit), k, kp, true, false, tags)
+		if e || de {
+			t.Fatal("end=0 must silence flags")
+		}
+		// Correction disabled: faulty bit survives.
+		f, _, _, _, _ = c1908sEval(t, data^(1<<bit), k, kp, false, true, tags)
+		if f != data^(1<<bit) {
+			t.Fatal("enc=0 must not correct")
+		}
+	}
+}
+
+func TestC1908sIsTwoInputNandStyle(t *testing.T) {
+	c := MustGet("c1908s")
+	counts := c.TypeCounts()
+	if counts[netlist.Xor] != 0 || counts[netlist.Xnor] != 0 {
+		t.Fatal("c1908s must be XOR-free")
+	}
+	for _, g := range c.Gates {
+		if len(g.Fanin) > 2 {
+			t.Fatalf("gate %s has %d inputs", g.Name, len(g.Fanin))
+		}
+	}
+	if counts[netlist.Nand] < c.NumGates()/2 {
+		t.Fatalf("c1908s should be NAND-dominated: %v", counts)
+	}
+}

@@ -1,0 +1,231 @@
+// Package diagnose builds full-response fault dictionaries from
+// Difference Propagation's per-output complete test sets and locates
+// faults from observed tester responses.
+//
+// Because DP yields, for every fault, the exact difference function at
+// every primary output, the dictionary entry for (fault, vector, output)
+// is just an evaluation of that function — no fault simulation pass is
+// required, though the tests cross-check every signature against the
+// independent simulator. The paper's §4.2 observation that stuck-at
+// models fit bridging defects poorly shows up here as bridging responses
+// that match no stuck-at dictionary entry exactly.
+package diagnose
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+// Signature is a bitset over (vector, output) pairs: bit v*numPOs+o is
+// set when the fault makes output o differ from the good value under
+// vector v.
+type Signature []uint64
+
+func newSignature(nBits int) Signature { return make(Signature, (nBits+63)/64) }
+
+func (s Signature) set(i int)      { s[i/64] |= 1 << uint(i%64) }
+func (s Signature) get(i int) bool { return s[i/64]>>uint(i%64)&1 == 1 }
+
+// Empty reports whether no bit is set (the fault never fails a test).
+func (s Signature) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Distance returns the Hamming distance between two signatures.
+func (s Signature) Distance(o Signature) int {
+	if len(s) != len(o) {
+		panic("diagnose: signature width mismatch")
+	}
+	d := 0
+	for i := range s {
+		d += bits.OnesCount64(s[i] ^ o[i])
+	}
+	return d
+}
+
+// Equal reports whether two signatures are identical.
+func (s Signature) Equal(o Signature) bool { return s.Distance(o) == 0 }
+
+// Dictionary is a full-response stuck-at fault dictionary over a fixed
+// test set.
+type Dictionary struct {
+	Circuit *netlist.Circuit
+	Faults  []faults.StuckAt
+	Vectors [][]bool
+
+	numPOs int
+	sigs   []Signature
+	// classes groups fault indices with identical signatures — the
+	// diagnostic equivalence classes.
+	classes map[string][]int
+}
+
+// Build constructs the dictionary by evaluating each fault's per-output
+// difference functions on every vector.
+func Build(e *diffprop.Engine, fs []faults.StuckAt, vectors [][]bool) *Dictionary {
+	c := e.Circuit
+	d := &Dictionary{
+		Circuit: c,
+		Faults:  append([]faults.StuckAt(nil), fs...),
+		Vectors: vectors,
+		numPOs:  len(c.Outputs),
+		classes: map[string][]int{},
+	}
+	assignments := make([][]bool, len(vectors))
+	for i, v := range vectors {
+		assignments[i] = e.Assignment(v)
+	}
+	m := e.Manager()
+	for fi, f := range fs {
+		res := e.StuckAt(f)
+		sig := newSignature(len(vectors) * d.numPOs)
+		for o, delta := range res.PerPO {
+			if delta == 0 { // bdd.False
+				continue
+			}
+			for vi, a := range assignments {
+				if m.Eval(delta, a) {
+					sig.set(vi*d.numPOs + o)
+				}
+			}
+		}
+		d.sigs = append(d.sigs, sig)
+		d.classes[sigKey(sig)] = append(d.classes[sigKey(sig)], fi)
+	}
+	return d
+}
+
+func sigKey(s Signature) string {
+	b := make([]byte, 0, len(s)*8)
+	for _, w := range s {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(w>>uint(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// SignatureOf returns fault i's expected response signature.
+func (d *Dictionary) SignatureOf(i int) Signature { return d.sigs[i] }
+
+// NumClasses returns the number of distinct signatures — the diagnostic
+// resolution of the test set (higher is better; equal to len(Faults) when
+// every fault is distinguishable).
+func (d *Dictionary) NumClasses() int { return len(d.classes) }
+
+// Candidate is one diagnosis hypothesis.
+type Candidate struct {
+	FaultIndex int
+	Fault      faults.StuckAt
+	Distance   int
+}
+
+// Diagnose returns the faults whose dictionary signature matches the
+// observed response exactly (distance 0); an empty result means the
+// observed behavior is inconsistent with every modeled stuck-at fault —
+// e.g. a bridging defect, per the paper's model-mismatch observation.
+func (d *Dictionary) Diagnose(observed Signature) []Candidate {
+	var out []Candidate
+	for _, fi := range d.classes[sigKey(observed)] {
+		out = append(out, Candidate{FaultIndex: fi, Fault: d.Faults[fi], Distance: 0})
+	}
+	return out
+}
+
+// Rank returns the k nearest dictionary entries by Hamming distance to
+// the observed response, ties broken by fault index.
+func (d *Dictionary) Rank(observed Signature, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, k)
+	worst := -1
+	for fi := range d.sigs {
+		dist := d.sigs[fi].Distance(observed)
+		if len(out) < k {
+			out = append(out, Candidate{FaultIndex: fi, Fault: d.Faults[fi], Distance: dist})
+			if dist > worst {
+				worst = dist
+			}
+			continue
+		}
+		if dist >= worst {
+			continue
+		}
+		// Replace the current worst entry.
+		wi, wd := 0, -1
+		for i, c := range out {
+			if c.Distance > wd {
+				wi, wd = i, c.Distance
+			}
+		}
+		out[wi] = Candidate{FaultIndex: fi, Fault: d.Faults[fi], Distance: dist}
+		worst = 0
+		for _, c := range out {
+			if c.Distance > worst {
+				worst = c.Distance
+			}
+		}
+	}
+	// Sort by (distance, index).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Distance < a.Distance || (b.Distance == a.Distance && b.FaultIndex < a.FaultIndex) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ObserveStuckAt produces the response signature a device with the given
+// stuck-at fault shows on the dictionary's test set, via the independent
+// fault simulator (per-output comparison).
+func ObserveStuckAt(c *netlist.Circuit, f faults.StuckAt, vectors [][]bool) Signature {
+	return observe(c, vectors, func(single *netlist.Circuit, p *simulate.Patterns) []uint64 {
+		return simulate.DetectStuckAt(single, f, p)
+	})
+}
+
+// ObserveBridging produces the response signature of a bridging defect on
+// the same test set.
+func ObserveBridging(c *netlist.Circuit, b faults.Bridging, vectors [][]bool) Signature {
+	return observe(c, vectors, func(single *netlist.Circuit, p *simulate.Patterns) []uint64 {
+		return simulate.DetectBridging(single, b, p)
+	})
+}
+
+func observe(c *netlist.Circuit, vectors [][]bool, detect func(*netlist.Circuit, *simulate.Patterns) []uint64) Signature {
+	p := simulate.FromVectors(len(c.Inputs), vectors)
+	sig := newSignature(len(vectors) * len(c.Outputs))
+	for o, net := range c.Outputs {
+		single := c.Clone()
+		single.Outputs = []int{net}
+		mask := detect(single, p)
+		for vi := 0; vi < len(vectors); vi++ {
+			if mask[vi/64]>>uint(vi%64)&1 == 1 {
+				sig.set(vi*len(c.Outputs) + o)
+			}
+		}
+	}
+	return sig
+}
+
+// Resolution summarizes a dictionary's diagnostic power.
+func (d *Dictionary) Resolution() string {
+	return fmt.Sprintf("%d faults in %d distinguishable classes over %d vectors x %d POs",
+		len(d.Faults), d.NumClasses(), len(d.Vectors), d.numPOs)
+}

@@ -1,0 +1,150 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+)
+
+func buildDict(t testing.TB, name string) (*Dictionary, *diffprop.Engine) {
+	t.Helper()
+	e, err := diffprop.New(circuits.MustGet(name), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	gen := atpg.GenerateStuckAt(e, fs, 11)
+	vectors := gen.Vectors
+	return Build(e, fs, vectors), e
+}
+
+func TestSignatureOps(t *testing.T) {
+	s := newSignature(130)
+	if !s.Empty() {
+		t.Fatal("fresh signature must be empty")
+	}
+	s.set(0)
+	s.set(129)
+	if !s.get(0) || !s.get(129) || s.get(64) {
+		t.Fatal("bit ops wrong")
+	}
+	o := newSignature(130)
+	o.set(129)
+	if s.Distance(o) != 1 || o.Distance(s) != 1 {
+		t.Fatal("distance wrong")
+	}
+	if s.Equal(o) {
+		t.Fatal("unequal signatures reported equal")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch must panic")
+		}
+	}()
+	s.Distance(newSignature(10))
+}
+
+func TestDictionaryMatchesSimulator(t *testing.T) {
+	// Every DP-derived signature must equal the simulator-derived
+	// response of a device carrying that fault.
+	d, e := buildDict(t, "c95s")
+	w := e.Circuit
+	for i, f := range d.Faults {
+		obs := ObserveStuckAt(w, f, d.Vectors)
+		if !d.SignatureOf(i).Equal(obs) {
+			t.Fatalf("signature mismatch for %v", f.Describe(w))
+		}
+	}
+}
+
+func TestDiagnoseRecoversInjectedFault(t *testing.T) {
+	d, e := buildDict(t, "c95s")
+	w := e.Circuit
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		fi := rng.Intn(len(d.Faults))
+		obs := ObserveStuckAt(w, d.Faults[fi], d.Vectors)
+		cands := d.Diagnose(obs)
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for injected %v", d.Faults[fi].Describe(w))
+		}
+		found := false
+		for _, c := range cands {
+			if c.FaultIndex == fi {
+				found = true
+			}
+			if c.Distance != 0 {
+				t.Fatal("Diagnose must return exact matches only")
+			}
+		}
+		if !found {
+			t.Fatalf("injected fault %v missing from its own equivalence class", d.Faults[fi].Describe(w))
+		}
+		// Rank must agree: the nearest candidate has distance 0.
+		top := d.Rank(obs, 3)
+		if len(top) == 0 || top[0].Distance != 0 {
+			t.Fatal("Rank disagrees with Diagnose")
+		}
+	}
+}
+
+func TestDiagnosticResolution(t *testing.T) {
+	d, _ := buildDict(t, "c95s")
+	if d.NumClasses() < len(d.Faults)/2 {
+		t.Fatalf("resolution suspiciously poor: %s", d.Resolution())
+	}
+	if d.NumClasses() > len(d.Faults) {
+		t.Fatal("more classes than faults")
+	}
+	if d.Resolution() == "" {
+		t.Fatal("empty resolution summary")
+	}
+}
+
+func TestBridgingDefectsOftenEscapeTheDictionary(t *testing.T) {
+	// The paper's model-mismatch observation as a diagnosis statement:
+	// a substantial share of bridging responses match no stuck-at entry.
+	d, e := buildDict(t, "c95s")
+	w := e.Circuit
+	bs := faults.AllNFBFs(w, faults.WiredAND)
+	rng := rand.New(rand.NewSource(17))
+	misses, trials := 0, 60
+	for i := 0; i < trials; i++ {
+		b := bs[rng.Intn(len(bs))]
+		obs := ObserveBridging(w, b, d.Vectors)
+		if obs.Empty() {
+			continue // unexcited by this set; not informative
+		}
+		if len(d.Diagnose(obs)) == 0 {
+			misses++
+		}
+		// Rank must still produce nearest hypotheses.
+		if top := d.Rank(obs, 2); len(top) != 2 {
+			t.Fatal("Rank must return k candidates")
+		}
+	}
+	if misses == 0 {
+		t.Fatal("every bridging response matched a stuck-at signature — mismatch claim not exercised")
+	}
+}
+
+func TestRankEdgeCases(t *testing.T) {
+	d, _ := buildDict(t, "fadd")
+	obs := newSignature(len(d.Vectors) * 2)
+	if d.Rank(obs, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	all := d.Rank(obs, len(d.Faults)+10)
+	if len(all) != len(d.Faults) {
+		t.Fatalf("oversized k returns %d, want %d", len(all), len(d.Faults))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Distance < all[i-1].Distance {
+			t.Fatal("rank not sorted by distance")
+		}
+	}
+}

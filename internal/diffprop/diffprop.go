@@ -1,0 +1,686 @@
+// Package diffprop implements Difference Propagation, the paper's core
+// contribution (§3): an OBDD-based functional analysis that computes, for
+// any logical fault, the complete test set as a Boolean function of the
+// primary inputs and therefore the exact detection probability.
+//
+// For every net i the engine holds the good function f_i. A fault defines
+// a difference function Δf_i = f_i ⊕ F_i (good XOR faulty) at its site;
+// the engine propagates differences toward the primary outputs using the
+// ring-sum identities of Table 1, which need only the good functions and
+// the input differences:
+//
+//	AND/NAND: ΔC = f_A·Δ_B ⊕ f_B·Δ_A ⊕ Δ_A·Δ_B
+//	OR/NOR:   ΔC = ¬f_A·Δ_B ⊕ ¬f_B·Δ_A ⊕ Δ_A·Δ_B
+//	XOR/XNOR: ΔC = Δ_A ⊕ Δ_B
+//	NOT/BUFF: ΔC = Δ_A
+//
+// (output inversion leaves a difference unchanged). Gates with more than
+// two inputs are decomposed into two-input trees first, exactly as §3
+// prescribes, and — in the manner of selective trace — a gate is only
+// evaluated while some input difference is non-zero.
+package diffprop
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Order lists the primary input names in BDD variable order. Empty
+	// selects the DFS-from-outputs heuristic (DFSOrder), which interleaves
+	// related inputs; pass Circuit.InputNames() to force the benchmark
+	// declaration order the paper used.
+	Order []string
+	// RebuildLimit triggers generational garbage collection of the BDD
+	// manager when the node table exceeds this size. Zero selects a
+	// default.
+	RebuildLimit int
+	// CutThreshold enables the paper's functional decomposition speedup
+	// (§4.2, ref [21]): a net whose good-function BDD exceeds this many
+	// nodes is cut — replaced downstream by a fresh cut variable. Results
+	// then become approximations (the decomposition can mask functional
+	// interactions, exactly as the paper warns for its C499-and-larger
+	// Figure 5 data); detectabilities and syndromes are computed over the
+	// extended variable space. Zero disables cutting (exact analysis).
+	CutThreshold int
+	// MaxCuts bounds the number of cut variables (default 64). When the
+	// budget is exhausted, later oversized nets are kept exact.
+	MaxCuts int
+}
+
+// Engine analyzes one circuit. It is not safe for concurrent use. Results
+// returned by Engine methods hold BDD references that stay valid only
+// until the next Engine call (the engine may compact its manager between
+// faults).
+type Engine struct {
+	// Circuit is the two-input working copy of the analyzed circuit; all
+	// fault sites passed to the engine must refer to ITS net numbering.
+	Circuit *netlist.Circuit
+
+	m            *bdd.Manager
+	good         []bdd.Ref
+	rebuildLimit int
+	rebuilds     int
+
+	// cutNets lists the nets replaced by cut variables under functional
+	// decomposition (empty for exact analysis).
+	cutNets []int
+
+	syndromes []float64
+	synValid  []bool
+}
+
+// New builds an engine for the circuit. The circuit is decomposed to
+// two-input gates internally (original net names are preserved, so
+// NetByName lookups carry over); use Engine.Circuit for fault generation.
+func New(c *netlist.Circuit, opts *Options) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("diffprop: %v", err)
+	}
+	work := c.Decompose2()
+	var order []string
+	if opts != nil && len(opts.Order) > 0 {
+		order = opts.Order
+		if len(order) != len(work.Inputs) {
+			return nil, fmt.Errorf("diffprop: order has %d names for %d inputs", len(order), len(work.Inputs))
+		}
+	} else {
+		order = DFSOrder(work)
+	}
+	cutThreshold := 0
+	maxCuts := 0
+	if opts != nil && opts.CutThreshold > 0 {
+		cutThreshold = opts.CutThreshold
+		maxCuts = opts.MaxCuts
+		if maxCuts <= 0 {
+			maxCuts = 64
+		}
+		// Cut variables sit after the primary inputs in the order.
+		for i := 0; i < maxCuts; i++ {
+			order = append(order, fmt.Sprintf("$cut%d", i))
+		}
+	}
+	m := bdd.New(order...)
+	limit := 4 << 20
+	if opts != nil && opts.RebuildLimit > 0 {
+		limit = opts.RebuildLimit
+	}
+	e := &Engine{
+		Circuit:      work,
+		m:            m,
+		rebuildLimit: limit,
+		syndromes:    make([]float64, work.NumNets()),
+		synValid:     make([]bool, work.NumNets()),
+	}
+	e.good = make([]bdd.Ref, work.NumNets())
+	for id, g := range work.Gates {
+		switch g.Type {
+		case netlist.Input:
+			v := m.VarIndex(g.Name)
+			if v < 0 {
+				return nil, fmt.Errorf("diffprop: order is missing input %q", g.Name)
+			}
+			e.good[id] = m.Var(v)
+		case netlist.Not:
+			e.good[id] = m.Not(e.good[g.Fanin[0]])
+		case netlist.Buff:
+			e.good[id] = e.good[g.Fanin[0]]
+		default:
+			a, b := e.good[g.Fanin[0]], e.good[g.Fanin[1]]
+			switch g.Type {
+			case netlist.And:
+				e.good[id] = m.And(a, b)
+			case netlist.Nand:
+				e.good[id] = m.Nand(a, b)
+			case netlist.Or:
+				e.good[id] = m.Or(a, b)
+			case netlist.Nor:
+				e.good[id] = m.Nor(a, b)
+			case netlist.Xor:
+				e.good[id] = m.Xor(a, b)
+			case netlist.Xnor:
+				e.good[id] = m.Xnor(a, b)
+			default:
+				return nil, fmt.Errorf("diffprop: unsupported gate type %v", g.Type)
+			}
+		}
+		// Functional decomposition: an oversized good function is replaced
+		// downstream by a fresh cut variable.
+		if cutThreshold > 0 && len(e.cutNets) < maxCuts &&
+			!bdd.IsConst(e.good[id]) && m.Size(e.good[id]) > cutThreshold {
+			e.good[id] = m.VarNamed(fmt.Sprintf("$cut%d", len(e.cutNets)))
+			e.cutNets = append(e.cutNets, id)
+		}
+	}
+	return e, nil
+}
+
+// CutNets returns the nets replaced by cut variables under functional
+// decomposition; an empty slice means the analysis is exact.
+func (e *Engine) CutNets() []int { return append([]int(nil), e.cutNets...) }
+
+// Manager exposes the engine's BDD manager (for witness extraction,
+// counting, etc.). References into it are invalidated by the next
+// Engine analysis call.
+func (e *Engine) Manager() *bdd.Manager { return e.m }
+
+// Good returns the good function of a net in the working circuit.
+func (e *Engine) Good(net int) bdd.Ref { return e.good[net] }
+
+// NumVars returns the number of primary inputs / BDD variables.
+func (e *Engine) NumVars() int { return e.m.NumVars() }
+
+// Rebuilds reports how many generational GC passes have run.
+func (e *Engine) Rebuilds() int { return e.rebuilds }
+
+// VarToInput returns, for each BDD variable position, the index of the
+// corresponding primary input in circuit declaration order, or -1 for a
+// cut variable introduced by functional decomposition. Needed to
+// translate AnySat cubes (variable order) into test vectors (input order).
+func (e *Engine) VarToInput() []int {
+	names := e.Circuit.InputNames()
+	pos := make(map[string]int, len(names))
+	for i, n := range names {
+		pos[n] = i
+	}
+	out := make([]int, e.m.NumVars())
+	for v := range out {
+		if i, ok := pos[e.m.VarName(v)]; ok {
+			out[v] = i
+		} else {
+			out[v] = -1
+		}
+	}
+	return out
+}
+
+// Assignment converts a test vector in primary-input declaration order
+// into a BDD evaluation assignment in variable order. Cut variables (if
+// any) evaluate as false; exact evaluation is only meaningful without
+// functional decomposition.
+func (e *Engine) Assignment(vec []bool) []bool {
+	v2i := e.VarToInput()
+	out := make([]bool, len(v2i))
+	for v, i := range v2i {
+		if i >= 0 {
+			out[v] = vec[i]
+		}
+	}
+	return out
+}
+
+// Syndrome returns the exact syndrome of a net: the fraction of input
+// assignments driving it to one (Savir). Values are cached per net.
+func (e *Engine) Syndrome(net int) float64 {
+	if !e.synValid[net] {
+		e.syndromes[net] = e.m.SatFrac(e.good[net])
+		e.synValid[net] = true
+	}
+	return e.syndromes[net]
+}
+
+// maybeCompact rebuilds the manager around the good functions when the
+// node table has grown past the limit, dropping all per-fault garbage.
+func (e *Engine) maybeCompact() {
+	if e.m.NodeCount() <= e.rebuildLimit {
+		return
+	}
+	m2, roots := e.m.Rebuild(e.good)
+	e.m = m2
+	e.good = roots
+	e.rebuilds++
+}
+
+// Result is the outcome of one fault analysis: the complete test set and
+// the figures derived from it. The BDD references are valid until the
+// next Engine call.
+type Result struct {
+	// PerPO holds the difference function observed at each primary output
+	// (index-aligned with Circuit.Outputs).
+	PerPO []bdd.Ref
+	// Complete is the complete test set: the union of the PO differences.
+	Complete bdd.Ref
+	// Detectability is the exact detection probability
+	// |Complete| / 2^n — the paper's central quantity.
+	Detectability float64
+	// ObservedPOs lists the output positions with a non-zero difference.
+	ObservedPOs []int
+	// GatesEvaluated counts the gates whose difference function was
+	// actually computed; the rest were skipped by selective trace (§3).
+	GatesEvaluated int
+}
+
+// Detectable reports whether the fault has any test at all; a false value
+// proves redundancy (for stuck-at faults) or untestability.
+func (r Result) Detectable() bool { return r.Complete != bdd.False }
+
+// pinKey identifies a gate input pin.
+type pinKey struct {
+	gate, pin int
+}
+
+// seeds carries everything a propagation can start from: explicit initial
+// difference functions (single stuck-at and bridging faults) and forced
+// constants (multiple stuck-at faults, where a downstream forced site must
+// override whatever difference arrives from upstream faults).
+type seeds struct {
+	net      map[int]bdd.Ref
+	pin      map[pinKey]bdd.Ref
+	forceNet map[int]bool
+	forcePin map[pinKey]bool
+}
+
+// propagate seeds the given differences and runs selective-trace
+// difference propagation to all primary outputs.
+func (e *Engine) propagate(netSeeds map[int]bdd.Ref, pinSeeds map[pinKey]bdd.Ref) Result {
+	return e.propagateSeeds(seeds{net: netSeeds, pin: pinSeeds})
+}
+
+func (e *Engine) propagateSeeds(sd seeds) Result {
+	m := e.m
+	c := e.Circuit
+	delta := make(map[int]bdd.Ref, 64)
+	for net, d := range sd.net {
+		if d != bdd.False {
+			delta[net] = d
+		}
+	}
+	// A forced primary input differs wherever its good value disagrees
+	// with the forced constant.
+	for net, v := range sd.forceNet {
+		if c.Gates[net].Type == netlist.Input {
+			if d := e.forcedDelta(net, v); d != bdd.False {
+				delta[net] = d
+			}
+		}
+	}
+	evaluated := 0
+	for id, g := range c.Gates {
+		if g.Type == netlist.Input {
+			continue
+		}
+		// A forced gate output overrides any arriving difference: the
+		// faulty value is the constant no matter what happens upstream.
+		if v, ok := sd.forceNet[id]; ok {
+			if d := e.forcedDelta(id, v); d != bdd.False {
+				delta[id] = d
+			} else {
+				delete(delta, id)
+			}
+			continue
+		}
+		din := func(pin int) bdd.Ref {
+			if v, ok := sd.forcePin[pinKey{id, pin}]; ok {
+				return e.forcedDelta(g.Fanin[pin], v)
+			}
+			if d, ok := sd.pin[pinKey{id, pin}]; ok {
+				return d
+			}
+			if d, ok := delta[g.Fanin[pin]]; ok {
+				return d
+			}
+			return bdd.False
+		}
+		var out bdd.Ref
+		switch g.Type {
+		case netlist.Not, netlist.Buff:
+			out = din(0)
+			if out == bdd.False {
+				continue
+			}
+		case netlist.Xor, netlist.Xnor:
+			da, db := din(0), din(1)
+			if da == bdd.False && db == bdd.False {
+				continue // selective trace: no difference reaches this gate
+			}
+			evaluated++
+			out = m.Xor(da, db)
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			da, db := din(0), din(1)
+			if da == bdd.False && db == bdd.False {
+				continue // selective trace: no difference reaches this gate
+			}
+			evaluated++
+			fa, fb := e.good[g.Fanin[0]], e.good[g.Fanin[1]]
+			if g.Type == netlist.Or || g.Type == netlist.Nor {
+				fa, fb = m.Not(fa), m.Not(fb)
+			}
+			// ΔC = fA·ΔB ⊕ fB·ΔA ⊕ ΔA·ΔB, with the usual short cuts when
+			// one input carries no difference.
+			switch {
+			case da == bdd.False:
+				out = m.And(fa, db)
+			case db == bdd.False:
+				out = m.And(fb, da)
+			default:
+				t := m.Xor(m.And(fa, db), m.And(fb, da))
+				out = m.Xor(t, m.And(da, db))
+			}
+		default:
+			panic(fmt.Sprintf("diffprop: unexpected gate type %v", g.Type))
+		}
+		if out != bdd.False {
+			delta[id] = out
+		}
+	}
+	res := Result{PerPO: make([]bdd.Ref, len(c.Outputs)), Complete: bdd.False, GatesEvaluated: evaluated}
+	for i, o := range c.Outputs {
+		// A missing map entry yields the zero Ref, which is bdd.False: a
+		// difference that never reached (or was seeded at) this output.
+		d := delta[o]
+		res.PerPO[i] = d
+		if d != bdd.False {
+			res.ObservedPOs = append(res.ObservedPOs, i)
+			res.Complete = m.Or(res.Complete, d)
+		}
+	}
+	res.Detectability = m.SatFrac(res.Complete)
+	return res
+}
+
+// StuckAt computes the complete test set for a single stuck-at fault
+// (net or fan-out-branch site) in the working circuit.
+func (e *Engine) StuckAt(f faults.StuckAt) Result {
+	e.maybeCompact()
+	fl := e.good[f.Net]
+	var d bdd.Ref
+	if f.Stuck {
+		d = e.m.Not(fl) // stuck-at-1 differs wherever the line is 0
+	} else {
+		d = fl // stuck-at-0 differs wherever the line is 1
+	}
+	if !f.IsBranch() {
+		return e.propagate(map[int]bdd.Ref{f.Net: d}, nil)
+	}
+	return e.propagate(nil, map[pinKey]bdd.Ref{{f.Gate, f.Pin}: d})
+}
+
+// forcedDelta returns the difference of a line forced to the constant v:
+// where the good value disagrees with v.
+func (e *Engine) forcedDelta(net int, v bool) bdd.Ref {
+	if v {
+		return e.m.Not(e.good[net])
+	}
+	return e.good[net]
+}
+
+// MultipleStuckAt computes the complete test set of a multiple stuck-at
+// fault: all component faults present simultaneously. The Table 1
+// identities are valid for arbitrary input differences, so the same
+// propagation applies; the only addition is that a forced site overrides
+// any difference arriving from upstream component faults (its faulty
+// value is the constant regardless). This is the machinery behind the
+// paper's remark that any fault restricted to the logical domain can be
+// addressed, and it powers the X5 double-fault experiment in the style of
+// Hughes & McCluskey (the paper's ref [2]).
+func (e *Engine) MultipleStuckAt(fs []faults.StuckAt) Result {
+	e.maybeCompact()
+	sd := seeds{forceNet: map[int]bool{}, forcePin: map[pinKey]bool{}}
+	for _, f := range fs {
+		if f.IsBranch() {
+			sd.forcePin[pinKey{f.Gate, f.Pin}] = f.Stuck
+		} else {
+			sd.forceNet[f.Net] = f.Stuck
+		}
+	}
+	return e.propagateSeeds(sd)
+}
+
+// GateSubstitution computes the complete test set of a gate replacement
+// fault: the gate driving the net computes wrongType instead of its own
+// function, over the same fan-ins. The difference seed is simply
+// f_gate ⊕ wrongType(f_fanins), demonstrating the paper's conclusion that
+// Difference Propagation addresses "more logical fault models than just
+// the single stuck-at fault".
+func (e *Engine) GateSubstitution(gate int, wrongType netlist.GateType) Result {
+	e.maybeCompact()
+	g := e.Circuit.Gates[gate]
+	if g.Type == netlist.Input {
+		panic("diffprop: cannot substitute a primary input")
+	}
+	unary := wrongType == netlist.Not || wrongType == netlist.Buff
+	if unary != (len(g.Fanin) == 1) {
+		panic(fmt.Sprintf("diffprop: arity mismatch substituting %v for %v", wrongType, g.Type))
+	}
+	m := e.m
+	var wrong bdd.Ref
+	switch wrongType {
+	case netlist.Not:
+		wrong = m.Not(e.good[g.Fanin[0]])
+	case netlist.Buff:
+		wrong = e.good[g.Fanin[0]]
+	case netlist.And:
+		wrong = m.And(e.good[g.Fanin[0]], e.good[g.Fanin[1]])
+	case netlist.Nand:
+		wrong = m.Nand(e.good[g.Fanin[0]], e.good[g.Fanin[1]])
+	case netlist.Or:
+		wrong = m.Or(e.good[g.Fanin[0]], e.good[g.Fanin[1]])
+	case netlist.Nor:
+		wrong = m.Nor(e.good[g.Fanin[0]], e.good[g.Fanin[1]])
+	case netlist.Xor:
+		wrong = m.Xor(e.good[g.Fanin[0]], e.good[g.Fanin[1]])
+	case netlist.Xnor:
+		wrong = m.Xnor(e.good[g.Fanin[0]], e.good[g.Fanin[1]])
+	default:
+		panic(fmt.Sprintf("diffprop: cannot substitute gate type %v", wrongType))
+	}
+	d := m.Xor(e.good[gate], wrong)
+	return e.propagate(map[int]bdd.Ref{gate: d}, nil)
+}
+
+// Bridging computes the complete test set for a two-wire non-feedback
+// bridging fault. The difference seeds follow directly from the wired
+// functions: for a wired-AND bridge F_u = F_v = f_u∧f_v, so
+// Δ_u = f_u·¬f_v and Δ_v = f_v·¬f_u; dually for wired-OR.
+func (e *Engine) Bridging(b faults.Bridging) Result {
+	if faults.IsFeedback(e.Circuit, b.U, b.V) {
+		panic(fmt.Sprintf("diffprop: %v is a feedback bridge", b))
+	}
+	e.maybeCompact()
+	m := e.m
+	fu, fv := e.good[b.U], e.good[b.V]
+	var du, dv bdd.Ref
+	if b.Kind == faults.WiredAND {
+		du = m.And(fu, m.Not(fv))
+		dv = m.And(fv, m.Not(fu))
+	} else {
+		du = m.And(m.Not(fu), fv)
+		dv = m.And(m.Not(fv), fu)
+	}
+	return e.propagate(map[int]bdd.Ref{b.U: du, b.V: dv}, nil)
+}
+
+// Observability computes the exact observability function of a net: the
+// set of input vectors under which inverting the net changes at least one
+// primary output — the OR over outputs of the Boolean difference. It is
+// obtained by seeding a constant-true difference at the net, which is how
+// the CATAPULT-style factored approach (the paper's §3 contrast) derives
+// test sets as excitation ∧ observability. For a net fault,
+//
+//	T(SA0) = f_net ∧ Obs(net),   T(SA1) = ¬f_net ∧ Obs(net),
+//
+// which FactoredStuckAt exploits and the tests verify against the direct
+// difference propagation.
+func (e *Engine) Observability(net int) bdd.Ref {
+	e.maybeCompact()
+	return e.propagate(map[int]bdd.Ref{net: bdd.True}, nil).Complete
+}
+
+// PinObservability is Observability for a single fan-out branch: the set
+// of vectors under which inverting only that gate input pin is visible at
+// some primary output.
+func (e *Engine) PinObservability(gate, pin int) bdd.Ref {
+	e.maybeCompact()
+	return e.propagate(nil, map[pinKey]bdd.Ref{{gate, pin}: bdd.True}).Complete
+}
+
+// FactoredStuckAt computes a stuck-at fault's complete test set the
+// CATAPULT way — observability function ANDed with the excitation
+// condition — rather than by propagating the fault's own difference. The
+// result is identical to StuckAt (verified in tests); the method exists
+// as the baseline DP is contrasted with, and because a net's
+// observability can be shared across both polarities.
+func (e *Engine) FactoredStuckAt(f faults.StuckAt) Result {
+	var obs bdd.Ref
+	if f.IsBranch() {
+		obs = e.PinObservability(f.Gate, f.Pin)
+	} else {
+		obs = e.Observability(f.Net)
+	}
+	m := e.m
+	exc := e.good[f.Net]
+	if f.Stuck {
+		exc = m.Not(exc)
+	}
+	complete := m.And(exc, obs)
+	res := Result{Complete: complete, Detectability: m.SatFrac(complete)}
+	return res
+}
+
+// WitnessVector extracts one test vector (primary-input declaration
+// order) from a result's complete test set, filling don't-cares with
+// zero. It returns nil for undetectable faults. Only meaningful without
+// functional decomposition (cut variables are ignored).
+func (e *Engine) WitnessVector(res Result) []bool {
+	cube := e.m.AnySat(res.Complete)
+	if cube == nil {
+		return nil
+	}
+	v2i := e.VarToInput()
+	vec := make([]bool, len(e.Circuit.Inputs))
+	for v, s := range cube {
+		if v2i[v] >= 0 && s == 1 {
+			vec[v2i[v]] = true
+		}
+	}
+	return vec
+}
+
+// MinimalTestCube widens a witness of the complete test set into a
+// locally minimal test cube: starting from an AnySat path cube, every
+// specified literal that can become a don't-care without leaving the test
+// set is dropped. The result (one entry per BDD variable: 0, 1, or -1)
+// is a cube all of whose completions are tests — handy for test-set
+// compaction and for human-readable fault reports. Returns nil for
+// undetectable faults.
+func (e *Engine) MinimalTestCube(res Result) []int8 {
+	m := e.m
+	cube := m.AnySat(res.Complete)
+	if cube == nil {
+		return nil
+	}
+	build := func(c []int8) bdd.Ref {
+		f := bdd.True
+		for v, s := range c {
+			switch s {
+			case 0:
+				f = m.And(f, m.NVar(v))
+			case 1:
+				f = m.And(f, m.Var(v))
+			}
+		}
+		return f
+	}
+	for v := range cube {
+		if cube[v] < 0 {
+			continue
+		}
+		saved := cube[v]
+		cube[v] = -1
+		// The widened cube must still imply the complete test set:
+		// cube ∧ ¬T ≡ 0.
+		if m.And(build(cube), m.Not(res.Complete)) != bdd.False {
+			cube[v] = saved
+		}
+	}
+	return cube
+}
+
+// StuckAtUpperBound returns the syndrome bound on the fault's
+// detectability (§4.1): the syndrome of the line for stuck-at-0, its
+// complement for stuck-at-1 — excitation alone caps the test-set size.
+func (e *Engine) StuckAtUpperBound(f faults.StuckAt) float64 {
+	s := e.Syndrome(f.Net)
+	if f.Stuck {
+		return 1 - s
+	}
+	return s
+}
+
+// BridgingUpperBound returns the excitation bound for a bridging fault:
+// the fault is excited exactly where the two wires disagree, so
+// |f_u ⊕ f_v| / 2^n bounds the detectability for both wired-AND and
+// wired-OR behavior.
+func (e *Engine) BridgingUpperBound(b faults.Bridging) float64 {
+	return e.m.SatFrac(e.m.Xor(e.good[b.U], e.good[b.V]))
+}
+
+// Adherence is the paper's §4.1 metric: detectability divided by its
+// excitation upper bound — the share of exciting minterms that are
+// actually tests. It returns (value, ok); ok is false when the bound is
+// zero (the fault cannot even be excited).
+func Adherence(detectability, upperBound float64) (float64, bool) {
+	if upperBound <= 0 {
+		return 0, false
+	}
+	a := detectability / upperBound
+	if a > 1 {
+		// Guard against float rounding; exact arithmetic guarantees <= 1.
+		a = 1
+	}
+	return a, true
+}
+
+// BridgeActsStuckAt implements the Figure 5 classification: the number of
+// variables in the faulty function at the bridge site is counted, and a
+// count of zero means the bridged wires are stuck at a constant — the
+// bridging fault is equivalent to a (double) stuck-at fault. For a
+// wired-AND bridge the site function is f_u∧f_v; for wired-OR, f_u∨f_v.
+func (e *Engine) BridgeActsStuckAt(b faults.Bridging) bool {
+	m := e.m
+	var site bdd.Ref
+	if b.Kind == faults.WiredAND {
+		site = m.And(e.good[b.U], e.good[b.V])
+	} else {
+		site = m.Or(e.good[b.U], e.good[b.V])
+	}
+	return m.SupportSize(site) == 0
+}
+
+// DFSOrder returns a variable order produced by depth-first traversal of
+// the circuit from the primary outputs, visiting fan-ins in pin order —
+// the classic topology-driven ordering heuristic offered as an
+// alternative to benchmark declaration order.
+func DFSOrder(c *netlist.Circuit) []string {
+	seen := make([]bool, c.NumNets())
+	var order []string
+	var walk func(int)
+	walk = func(net int) {
+		if seen[net] {
+			return
+		}
+		seen[net] = true
+		g := c.Gates[net]
+		if g.Type == netlist.Input {
+			order = append(order, g.Name)
+			return
+		}
+		for _, f := range g.Fanin {
+			walk(f)
+		}
+	}
+	for _, o := range c.Outputs {
+		walk(o)
+	}
+	// Unreachable inputs still need a variable.
+	for _, in := range c.Inputs {
+		if !seen[in] {
+			order = append(order, c.Gates[in].Name)
+		}
+	}
+	return order
+}

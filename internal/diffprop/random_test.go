@@ -1,0 +1,138 @@
+package diffprop
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+// randomCircuit generates a random valid circuit: nIn inputs, nGates
+// gates of random types and fan-ins, with the last few sinks marked as
+// outputs. It is the fuzz driver for the DP-versus-simulation
+// equivalence property.
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *netlist.Circuit {
+	c := netlist.New("rand")
+	for i := 0; i < nIn; i++ {
+		c.AddInput(fmt.Sprintf("in%d", i))
+	}
+	types := []netlist.GateType{
+		netlist.And, netlist.Nand, netlist.Or, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buff,
+	}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		nf := 1
+		if gt != netlist.Not && gt != netlist.Buff {
+			nf = 2 + rng.Intn(3)
+		}
+		fanin := make([]int, nf)
+		for j := range fanin {
+			fanin[j] = rng.Intn(c.NumNets())
+		}
+		c.AddGate(fmt.Sprintf("g%d", i), gt, fanin...)
+	}
+	for i := 0; i < 3; i++ {
+		c.MarkOutput(c.NumNets() - 1 - i)
+	}
+	return c
+}
+
+// TestRandomCircuitsDPMatchesSimulation is the repository's broadest
+// equivalence property: on hundreds of random circuits, every stuck-at,
+// bridging, multiple and gate-substitution analysis must agree exactly
+// with exhaustive bit-parallel simulation.
+func TestRandomCircuitsDPMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		c := randomCircuit(rng, 4+rng.Intn(5), 8+rng.Intn(18))
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := e.Circuit
+		p := simulate.Exhaustive(len(w.Inputs))
+
+		// Stuck-at faults on random nets (both polarities).
+		for i := 0; i < 6; i++ {
+			f := faults.StuckAt{Net: rng.Intn(w.NumNets()), Gate: -1, Pin: -1, Stuck: rng.Intn(2) == 1}
+			got := e.StuckAt(f).Detectability
+			want := float64(simulate.CountBits(simulate.DetectStuckAt(w, f, p))) / float64(p.Count)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d %v: DP=%v sim=%v\n%s", trial, f.Describe(w), got, want, w.BenchString())
+			}
+		}
+		// Branch faults on random stems.
+		stems := w.Stems()
+		if len(stems) > 0 {
+			net := stems[rng.Intn(len(stems))]
+			for _, g := range w.Fanout()[net] {
+				for pin, fin := range w.Gates[g].Fanin {
+					if fin != net {
+						continue
+					}
+					f := faults.StuckAt{Net: net, Gate: g, Pin: pin, Stuck: rng.Intn(2) == 1}
+					got := e.StuckAt(f).Detectability
+					want := float64(simulate.CountBits(simulate.DetectStuckAt(w, f, p))) / float64(p.Count)
+					if math.Abs(got-want) > 1e-12 {
+						t.Fatalf("trial %d branch %v: DP=%v sim=%v", trial, f.Describe(w), got, want)
+					}
+				}
+			}
+		}
+		// Bridging faults.
+		for _, kind := range []faults.BridgeKind{faults.WiredAND, faults.WiredOR} {
+			all := faults.AllNFBFs(w, kind)
+			if len(all) == 0 {
+				continue
+			}
+			b := all[rng.Intn(len(all))]
+			got := e.Bridging(b).Detectability
+			want := float64(simulate.CountBits(simulate.DetectBridging(w, b, p))) / float64(p.Count)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d %v: DP=%v sim=%v", trial, b.Describe(w), got, want)
+			}
+		}
+		// Double faults.
+		f1 := faults.StuckAt{Net: rng.Intn(w.NumNets()), Gate: -1, Pin: -1, Stuck: rng.Intn(2) == 1}
+		f2 := faults.StuckAt{Net: rng.Intn(w.NumNets()), Gate: -1, Pin: -1, Stuck: rng.Intn(2) == 1}
+		multi := []faults.StuckAt{f1, f2}
+		got := e.MultipleStuckAt(multi).Detectability
+		want := float64(simulate.CountBits(simulate.DetectMultipleStuckAt(w, multi, p))) / float64(p.Count)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d double {%v, %v}: DP=%v sim=%v", trial, f1.Describe(w), f2.Describe(w), got, want)
+		}
+		// Gate substitutions.
+		subs := faults.AllGateSubs(w)
+		if len(subs) > 0 {
+			s := subs[rng.Intn(len(subs))]
+			got := e.GateSubstitution(s.Gate, s.WrongType).Detectability
+			want := float64(simulate.CountBits(simulate.DetectGateSub(w, s, p))) / float64(p.Count)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d %v: DP=%v sim=%v", trial, s.Describe(w), got, want)
+			}
+		}
+		// Witness vectors actually detect their faults.
+		f := faults.StuckAt{Net: rng.Intn(w.NumNets()), Gate: -1, Pin: -1, Stuck: rng.Intn(2) == 1}
+		res := e.StuckAt(f)
+		if vec := e.WitnessVector(res); vec != nil {
+			pv := simulate.FromVectors(len(w.Inputs), [][]bool{vec})
+			if simulate.CountBits(simulate.DetectStuckAt(w, f, pv)) != 1 {
+				t.Fatalf("trial %d: witness for %v does not detect it", trial, f.Describe(w))
+			}
+		} else if res.Detectable() {
+			t.Fatal("detectable fault without witness")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package equiv is a combinational equivalence checker built on the OBDD
+// engine: two circuits are equivalent iff the BDDs of corresponding
+// outputs, built over a shared variable order, are the identical canonical
+// node. This is the classic Bryant application and the formal backbone of
+// two claims this repository makes: c1355s implements exactly the same
+// function as c499s (the paper's central circuit pair), and the netlist
+// optimizer never changes a function.
+package equiv
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/diffprop"
+	"repro/internal/netlist"
+)
+
+// Result reports an equivalence check.
+type Result struct {
+	Equivalent bool
+	// FailingOutput is the index of the first differing output pair
+	// (-1 when equivalent or when the interfaces mismatch).
+	FailingOutput int
+	// Counterexample is an input assignment (declaration order of the
+	// first circuit) exposing the difference, nil when equivalent.
+	Counterexample []bool
+	// Reason describes interface mismatches.
+	Reason string
+}
+
+// Check proves or refutes combinational equivalence of two circuits.
+// Inputs are matched by name (order may differ); outputs are matched by
+// position. A mismatch in input names or output counts is reported as a
+// non-equivalence with a Reason rather than an error.
+func Check(a, b *netlist.Circuit) Result {
+	if err := a.Validate(); err != nil {
+		return Result{FailingOutput: -1, Reason: fmt.Sprintf("first circuit invalid: %v", err)}
+	}
+	if err := b.Validate(); err != nil {
+		return Result{FailingOutput: -1, Reason: fmt.Sprintf("second circuit invalid: %v", err)}
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return Result{FailingOutput: -1,
+			Reason: fmt.Sprintf("output counts differ: %d vs %d", len(a.Outputs), len(b.Outputs))}
+	}
+	aNames := map[string]bool{}
+	for _, n := range a.InputNames() {
+		aNames[n] = true
+	}
+	if len(a.Inputs) != len(b.Inputs) {
+		return Result{FailingOutput: -1,
+			Reason: fmt.Sprintf("input counts differ: %d vs %d", len(a.Inputs), len(b.Inputs))}
+	}
+	for _, n := range b.InputNames() {
+		if !aNames[n] {
+			return Result{FailingOutput: -1, Reason: fmt.Sprintf("input %q missing from first circuit", n)}
+		}
+	}
+
+	// Build both circuits' outputs in one manager over a shared order (the
+	// first circuit's DFS order keeps the pair balanced).
+	ea, err := diffprop.New(a, nil)
+	if err != nil {
+		return Result{FailingOutput: -1, Reason: err.Error()}
+	}
+	order := make([]string, ea.NumVars())
+	for v := range order {
+		order[v] = ea.Manager().VarName(v)
+	}
+	eb, err := diffprop.New(b, &diffprop.Options{Order: order})
+	if err != nil {
+		return Result{FailingOutput: -1, Reason: err.Error()}
+	}
+
+	// Transfer the second circuit's outputs into the first's manager (same
+	// order, so this is a structural copy) and compare canonical nodes.
+	m := ea.Manager()
+	bOuts := make([]bdd.Ref, len(b.Outputs))
+	for i, o := range eb.Circuit.Outputs {
+		bOuts[i] = eb.Good(o)
+	}
+	moved := eb.Manager().Transfer(m, bOuts...)
+	for i, ao := range ea.Circuit.Outputs {
+		fa := ea.Good(ao)
+		fb := moved[i]
+		if fa == fb {
+			continue
+		}
+		diff := m.Xor(fa, fb)
+		cube := m.AnySat(diff)
+		vec := make([]bool, len(a.Inputs))
+		v2i := ea.VarToInput()
+		for v, s := range cube {
+			if v2i[v] >= 0 && s == 1 {
+				vec[v2i[v]] = true
+			}
+		}
+		return Result{Equivalent: false, FailingOutput: i, Counterexample: vec}
+	}
+	return Result{Equivalent: true, FailingOutput: -1}
+}
+
+// MustEquivalent panics (with the counterexample) unless the circuits are
+// equivalent; a convenience for construction-time assertions.
+func MustEquivalent(a, b *netlist.Circuit) {
+	r := Check(a, b)
+	if !r.Equivalent {
+		panic(fmt.Sprintf("equiv: %s and %s differ at output %d (reason %q, counterexample %v)",
+			a.Name, b.Name, r.FailingOutput, r.Reason, r.Counterexample))
+	}
+}

@@ -1,0 +1,160 @@
+package equiv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+)
+
+func TestC499AndC1355AreFormallyEquivalent(t *testing.T) {
+	// The paper's central pair, proved rather than sampled.
+	r := Check(circuits.MustGet("c499s"), circuits.MustGet("c1355s"))
+	if !r.Equivalent {
+		t.Fatalf("c499s and c1355s must be equivalent: output %d, cex %v, reason %q",
+			r.FailingOutput, r.Counterexample, r.Reason)
+	}
+}
+
+func TestOptimizerPreservesAllBenchmarks(t *testing.T) {
+	for _, name := range circuits.Names() {
+		c := circuits.MustGet(name)
+		opt := c.Optimize()
+		r := Check(c, opt)
+		if !r.Equivalent {
+			t.Fatalf("%s: optimizer changed the function at output %d (cex %v)",
+				name, r.FailingOutput, r.Counterexample)
+		}
+	}
+}
+
+func TestDecompositionsAreEquivalent(t *testing.T) {
+	for _, name := range []string{"c17", "alu181", "c432s"} {
+		c := circuits.MustGet(name)
+		for _, tr := range []*netlist.Circuit{c.Decompose2(), c.ExpandXOR(), c.Simplify()} {
+			if r := Check(c, tr); !r.Equivalent {
+				t.Fatalf("%s vs transform: differ at %d", name, r.FailingOutput)
+			}
+		}
+	}
+}
+
+func TestInequivalenceFindsCounterexample(t *testing.T) {
+	a := netlist.New("a")
+	x := a.AddInput("x")
+	y := a.AddInput("y")
+	a.MarkOutput(a.AddGate("z", netlist.And, x, y))
+
+	b := netlist.New("b")
+	x2 := b.AddInput("x")
+	y2 := b.AddInput("y")
+	b.MarkOutput(b.AddGate("z", netlist.Or, x2, y2))
+
+	r := Check(a, b)
+	if r.Equivalent {
+		t.Fatal("AND and OR reported equivalent")
+	}
+	if r.FailingOutput != 0 || r.Counterexample == nil {
+		t.Fatalf("missing counterexample: %+v", r)
+	}
+	// The counterexample must actually distinguish the circuits.
+	oa := a.EvalBool(r.Counterexample)
+	ob := b.EvalBool(r.Counterexample)
+	if oa[0] == ob[0] {
+		t.Fatalf("counterexample %v does not distinguish", r.Counterexample)
+	}
+}
+
+func TestInterfaceMismatches(t *testing.T) {
+	a := netlist.New("a")
+	x := a.AddInput("x")
+	a.MarkOutput(a.AddGate("z", netlist.Not, x))
+
+	b := netlist.New("b")
+	p := b.AddInput("p") // different input name
+	b.MarkOutput(b.AddGate("z", netlist.Not, p))
+	if r := Check(a, b); r.Equivalent || r.Reason == "" {
+		t.Fatal("input name mismatch must be reported")
+	}
+
+	c := netlist.New("c")
+	x3 := c.AddInput("x")
+	z := c.AddGate("z", netlist.Not, x3)
+	c.MarkOutput(z)
+	c.MarkOutput(x3) // extra output
+	if r := Check(a, c); r.Equivalent || r.Reason == "" {
+		t.Fatal("output count mismatch must be reported")
+	}
+
+	bad := netlist.New("bad")
+	if r := Check(bad, a); r.Equivalent || r.Reason == "" {
+		t.Fatal("invalid circuit must be reported")
+	}
+	if r := Check(a, bad); r.Equivalent || r.Reason == "" {
+		t.Fatal("invalid second circuit must be reported")
+	}
+}
+
+func TestRandomMutationsAreCaught(t *testing.T) {
+	// Flip one gate type in a random circuit; the checker must notice
+	// unless the mutation happens to be functionally neutral (rare; we
+	// verify against exhaustive evaluation instead of assuming).
+	rng := rand.New(rand.NewSource(41))
+	caught, neutral := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		c := circuits.MustGet("c17").Clone()
+		mut := c.Clone()
+		// Flip one NAND to NOR.
+		var gates []int
+		for id, g := range mut.Gates {
+			if g.Type == netlist.Nand {
+				gates = append(gates, id)
+			}
+		}
+		id := gates[rng.Intn(len(gates))]
+		mut.Gates[id].Type = netlist.Nor
+		r := Check(c, mut)
+		// Ground truth by exhaustive evaluation.
+		same := true
+		for i := 0; i < 32; i++ {
+			in := make([]bool, 5)
+			for b := 0; b < 5; b++ {
+				in[b] = i>>b&1 == 1
+			}
+			oa, ob := c.EvalBool(in), mut.EvalBool(in)
+			for j := range oa {
+				if oa[j] != ob[j] {
+					same = false
+				}
+			}
+		}
+		if r.Equivalent != same {
+			t.Fatalf("checker verdict %v disagrees with exhaustive %v", r.Equivalent, same)
+		}
+		if same {
+			neutral++
+		} else {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no mutation was caught — test ineffective")
+	}
+	_ = neutral
+}
+
+func TestMustEquivalentPanics(t *testing.T) {
+	a := netlist.New("a")
+	x := a.AddInput("x")
+	a.MarkOutput(a.AddGate("z", netlist.Not, x))
+	b := netlist.New("b")
+	x2 := b.AddInput("x")
+	b.MarkOutput(b.AddGate("z", netlist.Buff, x2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEquivalent must panic on inequivalence")
+		}
+	}()
+	MustEquivalent(a, b)
+}

@@ -1,0 +1,38 @@
+package equiv_test
+
+import (
+	"fmt"
+
+	"repro/internal/equiv"
+	"repro/internal/netlist"
+)
+
+// De Morgan, proved rather than tested: NAND(a,b) against OR of the
+// complements.
+func ExampleCheck() {
+	left := netlist.New("nand")
+	a := left.AddInput("a")
+	b := left.AddInput("b")
+	left.MarkOutput(left.AddGate("z", netlist.Nand, a, b))
+
+	right := netlist.New("demorgan")
+	a2 := right.AddInput("a")
+	b2 := right.AddInput("b")
+	na := right.AddGate("na", netlist.Not, a2)
+	nb := right.AddGate("nb", netlist.Not, b2)
+	right.MarkOutput(right.AddGate("z", netlist.Or, na, nb))
+
+	r := equiv.Check(left, right)
+	fmt.Println("equivalent:", r.Equivalent)
+
+	// A wrong "equivalent" circuit yields a concrete counterexample.
+	wrong := netlist.New("wrong")
+	a3 := wrong.AddInput("a")
+	b3 := wrong.AddInput("b")
+	wrong.MarkOutput(wrong.AddGate("z", netlist.And, a3, b3))
+	r = equiv.Check(left, wrong)
+	fmt.Println("equivalent:", r.Equivalent, "counterexample exists:", r.Counterexample != nil)
+	// Output:
+	// equivalent: true
+	// equivalent: false counterexample exists: true
+}

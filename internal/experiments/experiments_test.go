@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func quickRunner() *Runner { return NewRunner(QuickConfig()) }
+
+func TestTable1AllVerified(t *testing.T) {
+	tab := quickRunner().Table1()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table 1 must have 4 gate classes, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if strings.Contains(row[2], "FAIL") {
+			t.Fatalf("identity %s failed verification", row[0])
+		}
+	}
+	if !strings.Contains(tab.Text(), "Table 1") || !strings.Contains(tab.CSV(), "gate,") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	r := quickRunner()
+	fig, err := r.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("Fig1 wants 2 circuits, got %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != r.Config().Bins {
+			t.Fatalf("series %s has %d bins", s.Name, len(s.X))
+		}
+		sum := 0.0
+		for _, y := range s.Y {
+			sum += y
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("series %s mass %v", s.Name, sum)
+		}
+	}
+	if !strings.Contains(fig.Text(), "fig1") {
+		t.Fatal("text rendering broken")
+	}
+}
+
+func TestFig2TrendShape(t *testing.T) {
+	r := quickRunner()
+	fig, err := r.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatal("Fig2 wants 2 series")
+	}
+	n := len(r.Config().Circuits)
+	for _, s := range fig.Series {
+		if len(s.X) != n {
+			t.Fatalf("series %s has %d points, want %d", s.Name, len(s.X), n)
+		}
+	}
+	// X must be netlist sizes in nondecreasing order for the size-ordered
+	// quick catalog subset.
+	xs := fig.Series[0].X
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("netlist sizes out of order: %v", xs)
+		}
+	}
+	// Normalized series must be <= raw (PO counts >= 1).
+	for i := range fig.Series[0].Y {
+		if fig.Series[1].Y[i] > fig.Series[0].Y[i]+1e-12 {
+			t.Fatal("normalized mean exceeds raw mean")
+		}
+	}
+}
+
+func TestFig3And8Curves(t *testing.T) {
+	r := quickRunner()
+	f3, err := r.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Series) != 1 || len(f3.Series[0].X) == 0 {
+		t.Fatal("Fig3 empty")
+	}
+	f8, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Series) != 2 {
+		t.Fatal("Fig8 wants AND and OR series")
+	}
+	for _, s := range f8.Series {
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("mean detectability %v out of range", y)
+			}
+		}
+	}
+}
+
+func TestFig4Adherence(t *testing.T) {
+	r := quickRunner()
+	fig, err := r.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	// The paper: generally low adherence values with a sharp, isolated
+	// rise at adherence 1 — the last bin must be a clear local spike
+	// above its high-adherence neighborhood.
+	last := s.Y[len(s.Y)-1]
+	if last <= 0 {
+		t.Fatal("no faults with adherence 1?")
+	}
+	for i := len(s.Y) - 4; i < len(s.Y)-1; i++ {
+		if s.Y[i] >= last {
+			t.Fatalf("adherence-1 spike not isolated: bin %d = %v vs last %v", i, s.Y[i], last)
+		}
+	}
+	// Low adherence dominates overall: mass below 0.5 exceeds mass above.
+	half := len(s.Y) / 2
+	lo, hi := 0.0, 0.0
+	for i, y := range s.Y {
+		if i < half {
+			lo += y
+		} else {
+			hi += y
+		}
+	}
+	if lo <= hi {
+		t.Fatalf("low adherence should dominate: low=%v high=%v", lo, hi)
+	}
+}
+
+func TestFig5Proportions(t *testing.T) {
+	r := quickRunner()
+	fig, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatal("Fig5 wants AND and OR series")
+	}
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("proportion %v out of range", y)
+			}
+		}
+	}
+}
+
+func TestFig6And7(t *testing.T) {
+	r := quickRunner()
+	f6, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.Series) != 2 {
+		t.Fatal("Fig6 wants 2 series")
+	}
+	f7, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Series) != 4 {
+		t.Fatal("Fig7 wants 4 series")
+	}
+	// AND-only and OR-only means must be close (paper: "little difference
+	// was seen").
+	andS, orS := f7.Series[2], f7.Series[3]
+	for i := range andS.Y {
+		if d := andS.Y[i] - orS.Y[i]; d > 0.25 || d < -0.25 {
+			t.Fatalf("AND vs OR means diverge too much at point %d: %v vs %v", i, andS.Y[i], orS.Y[i])
+		}
+	}
+}
+
+func TestX1X2X3X4(t *testing.T) {
+	r := quickRunner()
+	x1, err := r.X1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x1.Rows) != len(r.Config().Circuits) {
+		t.Fatal("X1 row count")
+	}
+	x2, err := r.X2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x2.Rows {
+		if row[3] == "" {
+			t.Fatal("X2 missing rate")
+		}
+	}
+	x3, err := r.X3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x3.Rows) != len(r.Config().Circuits) {
+		t.Fatal("X3 row count")
+	}
+	x4, err := r.X4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x4.Rows {
+		if strings.Contains(row[3], "MISMATCH") {
+			t.Fatalf("X4 cross-check failed for %s", row[0])
+		}
+	}
+	x5, err := r.X5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x5.Rows {
+		// Hughes-McCluskey: single-SA test sets detect nearly all double
+		// faults.
+		if row[4] < "0.9" {
+			t.Fatalf("X5 double-fault coverage suspiciously low for %s: %s", row[0], row[4])
+		}
+	}
+	x6, err := r.X6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x6.Rows) != len(r.Config().Circuits) {
+		t.Fatal("X6 row count")
+	}
+}
+
+func TestX8ScoapCarriesSignal(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.X8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if strings.Contains(row[3], "inverted") {
+			t.Fatalf("SCOAP proxy inverted on %s: %s", row[0], row[2])
+		}
+	}
+}
+
+func TestX9PredictionTracksSimulation(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.X9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		var diff float64
+		fmt.Sscanf(row[4], "%f", &diff)
+		// One random sample fluctuates; the expectation argument bounds
+		// typical deviations well under 0.15 for these fault set sizes.
+		if diff > 0.15 {
+			t.Fatalf("X9 prediction off by %v for %s at N=%s", diff, row[0], row[1])
+		}
+	}
+}
+
+func TestX10AndSummary(t *testing.T) {
+	r := quickRunner()
+	x10, err := r.X10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x10.Rows {
+		if row[2] == "0" {
+			t.Fatalf("X10 reported zero classes for %s", row[0])
+		}
+	}
+	x11, err := r.X11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x11.Rows {
+		if row[3] == "0.000" {
+			t.Fatalf("no syndrome-testable faults on %s is implausible", row[0])
+		}
+	}
+	x12, err := r.X12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x12.Rows) != 2*len(r.Config().Circuits) {
+		t.Fatal("X12 wants one row per circuit and kind")
+	}
+	sum, err := r.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != len(r.Config().Circuits) {
+		t.Fatal("summary row count")
+	}
+}
+
+func TestX7RedesignRecoversTestability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X7 runs three full studies")
+	}
+	r := quickRunner()
+	tab, err := r.X7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("X7 wants 3 rows, got %d", len(tab.Rows))
+	}
+	var gates [3]int
+	var mean [3]float64
+	for i, row := range tab.Rows {
+		fmt.Sscanf(row[1], "%d", &gates[i])
+		fmt.Sscanf(row[3], "%f", &mean[i])
+	}
+	// The re-minimized circuit must land at (or very near) the original
+	// gate count, and strictly below the bloated one.
+	if gates[2] >= gates[1] {
+		t.Fatalf("optimizer did not shrink: %d -> %d gates", gates[1], gates[2])
+	}
+	if mean[2] <= mean[1] {
+		t.Fatalf("redesign did not improve mean detectability: %v -> %v", mean[1], mean[2])
+	}
+}
+
+func TestCachingSharesStudies(t *testing.T) {
+	r := quickRunner()
+	a, err := r.StuckAtStudy("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.StuckAtStudy("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("studies must be cached")
+	}
+	ba, err := r.BridgingStudy("c17", faults.WiredAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := r.BridgingStudy("c17", faults.WiredAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba != bb {
+		t.Fatal("bridging studies must be cached")
+	}
+	if _, err := r.StuckAtStudy("bogus"); err == nil {
+		t.Fatal("unknown circuit must error")
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit run in -short mode")
+	}
+	exhibits, err := quickRunner().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "summary"}
+	if len(exhibits) != len(wantIDs) {
+		t.Fatalf("%d exhibits, want %d", len(exhibits), len(wantIDs))
+	}
+	for i, ex := range exhibits {
+		if ex.ID != wantIDs[i] {
+			t.Fatalf("exhibit %d is %s, want %s", i, ex.ID, wantIDs[i])
+		}
+		if ex.Text == "" || ex.CSV == "" {
+			t.Fatalf("exhibit %s not rendered", ex.ID)
+		}
+	}
+}
+
+func TestUnknownCircuitPropagatesEverywhere(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Circuits = []string{"nonexistent"}
+	cfg.HistCircuits = []string{"nonexistent"}
+	cfg.AdherenceCircuit = "nonexistent"
+	cfg.BFHistCircuit = "nonexistent"
+	cfg.DistanceCircuit = "nonexistent"
+	r := NewRunner(cfg)
+	if _, err := r.Fig1(); err == nil {
+		t.Fatal("Fig1 must fail")
+	}
+	if _, err := r.Fig2(); err == nil {
+		t.Fatal("Fig2 must fail")
+	}
+	if _, err := r.Fig3(); err == nil {
+		t.Fatal("Fig3 must fail")
+	}
+	if _, err := r.Fig5(); err == nil {
+		t.Fatal("Fig5 must fail")
+	}
+	if _, err := r.Fig6(); err == nil {
+		t.Fatal("Fig6 must fail")
+	}
+	if _, err := r.X1(); err == nil {
+		t.Fatal("X1 must fail")
+	}
+	if _, err := r.X3(); err == nil {
+		t.Fatal("X3 must fail")
+	}
+	if _, err := r.X10(); err == nil {
+		t.Fatal("X10 must fail")
+	}
+	if _, err := r.X11(); err == nil {
+		t.Fatal("X11 must fail")
+	}
+	if _, err := r.Summary(); err == nil {
+		t.Fatal("Summary must fail")
+	}
+	if _, err := r.TestSet("nonexistent"); err == nil {
+		t.Fatal("TestSet must fail")
+	}
+	if _, err := r.All(); err == nil {
+		t.Fatal("All must fail")
+	}
+}
+
+func TestTestSetCached(t *testing.T) {
+	r := quickRunner()
+	a, err := r.TestSet("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.TestSet("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("test sets must be cached")
+	}
+}

@@ -1,0 +1,67 @@
+package faults_test
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Checkpoint faults — PIs plus fan-out branches — collapsed by
+// equivalence at gate inputs, exactly the paper's §2.1 fault set.
+func ExampleCheckpointStuckAts() {
+	c := netlist.New("demo")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	n1 := c.AddGate("n1", netlist.Nand, a, b)
+	n2 := c.AddGate("n2", netlist.Nand, a, n1) // `a` fans out: a stem
+	c.MarkOutput(n2)
+
+	for _, f := range faults.CheckpointStuckAts(c) {
+		fmt.Println(f.Describe(c))
+	}
+	// The stem `a` keeps both net faults; its branch into n1 keeps only
+	// SA1 (the SA0 collapsed into b's, both being controlling faults of
+	// the same NAND); n1 itself is fan-out-free, so it contributes no
+	// checkpoint of its own.
+	// Output:
+	// a/SA0
+	// a/SA1
+	// b/SA0
+	// b/SA1
+	// a->n1.0/SA1
+	// a->n2.0/SA0
+	// a->n2.0/SA1
+}
+
+// Non-feedback bridging fault screening on the same circuit.
+func ExampleAllNFBFs() {
+	c := netlist.New("demo")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	n1 := c.AddGate("n1", netlist.Nand, a, b)
+	n2 := c.AddGate("n2", netlist.Nand, a, n1)
+	c.MarkOutput(n2)
+
+	for _, bf := range faults.AllNFBFs(c, faults.WiredAND) {
+		fmt.Println(bf.Describe(c))
+	}
+	// a-n1 and a-b bridges are feedback-free; n1-n2 and a-n2 are feedback.
+	// Output:
+	// bridge(a & b)
+	// bridge(b & n1)
+}
+
+func ExampleIsFeedback() {
+	c := netlist.New("demo")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	n1 := c.AddGate("n1", netlist.Nand, a, b)
+	n2 := c.AddGate("n2", netlist.Nand, a, n1)
+	c.MarkOutput(n2)
+	fmt.Println(faults.IsFeedback(c, a, n2)) // a reaches n2
+	fmt.Println(faults.IsFeedback(c, a, b))  // independent inputs
+	// Output:
+	// true
+	// false
+}

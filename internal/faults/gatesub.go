@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// GateSub is a gate replacement fault: the gate driving net Gate computes
+// WrongType instead of its designed function, over the same fan-ins. Gate
+// substitution is the classic non-stuck-at logical fault model used to
+// probe how far stuck-at test sets generalize.
+type GateSub struct {
+	Gate      int
+	WrongType netlist.GateType
+}
+
+// Describe renders the fault with net names when a circuit is supplied.
+func (s GateSub) Describe(c *netlist.Circuit) string {
+	name := fmt.Sprintf("gate%d", s.Gate)
+	right := "?"
+	if c != nil {
+		name = c.NetName(s.Gate)
+		right = c.Gates[s.Gate].Type.String()
+	}
+	return fmt.Sprintf("%s:%s->%s", name, right, s.WrongType)
+}
+
+// String renders the fault without net names.
+func (s GateSub) String() string { return s.Describe(nil) }
+
+// substitutesFor lists the alternative gate types for a designed type of
+// the same arity.
+func substitutesFor(t netlist.GateType) []netlist.GateType {
+	switch t {
+	case netlist.Not:
+		return []netlist.GateType{netlist.Buff}
+	case netlist.Buff:
+		return []netlist.GateType{netlist.Not}
+	case netlist.Input:
+		return nil
+	}
+	all := []netlist.GateType{netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor}
+	out := make([]netlist.GateType, 0, len(all)-1)
+	for _, a := range all {
+		if a != t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AllGateSubs enumerates every single-gate substitution fault of the
+// circuit: each gate replaced by each alternative type of the same arity.
+// Gates with more than two inputs are skipped (analyses run on the
+// two-input decomposition, where none exist).
+func AllGateSubs(c *netlist.Circuit) []GateSub {
+	var out []GateSub
+	for id, g := range c.Gates {
+		if g.Type == netlist.Input || len(g.Fanin) > 2 {
+			continue
+		}
+		for _, t := range substitutesFor(g.Type) {
+			out = append(out, GateSub{Gate: id, WrongType: t})
+		}
+	}
+	return out
+}

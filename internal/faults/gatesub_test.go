@@ -1,0 +1,73 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestSubstitutesFor(t *testing.T) {
+	cases := []struct {
+		t    netlist.GateType
+		want int
+	}{
+		{netlist.Not, 1},
+		{netlist.Buff, 1},
+		{netlist.And, 5},
+		{netlist.Nand, 5},
+		{netlist.Or, 5},
+		{netlist.Nor, 5},
+		{netlist.Xor, 5},
+		{netlist.Xnor, 5},
+		{netlist.Input, 0},
+	}
+	for _, tc := range cases {
+		subs := substitutesFor(tc.t)
+		if len(subs) != tc.want {
+			t.Fatalf("%v: %d substitutes, want %d", tc.t, len(subs), tc.want)
+		}
+		for _, s := range subs {
+			if s == tc.t {
+				t.Fatalf("%v substitutes for itself", tc.t)
+			}
+		}
+	}
+}
+
+func TestAllGateSubsSkipsInputsAndWideGates(t *testing.T) {
+	c := netlist.New("g")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	wide := c.AddGate("wide", netlist.And, a, b, d) // 3-input: skipped
+	inv := c.AddGate("inv", netlist.Not, wide)
+	c.MarkOutput(inv)
+	subs := AllGateSubs(c)
+	// Only the inverter yields a substitution (NOT -> BUFF).
+	if len(subs) != 1 || subs[0].Gate != inv || subs[0].WrongType != netlist.Buff {
+		t.Fatalf("subs = %v", subs)
+	}
+}
+
+func TestGateSubDescribe(t *testing.T) {
+	c := netlist.New("g")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", netlist.And, a, b)
+	c.MarkOutput(z)
+	s := GateSub{Gate: z, WrongType: netlist.Or}
+	if got := s.Describe(c); got != "z:AND->OR" {
+		t.Fatalf("describe = %q", got)
+	}
+	if !strings.Contains(s.String(), "OR") {
+		t.Fatal("String must mention the wrong type")
+	}
+}
+
+func TestBridgingString(t *testing.T) {
+	b := Bridging{U: 3, V: 7, Kind: WiredOR}
+	if got := b.String(); got != "bridge(net3 | net7)" {
+		t.Fatalf("String = %q", got)
+	}
+}

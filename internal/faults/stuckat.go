@@ -1,0 +1,137 @@
+// Package faults defines the two fault models the paper studies — the
+// classical single stuck-at model restricted to collapsed checkpoint
+// faults (§2.1) and the two-wire non-feedback bridging fault model with
+// wired-AND and wired-OR behavior (§2.2) — together with the screening
+// steps the paper applies: fault equivalence at gate inputs for stuck-at
+// faults, and feedback / trivially-undetectable screening for bridging
+// faults.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// StuckAt is a single stuck-at fault on a line. A fault with Gate < 0 sits
+// on the net itself (a primary input or a stem); one with Gate >= 0 sits on
+// a fan-out branch: the wire entering input pin Pin of that gate, leaving
+// the other branches of the stem healthy.
+type StuckAt struct {
+	Net   int  // the driving net
+	Gate  int  // consumer gate for a branch fault, -1 for a net fault
+	Pin   int  // input pin of Gate for a branch fault, -1 otherwise
+	Stuck bool // the stuck value: false = stuck-at-0, true = stuck-at-1
+}
+
+// IsBranch reports whether the fault sits on a fan-out branch.
+func (f StuckAt) IsBranch() bool { return f.Gate >= 0 }
+
+// String renders the fault in conventional notation.
+func (f StuckAt) String() string { return f.Describe(nil) }
+
+// Describe renders the fault with net names when a circuit is supplied.
+func (f StuckAt) Describe(c *netlist.Circuit) string {
+	v := 0
+	if f.Stuck {
+		v = 1
+	}
+	name := fmt.Sprintf("net%d", f.Net)
+	if c != nil {
+		name = c.NetName(f.Net)
+	}
+	if !f.IsBranch() {
+		return fmt.Sprintf("%s/SA%d", name, v)
+	}
+	gname := fmt.Sprintf("gate%d", f.Gate)
+	if c != nil {
+		gname = c.NetName(f.Gate)
+	}
+	return fmt.Sprintf("%s->%s.%d/SA%d", name, gname, f.Pin, v)
+}
+
+// Checkpoints returns the circuit's checkpoint lines: all primary inputs
+// (as net faults) plus every fan-out branch of every stem (as branch
+// faults). Detecting all stuck-at faults on checkpoints detects all
+// single stuck-at faults in a fan-out-free region decomposition of the
+// circuit (Bossen & Hong).
+func Checkpoints(c *netlist.Circuit) []StuckAt {
+	var sites []StuckAt
+	for _, in := range c.Inputs {
+		sites = append(sites, StuckAt{Net: in, Gate: -1, Pin: -1})
+	}
+	fo := c.Fanout()
+	for net := range c.Gates {
+		if len(fo[net]) <= 1 {
+			continue
+		}
+		for _, g := range fo[net] {
+			for pin, fin := range c.Gates[g].Fanin {
+				if fin == net {
+					sites = append(sites, StuckAt{Net: net, Gate: g, Pin: pin})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// CheckpointStuckAts returns both polarities of every checkpoint line,
+// collapsed by fault equivalence at gate inputs exactly as §2.1
+// prescribes: among the checkpoint branch faults entering the same
+// AND/NAND gate, the stuck-at-0 faults are all equivalent (each is
+// equivalent to the gate output stuck fault), so one representative is
+// kept; dually for stuck-at-1 faults entering the same OR/NOR gate.
+func CheckpointStuckAts(c *netlist.Circuit) []StuckAt {
+	sites := Checkpoints(c)
+	type key struct {
+		gate  int
+		stuck bool
+	}
+	seen := map[key]bool{}
+	fo := c.Fanout()
+	var out []StuckAt
+	for _, s := range sites {
+		for _, stuck := range []bool{false, true} {
+			f := s
+			f.Stuck = stuck
+			// A net fault on a fan-out-free line is equivalent to the pin
+			// fault at its single consumer, so it participates in the same
+			// equivalence class.
+			gate := f.Gate
+			if gate < 0 && len(fo[f.Net]) == 1 {
+				gate = fo[f.Net][0]
+			}
+			if gate >= 0 {
+				controlling := false
+				switch c.Gates[gate].Type {
+				case netlist.And, netlist.Nand:
+					controlling = !stuck // SA0 is the controlling-value fault
+				case netlist.Or, netlist.Nor:
+					controlling = stuck // SA1
+				}
+				if controlling {
+					k := key{gate: gate, stuck: stuck}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AllStuckAts enumerates both polarities on every net of the circuit
+// (no collapsing); used by the extension experiments and as a reference
+// population in tests.
+func AllStuckAts(c *netlist.Circuit) []StuckAt {
+	out := make([]StuckAt, 0, 2*c.NumNets())
+	for net := range c.Gates {
+		out = append(out, StuckAt{Net: net, Gate: -1, Pin: -1, Stuck: false})
+		out = append(out, StuckAt{Net: net, Gate: -1, Pin: -1, Stuck: true})
+	}
+	return out
+}

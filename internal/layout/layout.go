@@ -1,0 +1,152 @@
+// Package layout implements the paper's layout-free wire-distance
+// approximation (§2.2) used to weight the random selection of bridging
+// faults: every gate receives an X coordinate equal to its level (distance
+// in levels from the primary inputs) and a Y coordinate equal to the
+// average of its fan-in Y coordinates, with the n primary inputs pinned at
+// Y = 0..n-1 in benchmark declaration order. Distances between candidate
+// bridge wires are normalized to the largest distance over all potentially
+// detectable NFBFs and faults are drawn with probability density
+// f(z) = (1/θ)·e^(-z/θ), reflecting that physically close wires short more
+// often.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Placement holds the estimated coordinates of every net.
+type Placement struct {
+	X []float64
+	Y []float64
+}
+
+// Place computes the paper's approximate placement for the circuit.
+func Place(c *netlist.Circuit) Placement {
+	n := c.NumNets()
+	p := Placement{X: make([]float64, n), Y: make([]float64, n)}
+	levels := c.Levels()
+	for i, in := range c.Inputs {
+		p.Y[in] = float64(i)
+	}
+	for id, g := range c.Gates {
+		p.X[id] = float64(levels[id])
+		if g.Type == netlist.Input {
+			continue
+		}
+		sum := 0.0
+		for _, f := range g.Fanin {
+			sum += p.Y[f]
+		}
+		p.Y[id] = sum / float64(len(g.Fanin))
+	}
+	return p
+}
+
+// Distance returns the Euclidean distance between the two nets' estimated
+// positions.
+func (p Placement) Distance(u, v int) float64 {
+	dx := p.X[u] - p.X[v]
+	dy := p.Y[u] - p.Y[v]
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// NormalizedDistances returns each candidate bridge's distance divided by
+// the maximum distance over the candidate set, as the paper prescribes.
+// All-zero distances (degenerate placements) normalize to zero.
+func NormalizedDistances(p Placement, candidates []faults.Bridging) []float64 {
+	out := make([]float64, len(candidates))
+	max := 0.0
+	for i, b := range candidates {
+		out[i] = p.Distance(b.U, b.V)
+		if out[i] > max {
+			max = out[i]
+		}
+	}
+	if max > 0 {
+		for i := range out {
+			out[i] /= max
+		}
+	}
+	return out
+}
+
+// SampleNFBFs draws up to n distinct bridging faults from the candidate
+// population without replacement, with weights e^(-z/θ) over the
+// normalized distances z — an exponential preference for physically close
+// wires. θ plays the paper's role of tuning the fault-set size versus
+// locality; the draw is deterministic for a fixed seed. If n >= the
+// population, the entire population is returned (as the paper does for its
+// four smallest circuits).
+func SampleNFBFs(c *netlist.Circuit, candidates []faults.Bridging, n int, theta float64, seed int64) []faults.Bridging {
+	if theta <= 0 {
+		panic(fmt.Sprintf("layout: theta must be positive, got %v", theta))
+	}
+	if n >= len(candidates) {
+		return append([]faults.Bridging(nil), candidates...)
+	}
+	p := Place(c)
+	z := NormalizedDistances(p, candidates)
+	rng := rand.New(rand.NewSource(seed))
+	// Weighted sampling without replacement (Efraimidis–Spirakis): draw
+	// key u^(1/w) per item and keep the n largest keys.
+	type scored struct {
+		idx int
+		key float64
+	}
+	items := make([]scored, len(candidates))
+	for i := range candidates {
+		w := math.Exp(-z[i] / theta)
+		u := rng.Float64()
+		// u^(1/w) computed in log space for numerical stability.
+		items[i] = scored{idx: i, key: math.Log(u) / w}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].key > items[b].key })
+	out := make([]faults.Bridging, n)
+	for i := 0; i < n; i++ {
+		out[i] = candidates[items[i].idx]
+	}
+	// Keep the sample in a stable, readable order.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].V < out[b].V
+	})
+	return out
+}
+
+// MeanDistance reports the average normalized distance of a fault set
+// under the placement — used to sanity-check that sampling favors close
+// wires.
+func MeanDistance(p Placement, set []faults.Bridging, norm float64) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range set {
+		sum += p.Distance(b.U, b.V)
+	}
+	mean := sum / float64(len(set))
+	if norm > 0 {
+		mean /= norm
+	}
+	return mean
+}
+
+// MaxDistance returns the maximum pairwise distance over the candidates,
+// the normalization constant of the paper's distance model.
+func MaxDistance(p Placement, candidates []faults.Bridging) float64 {
+	max := 0.0
+	for _, b := range candidates {
+		if d := p.Distance(b.U, b.V); d > max {
+			max = d
+		}
+	}
+	return max
+}

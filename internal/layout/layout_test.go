@@ -1,0 +1,156 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+func TestPlaceC17(t *testing.T) {
+	c := circuits.MustGet("c17")
+	p := Place(c)
+	n := func(s string) int { return c.NetByName(s) }
+	// PIs pinned at Y = 0..4 in declaration order (1,2,3,6,7), X = 0.
+	for i, name := range []string{"1", "2", "3", "6", "7"} {
+		if p.X[n(name)] != 0 || p.Y[n(name)] != float64(i) {
+			t.Fatalf("PI %s at (%v, %v), want (0, %d)", name, p.X[n(name)], p.Y[n(name)], i)
+		}
+	}
+	// Gate 10 = NAND(1, 3): X = 1, Y = (0+2)/2 = 1.
+	if p.X[n("10")] != 1 || p.Y[n("10")] != 1 {
+		t.Fatalf("gate 10 at (%v, %v), want (1, 1)", p.X[n("10")], p.Y[n("10")])
+	}
+	// Gate 11 = NAND(3, 6): Y = (2+3)/2 = 2.5.
+	if p.Y[n("11")] != 2.5 {
+		t.Fatalf("gate 11 Y = %v, want 2.5", p.Y[n("11")])
+	}
+	// Gate 16 = NAND(2, 11): level 2, Y = (1 + 2.5)/2 = 1.75.
+	if p.X[n("16")] != 2 || p.Y[n("16")] != 1.75 {
+		t.Fatalf("gate 16 at (%v, %v)", p.X[n("16")], p.Y[n("16")])
+	}
+}
+
+func TestDistance(t *testing.T) {
+	p := Placement{X: []float64{0, 3}, Y: []float64{0, 4}}
+	if d := p.Distance(0, 1); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+	if d := p.Distance(0, 0); d != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	if p.Distance(0, 1) != p.Distance(1, 0) {
+		t.Fatal("distance must be symmetric")
+	}
+}
+
+func TestNormalizedDistances(t *testing.T) {
+	c := circuits.MustGet("c17")
+	p := Place(c)
+	cands := faults.AllNFBFs(c, faults.WiredAND)
+	z := NormalizedDistances(p, cands)
+	max := 0.0
+	for _, v := range z {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized distance %v out of [0,1]", v)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.Abs(max-1) > 1e-12 {
+		t.Fatalf("max normalized distance = %v, want 1", max)
+	}
+}
+
+func TestSampleWholePopulationWhenSmall(t *testing.T) {
+	c := circuits.MustGet("c17")
+	cands := faults.AllNFBFs(c, faults.WiredAND)
+	got := SampleNFBFs(c, cands, len(cands)+10, 0.5, 1)
+	if len(got) != len(cands) {
+		t.Fatalf("small population must be returned whole: %d vs %d", len(got), len(cands))
+	}
+}
+
+func TestSampleDeterministicAndDistinct(t *testing.T) {
+	c := circuits.MustGet("alu181")
+	cands := faults.AllNFBFs(c, faults.WiredOR)
+	a := SampleNFBFs(c, cands, 50, 0.3, 7)
+	b := SampleNFBFs(c, cands, 50, 0.3, 7)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("sample sizes %d/%d", len(a), len(b))
+	}
+	seen := map[[2]int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling must be deterministic for a fixed seed")
+		}
+		k := [2]int{a[i].U, a[i].V}
+		if seen[k] {
+			t.Fatal("sample contains duplicates")
+		}
+		seen[k] = true
+	}
+	c2 := SampleNFBFs(c, cands, 50, 0.3, 8)
+	same := true
+	for i := range a {
+		if a[i] != c2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different samples")
+	}
+}
+
+func TestSampleFavorsCloseWires(t *testing.T) {
+	c := circuits.MustGet("c432s")
+	cands := faults.AllNFBFs(c, faults.WiredAND)
+	p := Place(c)
+	norm := MaxDistance(p, cands)
+	popMean := MeanDistance(p, cands, norm)
+	// A tight theta must pull the sample mean well below the population
+	// mean.
+	sample := SampleNFBFs(c, cands, 200, 0.1, 3)
+	sampleMean := MeanDistance(p, sample, norm)
+	if sampleMean >= popMean {
+		t.Fatalf("exponential weighting failed: sample mean %v >= population mean %v", sampleMean, popMean)
+	}
+	// A huge theta approaches uniform sampling; its mean should sit closer
+	// to the population mean than the tight sample's.
+	loose := SampleNFBFs(c, cands, 200, 100, 3)
+	looseMean := MeanDistance(p, loose, norm)
+	if math.Abs(looseMean-popMean) > math.Abs(sampleMean-popMean) {
+		t.Fatalf("theta ordering violated: tight %v, loose %v, population %v", sampleMean, looseMean, popMean)
+	}
+}
+
+func TestSamplePanicsOnBadTheta(t *testing.T) {
+	c := circuits.MustGet("c17")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive theta must panic")
+		}
+	}()
+	SampleNFBFs(c, faults.AllNFBFs(c, faults.WiredAND), 5, 0, 1)
+}
+
+func TestMeanDistanceEmpty(t *testing.T) {
+	if MeanDistance(Placement{}, nil, 1) != 0 {
+		t.Fatal("empty set mean must be 0")
+	}
+}
+
+func TestPlaceDeeperCircuitMonotoneX(t *testing.T) {
+	c := circuits.MustGet("c1355s")
+	p := Place(c)
+	lv := c.Levels()
+	for id := range p.X {
+		if p.X[id] != float64(lv[id]) {
+			t.Fatal("X must equal the level")
+		}
+	}
+	_ = netlist.Input // keep the import meaningful if shapes change
+}

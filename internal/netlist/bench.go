@@ -1,0 +1,222 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS-85 `.bench` netlist format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//
+// Gate lines may appear in any order; the circuit is topologically sorted
+// during construction. The supported gate keywords are AND, NAND, OR, NOR,
+// XOR, XNOR, NOT and BUFF (BUF accepted as an alias).
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	type rawGate struct {
+		name  string
+		typ   GateType
+		fanin []string
+		line  int
+	}
+	var (
+		inputs  []string
+		outputs []string
+		gates   []rawGate
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: unrecognized line %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if lhs == "" || open < 0 || close < open {
+				return nil, fmt.Errorf("%s:%d: malformed gate line %q", name, lineNo, line)
+			}
+			kw := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			typ, ok := map[string]GateType{
+				"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor,
+				"XOR": Xor, "XNOR": Xnor, "NOT": Not, "BUFF": Buff, "BUF": Buff,
+			}[kw]
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: unknown gate type %q", name, lineNo, kw)
+			}
+			var fanin []string
+			for _, tok := range strings.Split(rhs[open+1:close], ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					return nil, fmt.Errorf("%s:%d: empty fan-in name", name, lineNo)
+				}
+				fanin = append(fanin, tok)
+			}
+			gates = append(gates, rawGate{name: lhs, typ: typ, fanin: fanin, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+
+	c := New(name)
+	defined := map[string]bool{}
+	for _, in := range inputs {
+		if defined[in] {
+			return nil, fmt.Errorf("%s: input %q defined twice", name, in)
+		}
+		defined[in] = true
+		c.AddInput(in)
+	}
+	byName := map[string]*rawGate{}
+	for i := range gates {
+		g := &gates[i]
+		if defined[g.name] || byName[g.name] != nil {
+			return nil, fmt.Errorf("%s:%d: net %q defined twice", name, g.line, g.name)
+		}
+		byName[g.name] = g
+	}
+	// Topological emission with cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var emit func(string) error
+	emit = func(n string) error {
+		if defined[n] {
+			return nil
+		}
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("%s: combinational cycle through net %q", name, n)
+		case black:
+			return nil
+		}
+		g := byName[n]
+		if g == nil {
+			return fmt.Errorf("%s: net %q used but never defined", name, n)
+		}
+		color[n] = gray
+		for _, f := range g.fanin {
+			if err := emit(f); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		fanin := make([]int, len(g.fanin))
+		for i, f := range g.fanin {
+			fanin[i] = c.NetByName(f)
+		}
+		c.AddGate(g.name, g.typ, fanin...)
+		defined[n] = true
+		return nil
+	}
+	for i := range gates {
+		if err := emit(gates[i].name); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range outputs {
+		net := c.NetByName(o)
+		if net < 0 {
+			return nil, fmt.Errorf("%s: output %q never defined", name, o)
+		}
+		c.MarkOutput(net)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseBenchString parses a `.bench` netlist held in a string.
+func ParseBenchString(name, text string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(text))
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench serializes the circuit in `.bench` format. The output is
+// deterministic and round-trips through ParseBench.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.String())
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[in].Name)
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[o].Name)
+	}
+	for _, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// BenchString returns the `.bench` serialization as a string.
+func (c *Circuit) BenchString() string {
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
+}
+
+// SortedNetNames returns all net names, sorted, mainly for deterministic
+// diagnostics.
+func (c *Circuit) SortedNetNames() []string {
+	out := make([]string, len(c.Gates))
+	for i, g := range c.Gates {
+		out[i] = g.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,34 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the circuit as a Graphviz digraph: inputs as plaintext,
+// gates labeled with their type, outputs double-circled. Useful for
+// inspecting the generated benchmark circuits and transform results.
+func (c *Circuit) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", c.Name)
+	sb.WriteString("  rankdir=LR;\n")
+	isOut := make([]bool, len(c.Gates))
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	for id, g := range c.Gates {
+		switch {
+		case g.Type == Input:
+			fmt.Fprintf(&sb, "  n%d [label=%q, shape=plaintext];\n", id, g.Name)
+		case isOut[id]:
+			fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%s\", shape=doublecircle];\n", id, g.Name, g.Type)
+		default:
+			fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%s\", shape=circle];\n", id, g.Name, g.Type)
+		}
+		for _, f := range g.Fanin {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", f, id)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 16 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteBenchPropagatesErrors(t *testing.T) {
+	c := mustC17(t)
+	if err := c.WriteBench(&failingWriter{}); err == nil {
+		t.Fatal("write errors must propagate")
+	}
+}
+
+func TestGateTypeStringUnknown(t *testing.T) {
+	if s := GateType(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown type string %q", s)
+	}
+}
+
+func TestEvalPanicsOnInputGate(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Input.Eval([]bool{true}) },
+		func() { Input.EvalWord([]uint64{1}) },
+		func() { GateType(99).Eval([]bool{true}) },
+		func() { GateType(99).EvalWord([]uint64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxLevelsFromPIEqualsLevels(t *testing.T) {
+	c := mustC17(t)
+	a, b := c.MaxLevelsFromPI(), c.Levels()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MaxLevelsFromPI must alias Levels")
+		}
+	}
+}
+
+func TestBenchStringStableAcrossCalls(t *testing.T) {
+	c := mustC17(t)
+	if c.BenchString() != c.BenchString() {
+		t.Fatal("serialization must be deterministic")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	c := mustC17(t)
+	s := c.String()
+	for _, want := range []string{"c17", "5 PIs", "2 POs", "6 gates", "depth 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestOutputNames(t *testing.T) {
+	c := mustC17(t)
+	names := c.OutputNames()
+	if len(names) != 2 || names[0] != "22" || names[1] != "23" {
+		t.Fatalf("output names %v", names)
+	}
+}
+
+func TestInvalidationOnMutation(t *testing.T) {
+	c := mustC17(t)
+	lv := c.Levels()
+	if lv == nil {
+		t.Fatal("levels nil")
+	}
+	// Adding a gate invalidates caches; a fresh query must include it.
+	n := c.AddGate("extra", Not, c.NetByName("22"))
+	lv2 := c.Levels()
+	if len(lv2) != c.NumNets() || lv2[n] != 4 {
+		t.Fatalf("cache not invalidated: %d entries, level %d", len(lv2), lv2[n])
+	}
+}
+
+func TestDOTNetlist(t *testing.T) {
+	c := mustC17(t)
+	dot := c.DOT()
+	for _, want := range []string{"digraph", "doublecircle", "plaintext", "NAND", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+func ExampleParseBenchString() {
+	c, err := netlist.ParseBenchString("half-adder", `
+INPUT(a)
+INPUT(b)
+OUTPUT(sum)
+OUTPUT(carry)
+sum = XOR(a, b)
+carry = AND(a, b)
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c)
+	out := c.EvalBool([]bool{true, true})
+	fmt.Println("1+1: sum =", out[0], "carry =", out[1])
+	// Output:
+	// half-adder: 2 PIs, 2 POs, 2 gates, depth 1
+	// 1+1: sum = false carry = true
+}
+
+func ExampleCircuit_ExpandXOR() {
+	c := netlist.New("parity")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	x := c.AddGate("x", netlist.Xor, a, b)
+	c.MarkOutput(x)
+	e := c.ExpandXOR()
+	fmt.Println("gates before:", c.NumGates(), "after:", e.NumGates())
+	fmt.Println("NANDs:", e.TypeCounts()[netlist.Nand])
+	// Output:
+	// gates before: 1 after: 4
+	// NANDs: 4
+}
+
+func ExampleCircuit_Optimize() {
+	// Expansion followed by optimization round-trips: the paper's
+	// C499/C1355 relationship in miniature.
+	c := netlist.New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	x1 := c.AddGate("x1", netlist.Xor, a, b)
+	x2 := c.AddGate("x2", netlist.Xor, x1, d)
+	c.MarkOutput(x2)
+	blown := c.ExpandXOR()
+	fmt.Println("expanded:", blown.NumGates(), "gates")
+	fmt.Println("optimized:", blown.Optimize().NumGates(), "gates")
+	// Output:
+	// expanded: 8 gates
+	// optimized: 2 gates
+}

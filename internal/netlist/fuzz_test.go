@@ -1,0 +1,92 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench hardens the netlist parser: arbitrary text must either
+// parse into a circuit that validates and round-trips, or produce an
+// error — never a panic or an invalid circuit.
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n")
+	f.Add("# comment\nINPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n")
+	f.Add("z = XOR(p, q)\nINPUT(p)\nINPUT(q)\nOUTPUT(z)\n")
+	f.Add("INPUT(a)\nOUTPUT(x)\nx = BUF(a)\n")
+	f.Add(strings.Repeat("INPUT(v)\n", 3))
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := ParseBenchString("fuzz", text)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v\ninput:\n%s", verr, text)
+		}
+		// Round trip must re-parse to an equivalent-shape circuit.
+		c2, err := ParseBenchString("fuzz2", c.BenchString())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\noriginal:\n%s", err, text)
+		}
+		if c2.NumNets() != c.NumNets() || len(c2.Inputs) != len(c.Inputs) || len(c2.Outputs) != len(c.Outputs) {
+			t.Fatalf("round trip changed shape: %v vs %v", c, c2)
+		}
+	})
+}
+
+// FuzzTransformsPreserveFunction pushes random byte-derived circuits
+// through the structural transforms and demands functional equivalence.
+func FuzzTransformsPreserveFunction(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x20, 0x30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		// Deterministically derive a circuit from the bytes.
+		c := New("fz")
+		nIn := 2 + int(data[0])%4
+		for i := 0; i < nIn; i++ {
+			c.AddInput("i" + string(rune('a'+i)))
+		}
+		types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buff}
+		for i, b := range data[1:] {
+			if c.NumNets() > 40 {
+				break
+			}
+			gt := types[int(b)%len(types)]
+			nf := 1
+			if gt != Not && gt != Buff {
+				nf = 2
+			}
+			fanin := make([]int, nf)
+			for j := range fanin {
+				fanin[j] = (int(b)*7 + i*13 + j*29) % c.NumNets()
+			}
+			c.AddGate("g"+itoa(i), gt, fanin...)
+		}
+		c.MarkOutput(c.NumNets() - 1)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("generated circuit invalid: %v", err)
+		}
+		for _, tr := range []*Circuit{c.Decompose2(), c.ExpandXOR(), c.Simplify(), c.Optimize()} {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("transform produced invalid circuit: %v", err)
+			}
+			// Spot-check equivalence on a few assignments derived from data.
+			for trial := 0; trial < 8; trial++ {
+				in := make([]bool, nIn)
+				for j := range in {
+					in[j] = data[(trial+j)%len(data)]>>(uint(j)%8)&1 == 1
+				}
+				a, b := c.EvalBool(in), tr.EvalBool(in)
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("transform changed function at %v", in)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,535 @@
+// Package netlist provides a gate-level combinational circuit
+// representation in the style of the ISCAS-85 benchmark suite
+// (Brglez & Fujiwara, 1985): primary inputs, primitive gates
+// (AND/NAND/OR/NOR/XOR/XNOR/NOT/BUFF), named nets, `.bench` file I/O,
+// levelization, fan-out analysis and the structural transforms the paper
+// relies on (n-input to 2-input decomposition, XOR to 4-NAND expansion).
+//
+// Every gate drives exactly one net and the gate index doubles as the net
+// index. Primary inputs are gates of type Input with no fan-in.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the primitive gate kinds of the benchmark format.
+type GateType int
+
+// Gate kinds. Input is a primary-input pseudo gate.
+const (
+	Input GateType = iota
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	Not
+	Buff
+)
+
+var gateNames = map[GateType]string{
+	Input: "INPUT", And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buff: "BUFF",
+}
+
+// String returns the benchmark-format keyword for the gate type.
+func (t GateType) String() string {
+	if s, ok := gateNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// Inverting reports whether the gate complements its underlying
+// AND/OR/XOR/identity body. Difference functions are invariant under output
+// inversion, which is why Table 1 lists AND/NAND, OR/NOR and XOR/XNOR
+// together.
+func (t GateType) Inverting() bool {
+	switch t {
+	case Nand, Nor, Xnor, Not:
+		return true
+	}
+	return false
+}
+
+// Eval computes the gate function over the fan-in values.
+func (t GateType) Eval(in []bool) bool {
+	switch t {
+	case Input:
+		panic("netlist: cannot evaluate an INPUT gate")
+	case And, Nand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		return v != (t == Nand)
+	case Or, Nor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		return v != (t == Nor)
+	case Xor, Xnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		return v != (t == Xnor)
+	case Not:
+		return !in[0]
+	case Buff:
+		return in[0]
+	}
+	panic(fmt.Sprintf("netlist: unknown gate type %d", int(t)))
+}
+
+// EvalWord computes the gate function over 64 patterns at once
+// (bit-parallel), the core primitive of the parallel-pattern simulator.
+func (t GateType) EvalWord(in []uint64) uint64 {
+	switch t {
+	case Input:
+		panic("netlist: cannot evaluate an INPUT gate")
+	case And, Nand:
+		v := ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+		if t == Nand {
+			v = ^v
+		}
+		return v
+	case Or, Nor:
+		v := uint64(0)
+		for _, w := range in {
+			v |= w
+		}
+		if t == Nor {
+			v = ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := uint64(0)
+		for _, w := range in {
+			v ^= w
+		}
+		if t == Xnor {
+			v = ^v
+		}
+		return v
+	case Not:
+		return ^in[0]
+	case Buff:
+		return in[0]
+	}
+	panic(fmt.Sprintf("netlist: unknown gate type %d", int(t)))
+}
+
+// Gate is one primitive gate; its output net shares its index.
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int // net indices feeding the gate, pin order significant
+}
+
+// Circuit is a combinational gate-level network. Build one with New and the
+// Add* methods, or parse a `.bench` file with ParseBench. After
+// construction call Validate once; analysis accessors assume a valid,
+// topologically ordered circuit (AddGate enforces topological order).
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // gate indices of primary inputs, in declaration order
+	Outputs []int // net indices of primary outputs, in declaration order
+
+	byName map[string]int
+
+	// Lazily computed caches, invalidated on mutation.
+	fanout [][]int
+	levels []int
+	toPO   []int
+	fromPI []int
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: map[string]int{}}
+}
+
+func (c *Circuit) invalidate() {
+	c.fanout, c.levels, c.toPO, c.fromPI = nil, nil, nil, nil
+}
+
+// AddInput declares a primary input and returns its net index.
+func (c *Circuit) AddInput(name string) int {
+	id := c.addGate(Gate{Name: name, Type: Input})
+	c.Inputs = append(c.Inputs, id)
+	return id
+}
+
+// AddGate adds a gate driving a new net and returns the net index. Fan-in
+// nets must already exist (construction is topological).
+func (c *Circuit) AddGate(name string, t GateType, fanin ...int) int {
+	if t == Input {
+		panic("netlist: use AddInput for primary inputs")
+	}
+	for _, f := range fanin {
+		if f < 0 || f >= len(c.Gates) {
+			panic(fmt.Sprintf("netlist: gate %q fan-in net %d does not exist", name, f))
+		}
+	}
+	return c.addGate(Gate{Name: name, Type: t, Fanin: append([]int(nil), fanin...)})
+}
+
+func (c *Circuit) addGate(g Gate) int {
+	if g.Name == "" {
+		panic("netlist: empty gate name")
+	}
+	if _, dup := c.byName[g.Name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate net name %q", g.Name))
+	}
+	id := len(c.Gates)
+	c.Gates = append(c.Gates, g)
+	c.byName[g.Name] = id
+	c.invalidate()
+	return id
+}
+
+// MarkOutput declares the given net a primary output.
+func (c *Circuit) MarkOutput(net int) {
+	if net < 0 || net >= len(c.Gates) {
+		panic(fmt.Sprintf("netlist: output net %d does not exist", net))
+	}
+	c.Outputs = append(c.Outputs, net)
+}
+
+// NetByName returns the net index for a name, or -1.
+func (c *Circuit) NetByName(name string) int {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// NetName returns the name of a net.
+func (c *Circuit) NetName(net int) string { return c.Gates[net].Name }
+
+// NumNets returns the total number of nets (gates + inputs).
+func (c *Circuit) NumNets() int { return len(c.Gates) }
+
+// NumGates returns the number of logic gates (excluding primary inputs).
+func (c *Circuit) NumGates() int { return len(c.Gates) - len(c.Inputs) }
+
+// IsInput reports whether the net is a primary input.
+func (c *Circuit) IsInput(net int) bool { return c.Gates[net].Type == Input }
+
+// IsOutput reports whether the net is a primary output.
+func (c *Circuit) IsOutput(net int) bool {
+	for _, o := range c.Outputs {
+		if o == net {
+			return true
+		}
+	}
+	return false
+}
+
+// InputNames returns the primary input names in declaration order.
+func (c *Circuit) InputNames() []string {
+	out := make([]string, len(c.Inputs))
+	for i, id := range c.Inputs {
+		out[i] = c.Gates[id].Name
+	}
+	return out
+}
+
+// OutputNames returns the primary output names in declaration order.
+func (c *Circuit) OutputNames() []string {
+	out := make([]string, len(c.Outputs))
+	for i, id := range c.Outputs {
+		out[i] = c.Gates[id].Name
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: fan-in arities, topological
+// construction order, at least one input and output, no dangling outputs.
+func (c *Circuit) Validate() error {
+	if len(c.Inputs) == 0 {
+		return fmt.Errorf("circuit %s: no primary inputs", c.Name)
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("circuit %s: no primary outputs", c.Name)
+	}
+	for id, g := range c.Gates {
+		switch g.Type {
+		case Input:
+			if len(g.Fanin) != 0 {
+				return fmt.Errorf("net %s: INPUT with fan-in", g.Name)
+			}
+		case Not, Buff:
+			if len(g.Fanin) != 1 {
+				return fmt.Errorf("net %s: %s needs exactly 1 input, has %d", g.Name, g.Type, len(g.Fanin))
+			}
+		default:
+			if len(g.Fanin) < 2 {
+				return fmt.Errorf("net %s: %s needs >= 2 inputs, has %d", g.Name, g.Type, len(g.Fanin))
+			}
+		}
+		for _, f := range g.Fanin {
+			if f >= id {
+				return fmt.Errorf("net %s: fan-in %s not topologically earlier", g.Name, c.Gates[f].Name)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for _, o := range c.Outputs {
+		if seen[o] {
+			return fmt.Errorf("net %s: declared output twice", c.Gates[o].Name)
+		}
+		seen[o] = true
+	}
+	return nil
+}
+
+// Fanout returns, for each net, the list of gate indices it feeds. A gate
+// consuming the same net on several pins appears once per pin.
+func (c *Circuit) Fanout() [][]int {
+	if c.fanout != nil {
+		return c.fanout
+	}
+	fo := make([][]int, len(c.Gates))
+	for id, g := range c.Gates {
+		for _, f := range g.Fanin {
+			fo[f] = append(fo[f], id)
+		}
+	}
+	c.fanout = fo
+	return fo
+}
+
+// FanoutCount returns the number of gate pins a net feeds.
+func (c *Circuit) FanoutCount(net int) int { return len(c.Fanout()[net]) }
+
+// IsStem reports whether the net feeds more than one gate pin (a fan-out
+// stem in the checkpoint-fault sense).
+func (c *Circuit) IsStem(net int) bool { return c.FanoutCount(net) > 1 }
+
+// Levels returns each net's level: 0 for primary inputs, otherwise
+// 1 + max(level of fan-in). This is the paper's X coordinate.
+func (c *Circuit) Levels() []int {
+	if c.levels != nil {
+		return c.levels
+	}
+	lv := make([]int, len(c.Gates))
+	for id, g := range c.Gates {
+		max := -1
+		for _, f := range g.Fanin {
+			if lv[f] > max {
+				max = lv[f]
+			}
+		}
+		lv[id] = max + 1
+	}
+	c.levels = lv
+	return lv
+}
+
+// Depth returns the maximum level over all nets.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.Levels() {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// MaxLevelsToPO returns, for each net, the maximum number of gate levels on
+// any path from the net to a primary output; a net that is itself a PO and
+// feeds nothing deeper scores 0. Nets that reach no PO score -1. This is
+// the X axis of the paper's Figures 3 and 8.
+func (c *Circuit) MaxLevelsToPO() []int {
+	if c.toPO != nil {
+		return c.toPO
+	}
+	d := make([]int, len(c.Gates))
+	for i := range d {
+		d[i] = -1
+	}
+	for _, o := range c.Outputs {
+		d[o] = 0
+	}
+	// Reverse topological order: highest index first (construction order is
+	// topological).
+	for id := len(c.Gates) - 1; id >= 0; id-- {
+		if d[id] < 0 {
+			continue
+		}
+		for _, f := range c.Gates[id].Fanin {
+			if d[id]+1 > d[f] {
+				d[f] = d[id] + 1
+			}
+		}
+	}
+	c.toPO = d
+	return d
+}
+
+// MinLevelsToPO returns, for each net, the minimum number of gate levels to
+// any primary output (-1 if none is reachable). Used by the "justification
+// to the closest PO" observation in §4.1.
+func (c *Circuit) MinLevelsToPO() []int {
+	d := make([]int, len(c.Gates))
+	for i := range d {
+		d[i] = -1
+	}
+	for _, o := range c.Outputs {
+		d[o] = 0
+	}
+	for id := len(c.Gates) - 1; id >= 0; id-- {
+		if d[id] < 0 {
+			continue
+		}
+		for _, f := range c.Gates[id].Fanin {
+			if d[f] < 0 || d[id]+1 < d[f] {
+				d[f] = d[id] + 1
+			}
+		}
+	}
+	return d
+}
+
+// MaxLevelsFromPI returns each net's level (maximum distance from the
+// primary inputs), i.e. Levels. Present for symmetry with MaxLevelsToPO in
+// the controllability-vs-observability study.
+func (c *Circuit) MaxLevelsFromPI() []int { return c.Levels() }
+
+// FanoutCone returns a bitmap over nets reachable from `net` by following
+// fan-out edges (excluding the net itself unless it appears on a cycle,
+// which Validate forbids).
+func (c *Circuit) FanoutCone(net int) []bool {
+	reach := make([]bool, len(c.Gates))
+	fo := c.Fanout()
+	stack := []int{net}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, g := range fo[n] {
+			if !reach[g] {
+				reach[g] = true
+				stack = append(stack, g)
+			}
+		}
+	}
+	return reach
+}
+
+// FaninCone returns a bitmap over nets in the transitive fan-in of `net`
+// (excluding the net itself).
+func (c *Circuit) FaninCone(net int) []bool {
+	reach := make([]bool, len(c.Gates))
+	stack := append([]int(nil), c.Gates[net].Fanin...)
+	for _, f := range c.Gates[net].Fanin {
+		reach[f] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Gates[n].Fanin {
+			if !reach[f] {
+				reach[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return reach
+}
+
+// POsFed returns the list of primary-output positions (indices into
+// c.Outputs) whose cones contain the net. A net that is itself a PO feeds
+// that PO. This supports the paper's "POs fed vs POs observable" study.
+func (c *Circuit) POsFed(net int) []int {
+	cone := c.FanoutCone(net)
+	var out []int
+	for i, o := range c.Outputs {
+		if o == net || cone[o] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EvalBool evaluates the circuit on one input assignment (in primary-input
+// declaration order) and returns the primary-output values (in output
+// declaration order). This is the reference semantics; the bit-parallel
+// simulator in internal/simulate must agree with it.
+func (c *Circuit) EvalBool(inputs []bool) []bool {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("netlist: %d input values for %d inputs", len(inputs), len(c.Inputs)))
+	}
+	vals := make([]bool, len(c.Gates))
+	for i, in := range c.Inputs {
+		vals[in] = inputs[i]
+	}
+	scratch := make([]bool, 0, 8)
+	for id, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, f := range g.Fanin {
+			scratch = append(scratch, vals[f])
+		}
+		vals[id] = g.Type.Eval(scratch)
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = vals[o]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	nc := New(c.Name)
+	nc.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		nc.Gates[i] = Gate{Name: g.Name, Type: g.Type, Fanin: append([]int(nil), g.Fanin...)}
+		nc.byName[g.Name] = i
+	}
+	nc.Inputs = append([]int(nil), c.Inputs...)
+	nc.Outputs = append([]int(nil), c.Outputs...)
+	return nc
+}
+
+// TypeCounts returns the number of gates of each type (excluding inputs).
+func (c *Circuit) TypeCounts() map[GateType]int {
+	out := map[GateType]int{}
+	for _, g := range c.Gates {
+		if g.Type != Input {
+			out[g.Type]++
+		}
+	}
+	return out
+}
+
+// Stems returns all fan-out stem nets (fan-out > 1), sorted.
+func (c *Circuit) Stems() []int {
+	var out []int
+	for net := range c.Gates {
+		if c.IsStem(net) {
+			out = append(out, net)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s: %d PIs, %d POs, %d gates, depth %d",
+		c.Name, len(c.Inputs), len(c.Outputs), c.NumGates(), c.Depth())
+}

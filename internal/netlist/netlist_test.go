@@ -1,0 +1,573 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// c17 is the classic 6-NAND ISCAS-85 circuit, used widely in these tests.
+const c17Bench = `
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func mustC17(t testing.TB) *Circuit {
+	t.Helper()
+	c, err := ParseBenchString("c17", c17Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGateTypeEval(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true, true}, true},
+		{And, []bool{true, false, true}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{true, false}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, true, true}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{true, true}, true},
+		{Not, []bool{true}, false},
+		{Buff, []bool{true}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.t.Eval(tc.in); got != tc.want {
+			t.Errorf("%s(%v) = %v, want %v", tc.t, tc.in, got, tc.want)
+		}
+	}
+}
+
+// Property: EvalWord agrees with Eval bit-by-bit for every gate type and
+// random input words.
+func TestQuickEvalWordAgreesWithEval(t *testing.T) {
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor}
+	err := quick.Check(func(a, b, c uint64) bool {
+		for _, gt := range types {
+			w := gt.EvalWord([]uint64{a, b, c})
+			for bit := 0; bit < 64; bit++ {
+				in := []bool{a>>bit&1 == 1, b>>bit&1 == 1, c>>bit&1 == 1}
+				if (w>>bit&1 == 1) != gt.Eval(in) {
+					return false
+				}
+			}
+		}
+		// Unary gates.
+		if Not.EvalWord([]uint64{a}) != ^a || Buff.EvalWord([]uint64{a}) != a {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverting(t *testing.T) {
+	inv := map[GateType]bool{
+		And: false, Nand: true, Or: false, Nor: true,
+		Xor: false, Xnor: true, Not: true, Buff: false,
+	}
+	for gt, want := range inv {
+		if gt.Inverting() != want {
+			t.Errorf("%s.Inverting() = %v", gt, !want)
+		}
+	}
+}
+
+func TestParseC17(t *testing.T) {
+	c := mustC17(t)
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 || c.NumGates() != 6 {
+		t.Fatalf("c17 shape wrong: %s", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// c17 truth spot-checks: with all inputs 0, every NAND of zeros is 1...
+	// compute a few points against hand evaluation.
+	out := c.EvalBool([]bool{false, false, false, false, false})
+	// 10=NAND(0,0)=1, 11=NAND(0,0)=1, 16=NAND(0,1)=1, 19=NAND(1,0)=1,
+	// 22=NAND(1,1)=0, 23=NAND(1,1)=0.
+	if out[0] != false || out[1] != false {
+		t.Fatalf("c17(00000) = %v, want [false false]", out)
+	}
+	out = c.EvalBool([]bool{true, true, true, true, true})
+	// 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1, 22=NAND(0,1)=1, 23=NAND(1,1)=0
+	if out[0] != true || out[1] != false {
+		t.Fatalf("c17(11111) = %v, want [true false]", out)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	c := mustC17(t)
+	text := c.BenchString()
+	c2, err := ParseBenchString("c17", text)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	for i := 0; i < 32; i++ {
+		in := make([]bool, 5)
+		for b := 0; b < 5; b++ {
+			in[b] = i>>b&1 == 1
+		}
+		a, b := c.EvalBool(in), c2.EvalBool(in)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("round trip changed function at input %05b", i)
+			}
+		}
+	}
+}
+
+func TestParseOutOfOrder(t *testing.T) {
+	// Gates defined before their fan-ins must still parse (topological sort
+	// inside the parser).
+	text := `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(m, b)
+m = NOT(a)
+`
+	c, err := ParseBenchString("ooo", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EvalBool([]bool{false, true}); !got[0] {
+		t.Fatal("z = !a & b wrong")
+	}
+	if got := c.EvalBool([]bool{true, true}); got[0] {
+		t.Fatal("z = !a & b wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"cycle", "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n"},
+		{"undefined", "INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n"},
+		{"dup gate", "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = AND(a, b)\nx = OR(a, b)\n"},
+		{"dup input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"},
+		{"input redefined", "INPUT(a)\nINPUT(b)\nOUTPUT(a)\na = AND(b, b)\n"},
+		{"bad keyword", "INPUT(a)\nOUTPUT(x)\nx = FROB(a, a)\n"},
+		{"bad line", "INPUT(a)\nOUTPUT(a)\nwhat is this\n"},
+		{"missing paren", "INPUT a\nOUTPUT(a)\n"},
+		{"empty fanin", "INPUT(a)\nOUTPUT(x)\nx = AND(a, )\n"},
+		{"no outputs", "INPUT(a)\nx = NOT(a)\n"},
+		{"undefined output", "INPUT(a)\nOUTPUT(zz)\nx = NOT(a)\n"},
+		{"unary and", "INPUT(a)\nOUTPUT(x)\nx = AND(a)\n"},
+		{"binary not", "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = NOT(a, b)\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseBenchString(tc.name, tc.text); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	c := mustC17(t)
+	lv := c.Levels()
+	byName := func(n string) int { return lv[c.NetByName(n)] }
+	if byName("1") != 0 || byName("7") != 0 {
+		t.Fatal("PI level must be 0")
+	}
+	if byName("10") != 1 || byName("11") != 1 {
+		t.Fatal("first rank NANDs must be level 1")
+	}
+	if byName("16") != 2 || byName("22") != 3 || byName("23") != 3 {
+		t.Fatalf("levels wrong: 16=%d 22=%d 23=%d", byName("16"), byName("22"), byName("23"))
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", c.Depth())
+	}
+}
+
+func TestMaxLevelsToPO(t *testing.T) {
+	c := mustC17(t)
+	d := c.MaxLevelsToPO()
+	byName := func(n string) int { return d[c.NetByName(n)] }
+	if byName("22") != 0 || byName("23") != 0 {
+		t.Fatal("PO distance to itself must be 0")
+	}
+	if byName("16") != 1 || byName("10") != 1 || byName("19") != 1 {
+		t.Fatal("penultimate rank must be 1")
+	}
+	if byName("11") != 2 || byName("3") != 3 || byName("2") != 2 {
+		t.Fatalf("toPO wrong: 11=%d 3=%d 2=%d", byName("11"), byName("3"), byName("2"))
+	}
+}
+
+func TestMinLevelsToPO(t *testing.T) {
+	text := `
+INPUT(a)
+INPUT(b)
+OUTPUT(s)
+OUTPUT(d)
+s = AND(a, b)
+m = NOT(a)
+n = NOT(m)
+d = OR(n, b)
+`
+	c, err := ParseBenchString("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.MinLevelsToPO()
+	// `a` reaches s in 1 level and d in 3; min must be 1.
+	if d[c.NetByName("a")] != 1 {
+		t.Fatalf("min to PO for a = %d, want 1", d[c.NetByName("a")])
+	}
+	if d[c.NetByName("m")] != 2 {
+		t.Fatalf("min to PO for m = %d, want 2", d[c.NetByName("m")])
+	}
+}
+
+func TestCones(t *testing.T) {
+	c := mustC17(t)
+	n := func(s string) int { return c.NetByName(s) }
+	fo := c.FanoutCone(n("11"))
+	for _, want := range []string{"16", "19", "22", "23"} {
+		if !fo[n(want)] {
+			t.Errorf("fan-out cone of 11 must contain %s", want)
+		}
+	}
+	if fo[n("10")] || fo[n("11")] {
+		t.Error("fan-out cone must not contain siblings or self")
+	}
+	fi := c.FaninCone(n("22"))
+	for _, want := range []string{"10", "16", "1", "2", "3", "6", "11"} {
+		if !fi[n(want)] {
+			t.Errorf("fan-in cone of 22 must contain %s", want)
+		}
+	}
+	if fi[n("19")] || fi[n("7")] || fi[n("23")] {
+		t.Error("fan-in cone of 22 must exclude 19/7/23")
+	}
+}
+
+func TestPOsFed(t *testing.T) {
+	c := mustC17(t)
+	n := func(s string) int { return c.NetByName(s) }
+	if got := c.POsFed(n("11")); len(got) != 2 {
+		t.Fatalf("11 feeds both POs, got %v", got)
+	}
+	if got := c.POsFed(n("10")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("10 feeds only PO 22, got %v", got)
+	}
+	if got := c.POsFed(n("22")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("a PO feeds itself, got %v", got)
+	}
+}
+
+func TestStemsAndFanout(t *testing.T) {
+	c := mustC17(t)
+	n := func(s string) int { return c.NetByName(s) }
+	stems := c.Stems()
+	want := map[int]bool{n("11"): true, n("16"): true, n("3"): true}
+	if len(stems) != len(want) {
+		t.Fatalf("stems = %v", stems)
+	}
+	for _, s := range stems {
+		if !want[s] {
+			t.Fatalf("unexpected stem %s", c.NetName(s))
+		}
+	}
+	if c.FanoutCount(n("11")) != 2 || c.FanoutCount(n("22")) != 0 {
+		t.Fatal("fan-out counts wrong")
+	}
+	if !c.IsStem(n("3")) || c.IsStem(n("1")) {
+		t.Fatal("IsStem wrong")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	c := New("bad")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	x := c.AddGate("x", And, a, b)
+	c.MarkOutput(x)
+	c.MarkOutput(x)
+	if err := c.Validate(); err == nil {
+		t.Fatal("duplicate output must fail validation")
+	}
+	c2 := New("noin")
+	if err := c2.Validate(); err == nil {
+		t.Fatal("empty circuit must fail validation")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	c := New("p")
+	a := c.AddInput("a")
+	mustPanic("dup name", func() { c.AddInput("a") })
+	mustPanic("empty name", func() { c.AddInput("") })
+	mustPanic("bad fanin", func() { c.AddGate("x", Not, 99) })
+	mustPanic("input via AddGate", func() { c.AddGate("x", Input) })
+	mustPanic("bad output", func() { c.MarkOutput(42) })
+	mustPanic("eval width", func() { c.EvalBool([]bool{}) })
+	_ = a
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := mustC17(t)
+	cl := c.Clone()
+	cl.AddInput("extra")
+	if c.NumNets() == cl.NumNets() {
+		t.Fatal("clone shares storage")
+	}
+	if c.NetByName("extra") != -1 {
+		t.Fatal("clone mutated original name map")
+	}
+}
+
+func TestTypeCounts(t *testing.T) {
+	c := mustC17(t)
+	tc := c.TypeCounts()
+	if tc[Nand] != 6 || len(tc) != 1 {
+		t.Fatalf("type counts = %v", tc)
+	}
+}
+
+// randomCircuit builds a random valid circuit for property tests.
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *Circuit {
+	c := New("rand")
+	for i := 0; i < nIn; i++ {
+		c.AddInput(strings.Repeat("i", 1) + string(rune('a'+i)))
+	}
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buff}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		nf := 1
+		if gt != Not && gt != Buff {
+			nf = 2 + rng.Intn(3)
+		}
+		fanin := make([]int, nf)
+		for j := range fanin {
+			fanin[j] = rng.Intn(c.NumNets())
+		}
+		c.AddGate("g"+itoa(i), gt, fanin...)
+	}
+	// Mark a few sinks as outputs.
+	for i := 0; i < 3; i++ {
+		c.Outputs = append(c.Outputs, c.NumNets()-1-i)
+	}
+	return c
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func sameFunction(t *testing.T, a, b *Circuit, trials int, rng *rand.Rand) {
+	t.Helper()
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("interface mismatch: %s vs %s", a, b)
+	}
+	for i := 0; i < trials; i++ {
+		in := make([]bool, len(a.Inputs))
+		for j := range in {
+			in[j] = rng.Intn(2) == 1
+		}
+		ra, rb := a.EvalBool(in), b.EvalBool(in)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("functions differ at output %d for input %v", j, in)
+			}
+		}
+	}
+}
+
+func TestDecompose2PreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		c := randomCircuit(rng, 5, 20)
+		d := c.Decompose2()
+		for _, g := range d.Gates {
+			if len(g.Fanin) > 2 {
+				t.Fatalf("gate %s still has %d inputs", g.Name, len(g.Fanin))
+			}
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sameFunction(t, c, d, 64, rng)
+	}
+}
+
+func TestDecompose2KeepsNames(t *testing.T) {
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	x := c.AddGate("x", Nand, a, b, d)
+	c.MarkOutput(x)
+	dc := c.Decompose2()
+	if dc.NetByName("x") < 0 {
+		t.Fatal("decomposed gate lost its original name")
+	}
+	if !dc.IsOutput(dc.NetByName("x")) {
+		t.Fatal("output moved off the named net")
+	}
+}
+
+func TestExpandXORPreservesFunctionAndRemovesXORs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		c := randomCircuit(rng, 5, 20)
+		e := c.ExpandXOR()
+		for _, g := range e.Gates {
+			if g.Type == Xor || g.Type == Xnor {
+				t.Fatalf("gate %s is still %s", g.Name, g.Type)
+			}
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sameFunction(t, c, e, 64, rng)
+	}
+}
+
+func TestExpandXORGrowsXorRichCircuits(t *testing.T) {
+	// A parity tree must grow by 3 gates per XOR (the paper's C499→C1355
+	// growth mechanism).
+	c := New("parity")
+	var nets []int
+	for i := 0; i < 8; i++ {
+		nets = append(nets, c.AddInput("i"+itoa(i)))
+	}
+	acc := nets[0]
+	for i := 1; i < 8; i++ {
+		acc = c.AddGate("x"+itoa(i), Xor, acc, nets[i])
+	}
+	c.MarkOutput(acc)
+	e := c.ExpandXOR()
+	if e.NumGates() != 4*c.NumGates() {
+		t.Fatalf("expanded gate count = %d, want %d", e.NumGates(), 4*c.NumGates())
+	}
+}
+
+func TestInjectBridgeSemantics(t *testing.T) {
+	c := mustC17(t)
+	n := func(s string) int { return c.NetByName(s) }
+	for _, wiredAnd := range []bool{true, false} {
+		// Bridge nets 10 and 19: neither reaches the other.
+		bc := c.InjectBridge(n("10"), n("19"), wiredAnd)
+		if err := bc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			in := make([]bool, 5)
+			for b := 0; b < 5; b++ {
+				in[b] = i>>b&1 == 1
+			}
+			// Reference: evaluate original nets, apply the wired function,
+			// recompute downstream consumers by hand.
+			v1, v3, v2, v6, v7 := in[0], in[2], in[1], in[3], in[4]
+			g10 := !(v1 && v3)
+			g11 := !(v3 && v6)
+			g19 := !(g11 && v7)
+			var b10, b19 bool
+			if wiredAnd {
+				b10, b19 = g10 && g19, g10 && g19
+			} else {
+				b10, b19 = g10 || g19, g10 || g19
+			}
+			g16 := !(v2 && g11)
+			g22 := !(b10 && g16)
+			g23 := !(g16 && b19)
+			got := bc.EvalBool(in)
+			if got[0] != g22 || got[1] != g23 {
+				t.Fatalf("wiredAnd=%v input %05b: got %v, want [%v %v]", wiredAnd, i, got, g22, g23)
+			}
+		}
+	}
+}
+
+func TestInjectBridgeOnPO(t *testing.T) {
+	c := mustC17(t)
+	n := func(s string) int { return c.NetByName(s) }
+	// Bridge the two POs; both observations must see the wired value.
+	bc := c.InjectBridge(n("22"), n("23"), true)
+	for i := 0; i < 32; i++ {
+		in := make([]bool, 5)
+		for b := 0; b < 5; b++ {
+			in[b] = i>>b&1 == 1
+		}
+		ref := c.EvalBool(in)
+		wired := ref[0] && ref[1]
+		got := bc.EvalBool(in)
+		if got[0] != wired || got[1] != wired {
+			t.Fatalf("PO bridge wrong at %05b", i)
+		}
+	}
+}
+
+func TestInjectBridgePanics(t *testing.T) {
+	c := mustC17(t)
+	n := func(s string) int { return c.NetByName(s) }
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("self bridge", func() { c.InjectBridge(n("10"), n("10"), true) })
+	// 11 feeds 16: feedback bridge.
+	mustPanic("feedback", func() { c.InjectBridge(n("11"), n("16"), true) })
+	mustPanic("feedback reversed", func() { c.InjectBridge(n("16"), n("11"), true) })
+}
+
+func TestSortedNetNames(t *testing.T) {
+	c := mustC17(t)
+	names := c.SortedNetNames()
+	if len(names) != c.NumNets() {
+		t.Fatal("wrong name count")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

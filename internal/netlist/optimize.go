@@ -1,0 +1,258 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sweep returns a copy of the circuit without gates that feed no primary
+// output (dead logic). Primary inputs are always kept so the interface is
+// preserved.
+func (c *Circuit) Sweep() *Circuit {
+	live := make([]bool, len(c.Gates))
+	var mark func(int)
+	mark = func(net int) {
+		if live[net] {
+			return
+		}
+		live[net] = true
+		for _, f := range c.Gates[net].Fanin {
+			mark(f)
+		}
+	}
+	for _, o := range c.Outputs {
+		mark(o)
+	}
+	nc := New(c.Name)
+	remap := make([]int, len(c.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for id, g := range c.Gates {
+		switch {
+		case g.Type == Input:
+			remap[id] = nc.AddInput(g.Name)
+		case live[id]:
+			remap[id] = nc.AddGate(g.Name, g.Type, remapAll(remap, g.Fanin)...)
+		}
+	}
+	nc.Outputs = remapAll(remap, c.Outputs)
+	return nc
+}
+
+// simplifyKey identifies structurally equal gates; fan-ins of commutative
+// gates are sorted.
+func simplifyKey(t GateType, fanin []int) string {
+	f := append([]int(nil), fanin...)
+	switch t {
+	case And, Nand, Or, Nor, Xor, Xnor:
+		sort.Ints(f)
+	}
+	return fmt.Sprintf("%d|%v", int(t), f)
+}
+
+// Simplify returns a functionally identical circuit after structural
+// hashing (identical gates merged) and safe local rewrites applied to a
+// fixpoint:
+//
+//	BUFF(x)        -> x
+//	NOT(NOT(x))    -> x
+//	AND/OR(x, x)   -> x
+//	NAND/NOR(x, x) -> NOT(x)
+//
+// Rewrites never introduce constants (the netlist format has no constant
+// sources), so XOR(x, x) and friends are left in place. Original net
+// names are preserved where the driving gate survives; a net whose gate
+// was folded away aliases its replacement.
+func (c *Circuit) Simplify() *Circuit {
+	nc := New(c.Name)
+	remap := make([]int, len(c.Gates))
+	byKey := map[string]int{}
+	// driverNot[n] is the net x when nc's net n computes NOT(x).
+	driverNot := map[int]int{}
+	isPO := make([]bool, len(c.Gates))
+	for _, o := range c.Outputs {
+		isPO[o] = true
+	}
+	for id, g := range c.Gates {
+		if g.Type == Input {
+			remap[id] = nc.AddInput(g.Name)
+			continue
+		}
+		fanin := remapAll(remap, g.Fanin)
+		// A gate observed at a primary output is never folded into another
+		// net: merging two POs (or aliasing a PO to an internal net) would
+		// change the circuit interface. It may still serve as the
+		// representative other gates merge into.
+		if isPO[id] {
+			n := nc.AddGate(g.Name, g.Type, fanin...)
+			key := simplifyKey(g.Type, fanin)
+			if _, ok := byKey[key]; !ok {
+				byKey[key] = n
+			}
+			if g.Type == Not {
+				driverNot[n] = fanin[0]
+			}
+			remap[id] = n
+			continue
+		}
+		// Local rewrites.
+		switch {
+		case g.Type == Buff:
+			remap[id] = fanin[0]
+			continue
+		case g.Type == Not:
+			if x, ok := driverNot[fanin[0]]; ok {
+				remap[id] = x // double inversion
+				continue
+			}
+		case len(fanin) == 2 && fanin[0] == fanin[1]:
+			switch g.Type {
+			case And, Or:
+				remap[id] = fanin[0]
+				continue
+			case Nand, Nor:
+				// NOT(x), hash-consed like any other gate.
+				key := simplifyKey(Not, fanin[:1])
+				if prev, ok := byKey[key]; ok {
+					remap[id] = prev
+					continue
+				}
+				n := nc.AddGate(g.Name, Not, fanin[0])
+				byKey[key] = n
+				driverNot[n] = fanin[0]
+				remap[id] = n
+				continue
+			}
+		}
+		key := simplifyKey(g.Type, fanin)
+		if prev, ok := byKey[key]; ok {
+			remap[id] = prev
+			continue
+		}
+		n := nc.AddGate(g.Name, g.Type, fanin...)
+		byKey[key] = n
+		if g.Type == Not {
+			driverNot[n] = fanin[0]
+		}
+		remap[id] = n
+	}
+	nc.Outputs = remapAll(remap, c.Outputs)
+	return nc.Sweep()
+}
+
+// CollapseXOR returns a copy of the circuit in which every four-NAND XOR
+// pattern
+//
+//	t1 = NAND(a, b); t2 = NAND(a, t1); t3 = NAND(b, t1); z = NAND(t2, t3)
+//
+// is replaced by z = XOR(a, b), provided t1, t2 and t3 drive nothing else
+// and are not primary outputs. This is the inverse of ExpandXOR and the
+// redesign step of the minimal-design experiment: re-minimizing c1355s
+// recovers c499s's structure.
+func (c *Circuit) CollapseXOR() *Circuit {
+	fo := c.Fanout()
+	isOut := make([]bool, len(c.Gates))
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	nand2 := func(id int) bool {
+		g := c.Gates[id]
+		return g.Type == Nand && len(g.Fanin) == 2
+	}
+	// For each candidate root z, record the matched (a, b) and the
+	// internal nets to drop.
+	type match struct{ a, b, t1, t2, t3 int }
+	matches := map[int]match{}
+	claimed := map[int]bool{} // internal nets already used by a match
+	for z := range c.Gates {
+		if !nand2(z) {
+			continue
+		}
+		t2, t3 := c.Gates[z].Fanin[0], c.Gates[z].Fanin[1]
+		if t2 == t3 || !nand2(t2) || !nand2(t3) {
+			continue
+		}
+		if len(fo[t2]) != 1 || len(fo[t3]) != 1 || isOut[t2] || isOut[t3] {
+			continue
+		}
+		// t2 = NAND(x, t1), t3 = NAND(y, t1) sharing t1 = NAND(x, y).
+		find := func(p, q int) (other, shared int, ok bool) {
+			for _, cand := range []struct{ o, s int }{
+				{c.Gates[p].Fanin[0], c.Gates[p].Fanin[1]},
+				{c.Gates[p].Fanin[1], c.Gates[p].Fanin[0]},
+			} {
+				for _, f := range c.Gates[q].Fanin {
+					if f == cand.s {
+						return cand.o, cand.s, true
+					}
+				}
+			}
+			return 0, 0, false
+		}
+		a, t1, ok := find(t2, t3)
+		if !ok || !nand2(t1) {
+			continue
+		}
+		var b int
+		if c.Gates[t3].Fanin[0] == t1 {
+			b = c.Gates[t3].Fanin[1]
+		} else if c.Gates[t3].Fanin[1] == t1 {
+			b = c.Gates[t3].Fanin[0]
+		} else {
+			continue
+		}
+		// t1 must be NAND(a, b) and feed exactly t2 and t3.
+		f1, f2 := c.Gates[t1].Fanin[0], c.Gates[t1].Fanin[1]
+		if !(f1 == a && f2 == b || f1 == b && f2 == a) {
+			continue
+		}
+		if len(fo[t1]) != 2 || isOut[t1] {
+			continue
+		}
+		if claimed[t1] || claimed[t2] || claimed[t3] {
+			continue
+		}
+		claimed[t1], claimed[t2], claimed[t3] = true, true, true
+		matches[z] = match{a: a, b: b, t1: t1, t2: t2, t3: t3}
+	}
+	nc := New(c.Name)
+	remap := make([]int, len(c.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	drop := map[int]bool{}
+	for _, m := range matches {
+		drop[m.t1], drop[m.t2], drop[m.t3] = true, true, true
+	}
+	for id, g := range c.Gates {
+		switch {
+		case g.Type == Input:
+			remap[id] = nc.AddInput(g.Name)
+		case drop[id]:
+			// skipped; only reachable from matched roots
+		default:
+			if m, ok := matches[id]; ok {
+				remap[id] = nc.AddGate(g.Name, Xor, remap[m.a], remap[m.b])
+			} else {
+				remap[id] = nc.AddGate(g.Name, g.Type, remapAll(remap, g.Fanin)...)
+			}
+		}
+	}
+	nc.Outputs = remapAll(remap, c.Outputs)
+	return nc
+}
+
+// Optimize applies Simplify and CollapseXOR repeatedly until the gate
+// count stops improving — the "redesign for testability" pass of the
+// minimal-design experiment.
+func (c *Circuit) Optimize() *Circuit {
+	cur := c
+	for {
+		next := cur.Simplify().CollapseXOR().Simplify()
+		if next.NumGates() >= cur.NumGates() {
+			return cur
+		}
+		cur = next
+	}
+}

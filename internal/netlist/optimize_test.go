@@ -1,0 +1,173 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSweepDropsDeadLogic(t *testing.T) {
+	c := New("dead")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	live := c.AddGate("live", And, a, b)
+	c.AddGate("dead1", Or, a, b)
+	d2 := c.AddGate("dead2", Not, a)
+	c.AddGate("dead3", And, d2, b)
+	c.MarkOutput(live)
+	s := c.Sweep()
+	if s.NumGates() != 1 {
+		t.Fatalf("sweep kept %d gates, want 1", s.NumGates())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sameFunction(t, c, s, 16, rng)
+}
+
+func TestSimplifyRules(t *testing.T) {
+	c := New("simp")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	bu := c.AddGate("bu", Buff, a)      // -> a
+	n1 := c.AddGate("n1", Not, bu)      // NOT(a)
+	n2 := c.AddGate("n2", Not, n1)      // -> a
+	x1 := c.AddGate("x1", And, n2, b)   // a AND b
+	x2 := c.AddGate("x2", And, b, a)    // dup of x1 (commutative)
+	s1 := c.AddGate("s1", And, x1, x1)  // -> x1
+	s2 := c.AddGate("s2", Nand, x2, x2) // -> NOT(x1)
+	z := c.AddGate("z", Or, s1, s2)     // x1 OR NOT(x1) == 1 (left alone)
+	c.MarkOutput(z)
+	c.MarkOutput(x2)
+	s := c.Simplify()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected survivors: x1, x2 (a PO, protected from merging into x1),
+	// NOT from s2, z. The buffer, double inverter and idempotent AND all
+	// fold away.
+	if s.NumGates() > 4 {
+		t.Fatalf("simplify kept %d gates, want <= 4:\n%s", s.NumGates(), s.BenchString())
+	}
+	if !s.IsOutput(s.NetByName("x2")) {
+		t.Fatal("PO net x2 must survive under its own name")
+	}
+	rng := rand.New(rand.NewSource(2))
+	sameFunction(t, c, s, 16, rng)
+}
+
+func TestSimplifyPreservesRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		c := randomCircuit(rng, 6, 25)
+		s := c.Simplify()
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.NumGates() > c.NumGates() {
+			t.Fatal("simplify must never grow the circuit")
+		}
+		sameFunction(t, c, s, 64, rng)
+	}
+}
+
+func TestCollapseXORInvertsExpandXOR(t *testing.T) {
+	// Build a parity tree, expand it to NANDs, and collapse it back.
+	c := New("parity")
+	nets := make([]int, 6)
+	for i := range nets {
+		nets[i] = c.AddInput("i" + itoa(i))
+	}
+	acc := nets[0]
+	for i := 1; i < 6; i++ {
+		acc = c.AddGate("x"+itoa(i), Xor, acc, nets[i])
+	}
+	c.MarkOutput(acc)
+	expanded := c.ExpandXOR()
+	collapsed := expanded.CollapseXOR()
+	if err := collapsed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collapsed.NumGates(); got != c.NumGates() {
+		t.Fatalf("collapse recovered %d gates, want %d", got, c.NumGates())
+	}
+	if collapsed.TypeCounts()[Xor] != 5 {
+		t.Fatalf("expected 5 XORs back, got %v", collapsed.TypeCounts())
+	}
+	rng := rand.New(rand.NewSource(3))
+	sameFunction(t, c, collapsed, 64, rng)
+}
+
+func TestCollapseXORLeavesSharedInternals(t *testing.T) {
+	// If an internal NAND of the pattern is observed (PO) or shared, the
+	// pattern must NOT collapse.
+	c := New("shared")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	t1 := c.AddGate("t1", Nand, a, b)
+	t2 := c.AddGate("t2", Nand, a, t1)
+	t3 := c.AddGate("t3", Nand, b, t1)
+	z := c.AddGate("z", Nand, t2, t3)
+	c.MarkOutput(z)
+	c.MarkOutput(t1) // t1 is observed: collapsing would change the interface
+	out := c.CollapseXOR()
+	if out.TypeCounts()[Xor] != 0 {
+		t.Fatal("pattern with observed internal net must not collapse")
+	}
+	rng := rand.New(rand.NewSource(4))
+	sameFunction(t, c, out, 8, rng)
+}
+
+func TestCollapseXORPreservesRandomExpandedCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 5, 20)
+		e := c.ExpandXOR()
+		col := e.CollapseXOR()
+		if err := col.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if col.NumGates() > e.NumGates() {
+			t.Fatal("collapse must never grow the circuit")
+		}
+		sameFunction(t, e, col, 64, rng)
+	}
+}
+
+func TestOptimizeRecoversC499FromC1355Style(t *testing.T) {
+	// The minimal-design experiment's mechanism: XOR expansion followed by
+	// Optimize lands back near the original size.
+	c := New("tree")
+	nets := make([]int, 8)
+	for i := range nets {
+		nets[i] = c.AddInput("i" + itoa(i))
+	}
+	l1 := make([]int, 4)
+	for i := range l1 {
+		l1[i] = c.AddGate("a"+itoa(i), Xor, nets[2*i], nets[2*i+1])
+	}
+	l2a := c.AddGate("b0", Xor, l1[0], l1[1])
+	l2b := c.AddGate("b1", Xor, l1[2], l1[3])
+	root := c.AddGate("r", And, l2a, l2b)
+	c.MarkOutput(root)
+	blown := c.ExpandXOR()
+	opt := blown.Optimize()
+	if opt.NumGates() != c.NumGates() {
+		t.Fatalf("optimize recovered %d gates from %d, want %d",
+			opt.NumGates(), blown.NumGates(), c.NumGates())
+	}
+	rng := rand.New(rand.NewSource(5))
+	sameFunction(t, c, opt, 128, rng)
+}
+
+func TestOptimizeIdempotentOnOptimal(t *testing.T) {
+	c := New("opt")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", Xor, a, b)
+	c.MarkOutput(z)
+	o := c.Optimize()
+	if o.NumGates() != 1 {
+		t.Fatalf("already optimal circuit changed: %d gates", o.NumGates())
+	}
+}

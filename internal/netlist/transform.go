@@ -1,0 +1,177 @@
+package netlist
+
+import "fmt"
+
+// Decompose2 returns a new circuit in which every gate has at most two
+// inputs. An n-input gate becomes a balanced tree of n-1 two-input gates,
+// with the inversion (if any) applied only at the tree root so the original
+// net keeps its name and function. This is exactly the paper's §3 device
+// for keeping the number of difference-function operations linear in the
+// fan-in count.
+func (c *Circuit) Decompose2() *Circuit {
+	nc := New(c.Name)
+	remap := make([]int, len(c.Gates))
+	for id, g := range c.Gates {
+		switch {
+		case g.Type == Input:
+			remap[id] = nc.AddInput(g.Name)
+		case len(g.Fanin) <= 2:
+			fanin := remapAll(remap, g.Fanin)
+			remap[id] = nc.AddGate(g.Name, g.Type, fanin...)
+		default:
+			fanin := remapAll(remap, g.Fanin)
+			body, root := bodyType(g.Type)
+			// Build a balanced tree bottom-up; the final combine carries the
+			// original name and the (possibly inverting) root type.
+			level := fanin
+			aux := 0
+			for len(level) > 2 {
+				var next []int
+				for i := 0; i+1 < len(level); i += 2 {
+					n := nc.AddGate(fmt.Sprintf("%s$d%d", g.Name, aux), body, level[i], level[i+1])
+					aux++
+					next = append(next, n)
+				}
+				if len(level)%2 == 1 {
+					next = append(next, level[len(level)-1])
+				}
+				level = next
+			}
+			remap[id] = nc.AddGate(g.Name, root, level[0], level[1])
+		}
+	}
+	nc.Outputs = remapAll(remap, c.Outputs)
+	return nc
+}
+
+// bodyType splits a gate type into the non-inverting body used for tree
+// internals and the type used at the tree root.
+func bodyType(t GateType) (body, root GateType) {
+	switch t {
+	case And, Nand:
+		return And, t
+	case Or, Nor:
+		return Or, t
+	case Xor, Xnor:
+		return Xor, t
+	}
+	return t, t
+}
+
+// ExpandXOR returns a new circuit in which every XOR/XNOR gate is replaced
+// by its four-NAND equivalent (XNOR adds a fifth inverting NAND). Gates
+// with more than two inputs are first decomposed via Decompose2. This is
+// the construction by which ISCAS-85 C1355 was obtained from C499, and it
+// preserves the circuit function exactly while changing its topology —
+// the paper's key minimal-design experiment.
+func (c *Circuit) ExpandXOR() *Circuit {
+	src := c
+	for _, g := range c.Gates {
+		if (g.Type == Xor || g.Type == Xnor) && len(g.Fanin) > 2 {
+			src = c.Decompose2()
+			break
+		}
+	}
+	nc := New(src.Name + "_xnand")
+	remap := make([]int, len(src.Gates))
+	for id, g := range src.Gates {
+		switch g.Type {
+		case Input:
+			remap[id] = nc.AddInput(g.Name)
+		case Xor, Xnor:
+			a, b := remap[g.Fanin[0]], remap[g.Fanin[1]]
+			t1 := nc.AddGate(g.Name+"$x1", Nand, a, b)
+			t2 := nc.AddGate(g.Name+"$x2", Nand, a, t1)
+			t3 := nc.AddGate(g.Name+"$x3", Nand, b, t1)
+			if g.Type == Xor {
+				remap[id] = nc.AddGate(g.Name, Nand, t2, t3)
+			} else {
+				x := nc.AddGate(g.Name+"$x4", Nand, t2, t3)
+				remap[id] = nc.AddGate(g.Name, Not, x)
+			}
+		default:
+			remap[id] = nc.AddGate(g.Name, g.Type, remapAll(remap, g.Fanin)...)
+		}
+	}
+	nc.Outputs = remapAll(remap, src.Outputs)
+	return nc
+}
+
+// InjectBridge returns a new circuit modeling a wired-logic bridge between
+// nets u and v: both nets' consumers (and PO observations) see
+// bridge(u, v), where bridge is AND or OR according to wiredAnd. The bridge
+// must be non-feedback (neither net in the other's fan-out cone) so the
+// result remains acyclic; InjectBridge panics otherwise. This powers the
+// baseline simulator's bridging-fault evaluation.
+func (c *Circuit) InjectBridge(u, v int, wiredAnd bool) *Circuit {
+	if u == v {
+		panic("netlist: bridge endpoints must differ")
+	}
+	if c.FanoutCone(u)[v] || c.FanoutCone(v)[u] {
+		panic(fmt.Sprintf("netlist: bridge %s-%s is a feedback bridge", c.NetName(u), c.NetName(v)))
+	}
+	bt := And
+	suffix := "$bridgeAND"
+	if !wiredAnd {
+		bt = Or
+		suffix = "$bridgeOR"
+	}
+	nc := New(c.Name)
+	remap := make([]int, len(c.Gates))
+	done := make([]bool, len(c.Gates))
+	bridged := -1
+	// Gates are emitted demand-first so that both bridge endpoints exist
+	// before any of their consumers; non-feedback guarantees acyclicity.
+	var emit func(int)
+	ensureBridge := func() int {
+		if bridged < 0 {
+			emit(u)
+			emit(v)
+			bridged = nc.AddGate(c.NetName(u)+suffix, bt, remap[u], remap[v])
+		}
+		return bridged
+	}
+	see := func(net int) int {
+		if net == u || net == v {
+			return ensureBridge()
+		}
+		emit(net)
+		return remap[net]
+	}
+	emit = func(net int) {
+		if done[net] {
+			return
+		}
+		done[net] = true
+		g := c.Gates[net]
+		if g.Type == Input {
+			remap[net] = nc.AddInput(g.Name)
+			return
+		}
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = see(f)
+		}
+		remap[net] = nc.AddGate(g.Name, g.Type, fanin...)
+	}
+	// Keep every gate (and PI declaration order) of the original circuit.
+	for _, in := range c.Inputs {
+		emit(in)
+	}
+	for id := range c.Gates {
+		emit(id)
+	}
+	nc.Outputs = make([]int, len(c.Outputs))
+	for i, o := range c.Outputs {
+		nc.Outputs[i] = see(o)
+	}
+	return nc
+}
+
+func remapAll(remap, nets []int) []int {
+	out := make([]int, len(nets))
+	for i, n := range nets {
+		out[i] = remap[n]
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+// Package podem implements the classic PODEM algorithm (Goel 1981):
+// path-oriented decision making over primary-input assignments with
+// five-valued D-calculus forward implication. It is the "conventional
+// ATPG system" the paper contrasts Difference Propagation with in §3 —
+// PODEM derives *one* test per fault by search, where DP derives the
+// complete test set by function manipulation.
+//
+// The implementation is complete: it either returns a test vector or
+// proves the fault untestable by exhausting the decision tree (unless a
+// backtrack limit aborts first). The tests cross-validate it against DP:
+// PODEM finds a test exactly when DP's complete test set is non-empty,
+// and every PODEM test is a member of that set.
+package podem
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Value is the five-valued D-calculus: the pair (good, faulty) with
+// unknowns.
+type Value uint8
+
+// The five values. D means good=1/faulty=0; DBar the reverse.
+const (
+	X Value = iota
+	Zero
+	One
+	D
+	DBar
+)
+
+// String renders the value in conventional notation.
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case D:
+		return "D"
+	case DBar:
+		return "D'"
+	}
+	return "X"
+}
+
+// good returns the fault-free component: 0, 1 or X (as Zero/One/X).
+func (v Value) good() Value {
+	switch v {
+	case Zero, DBar:
+		return Zero
+	case One, D:
+		return One
+	}
+	return X
+}
+
+// faulty returns the faulty-circuit component.
+func (v Value) faulty() Value {
+	switch v {
+	case Zero, D:
+		return Zero
+	case One, DBar:
+		return One
+	}
+	return X
+}
+
+// combine builds a five-valued Value from good/faulty three-valued parts.
+func combine(g, f Value) Value {
+	switch {
+	case g == X || f == X:
+		return X
+	case g == f:
+		return g
+	case g == One:
+		return D
+	default:
+		return DBar
+	}
+}
+
+// not3 negates a three-valued value.
+func not3(v Value) Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// eval3 evaluates a gate in three-valued logic.
+func eval3(t netlist.GateType, in []Value) Value {
+	switch t {
+	case netlist.And, netlist.Nand:
+		v := One
+		for _, a := range in {
+			if a == Zero {
+				v = Zero
+				break
+			}
+			if a == X {
+				v = X
+			}
+		}
+		if t == netlist.Nand {
+			v = not3(v)
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := Zero
+		for _, a := range in {
+			if a == One {
+				v = One
+				break
+			}
+			if a == X {
+				v = X
+			}
+		}
+		if t == netlist.Nor {
+			v = not3(v)
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := Zero
+		for _, a := range in {
+			if a == X {
+				return X
+			}
+			if a == One {
+				v = not3(v)
+			}
+		}
+		if t == netlist.Xnor {
+			v = not3(v)
+		}
+		return v
+	case netlist.Not:
+		return not3(in[0])
+	case netlist.Buff:
+		return in[0]
+	}
+	panic(fmt.Sprintf("podem: cannot evaluate %v", t))
+}
+
+// Generator runs PODEM for one circuit.
+type Generator struct {
+	c *netlist.Circuit
+	// BacktrackLimit aborts the search after this many backtracks
+	// (0 = unlimited, keeping the algorithm complete).
+	BacktrackLimit int
+
+	vals    []Value // per net, five-valued
+	inOrder []int   // PI gate ids
+	inIndex map[int]int
+}
+
+// New builds a generator for the circuit.
+func New(c *netlist.Circuit) *Generator {
+	g := &Generator{
+		c:       c,
+		vals:    make([]Value, c.NumNets()),
+		inOrder: append([]int(nil), c.Inputs...),
+		inIndex: map[int]int{},
+	}
+	for i, in := range c.Inputs {
+		g.inIndex[in] = i
+	}
+	return g
+}
+
+// Result is the outcome for one fault.
+type Result struct {
+	// Found reports that a test exists; Vector is then the test in PI
+	// declaration order (don't-cares filled with false).
+	Found  bool
+	Vector []bool
+	// Redundant reports a completed search with no test (proven
+	// untestable). Aborted reports the backtrack limit fired first.
+	Redundant  bool
+	Aborted    bool
+	Backtracks int
+}
+
+// imply performs full five-valued forward simulation from the current PI
+// assignment with the fault injected.
+func (g *Generator) imply(f faults.StuckAt) {
+	stuckVal := Zero
+	if f.Stuck {
+		stuckVal = One
+	}
+	for id, gate := range g.c.Gates {
+		var v Value
+		if gate.Type == netlist.Input {
+			v = g.vals[id] // set by decisions; X otherwise
+			// (decisions write PI slots directly)
+		} else {
+			goodIn := make([]Value, len(gate.Fanin))
+			faultIn := make([]Value, len(gate.Fanin))
+			for pin, fin := range gate.Fanin {
+				fv := g.vals[fin]
+				goodIn[pin] = fv.good()
+				fp := fv.faulty()
+				if f.IsBranch() && id == f.Gate && pin == f.Pin {
+					fp = stuckVal
+				}
+				faultIn[pin] = fp
+			}
+			v = combine(eval3(gate.Type, goodIn), eval3(gate.Type, faultIn))
+		}
+		if !f.IsBranch() && id == f.Net {
+			v = combine(v.good(), stuckVal)
+		}
+		g.vals[id] = v
+	}
+}
+
+// faultExcited reports whether the fault site currently carries D or D'.
+func (g *Generator) faultExcited(f faults.StuckAt) bool {
+	var v Value
+	if f.IsBranch() {
+		// The effective pin value: good from the net, faulty forced.
+		net := g.vals[f.Net].good()
+		if net == X {
+			return false
+		}
+		stuckVal := Zero
+		if f.Stuck {
+			stuckVal = One
+		}
+		return net != stuckVal
+	}
+	v = g.vals[f.Net]
+	return v == D || v == DBar
+}
+
+// errorAtPO reports whether any primary output carries D or D'.
+func (g *Generator) errorAtPO() bool {
+	for _, o := range g.c.Outputs {
+		if v := g.vals[o]; v == D || v == DBar {
+			return true
+		}
+	}
+	return false
+}
+
+// dFrontier returns gates with an X output and at least one D/D' input
+// (for branch faults, the faulted gate itself when excited and X).
+func (g *Generator) dFrontier(f faults.StuckAt) []int {
+	var out []int
+	for id, gate := range g.c.Gates {
+		if gate.Type == netlist.Input || g.vals[id] != X {
+			continue
+		}
+		for pin, fin := range gate.Fanin {
+			v := g.vals[fin]
+			isErr := v == D || v == DBar
+			if f.IsBranch() && id == f.Gate && pin == f.Pin {
+				// The faulted pin carries an error iff the net's good
+				// value opposes the stuck value.
+				isErr = g.faultExcited(f) && g.vals[f.Net] != X
+			}
+			if isErr {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathExists reports whether some PO is reachable from the net through
+// X-valued nets (the classic X-path check pruning).
+func (g *Generator) xPathExists(net int) bool {
+	if g.c.IsOutput(net) {
+		return true
+	}
+	seen := make([]bool, g.c.NumNets())
+	stack := []int{net}
+	seen[net] = true
+	fo := g.c.Fanout()
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, consumer := range fo[n] {
+			if seen[consumer] || g.vals[consumer] != X {
+				continue
+			}
+			if g.c.IsOutput(consumer) {
+				return true
+			}
+			seen[consumer] = true
+			stack = append(stack, consumer)
+		}
+	}
+	return false
+}
+
+// controlling returns the controlling input value of a gate type and
+// whether one exists.
+func controlling(t netlist.GateType) (Value, bool) {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return Zero, true
+	case netlist.Or, netlist.Nor:
+		return One, true
+	}
+	return X, false
+}
+
+// inversionParity reports whether the gate inverts.
+func inversionParity(t netlist.GateType) bool { return t.Inverting() }
+
+// backtrace maps an objective (net, value) to a PI assignment by walking
+// backwards through X-valued nets.
+func (g *Generator) backtrace(net int, val Value) (pi int, v Value) {
+	for {
+		gate := g.c.Gates[net]
+		if gate.Type == netlist.Input {
+			return net, val
+		}
+		if inversionParity(gate.Type) {
+			val = not3(val)
+		}
+		// Choose an X input: for XOR-likes any; otherwise prefer one that
+		// can produce the needed value.
+		next := -1
+		for _, fin := range gate.Fanin {
+			if g.vals[fin] == X {
+				next = fin
+				break
+			}
+		}
+		if next < 0 {
+			// No X input (can happen transiently); fall back to first.
+			next = gate.Fanin[0]
+		}
+		net = next
+	}
+}
+
+// objective picks the next goal per classic PODEM: excite the fault,
+// then advance the D-frontier.
+func (g *Generator) objective(f faults.StuckAt) (net int, val Value, ok bool) {
+	if !g.faultExcited(f) {
+		if g.vals[f.Net].good() != X {
+			return 0, X, false // site fixed at the stuck value: conflict
+		}
+		want := One
+		if f.Stuck {
+			want = Zero
+		}
+		return f.Net, want, true
+	}
+	frontier := g.dFrontier(f)
+	for _, gid := range frontier {
+		if !g.xPathExists(gid) {
+			continue
+		}
+		gate := g.c.Gates[gid]
+		cv, has := controlling(gate.Type)
+		for pin, fin := range gate.Fanin {
+			if f.IsBranch() && gid == f.Gate && pin == f.Pin {
+				continue
+			}
+			if g.vals[fin] == X {
+				if has {
+					return fin, not3(cv), true
+				}
+				return fin, Zero, true // XOR-likes: any binding advances
+			}
+		}
+	}
+	return 0, X, false
+}
+
+// Generate runs PODEM for one stuck-at fault.
+func (g *Generator) Generate(f faults.StuckAt) Result {
+	for i := range g.vals {
+		g.vals[i] = X
+	}
+	type decision struct {
+		pi      int
+		val     Value
+		flipped bool
+	}
+	var stack []decision
+	res := Result{}
+	g.imply(f)
+	for {
+		if g.errorAtPO() {
+			vec := make([]bool, len(g.inOrder))
+			for i, in := range g.inOrder {
+				if g.vals[in].good() == One {
+					vec[i] = true
+				}
+			}
+			res.Found = true
+			res.Vector = vec
+			return res
+		}
+		net, val, ok := g.objective(f)
+		if ok {
+			pi, v := g.backtrace(net, val)
+			if g.vals[pi] == X {
+				stack = append(stack, decision{pi: pi, val: v})
+				g.vals[pi] = v
+				g.imply(f)
+				continue
+			}
+			// Backtrace landed on an assigned PI: dead end; fall through
+			// to backtracking.
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				res.Redundant = true
+				return res
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.val = not3(top.val)
+				g.vals[top.pi] = top.val
+				res.Backtracks++
+				if g.BacktrackLimit > 0 && res.Backtracks > g.BacktrackLimit {
+					res.Aborted = true
+					return res
+				}
+				g.imply(f)
+				break
+			}
+			g.vals[top.pi] = X
+			stack = stack[:len(stack)-1]
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package podem
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+func TestValueAlgebra(t *testing.T) {
+	if D.good() != One || D.faulty() != Zero || DBar.good() != Zero || DBar.faulty() != One {
+		t.Fatal("D calculus components wrong")
+	}
+	if combine(One, Zero) != D || combine(Zero, One) != DBar ||
+		combine(One, One) != One || combine(X, One) != X {
+		t.Fatal("combine wrong")
+	}
+	if not3(Zero) != One || not3(One) != Zero || not3(X) != X {
+		t.Fatal("not3 wrong")
+	}
+	for _, v := range []Value{X, Zero, One, D, DBar} {
+		if v.String() == "" {
+			t.Fatal("empty value name")
+		}
+	}
+}
+
+func TestEval3Tables(t *testing.T) {
+	cases := []struct {
+		t    netlist.GateType
+		in   []Value
+		want Value
+	}{
+		{netlist.And, []Value{One, X}, X},
+		{netlist.And, []Value{Zero, X}, Zero}, // controlling value dominates X
+		{netlist.Nand, []Value{Zero, X}, One},
+		{netlist.Or, []Value{One, X}, One},
+		{netlist.Or, []Value{Zero, X}, X},
+		{netlist.Nor, []Value{One, X}, Zero},
+		{netlist.Xor, []Value{One, X}, X}, // XOR has no controlling value
+		{netlist.Xor, []Value{One, One}, Zero},
+		{netlist.Xnor, []Value{One, Zero}, Zero},
+		{netlist.Not, []Value{X}, X},
+		{netlist.Buff, []Value{One}, One},
+	}
+	for _, tc := range cases {
+		if got := eval3(tc.t, tc.in); got != tc.want {
+			t.Fatalf("%v%v = %v, want %v", tc.t, tc.in, got, tc.want)
+		}
+	}
+}
+
+// crossValidate checks PODEM against Difference Propagation and the fault
+// simulator for every fault in the set.
+func crossValidate(t *testing.T, name string, fs []faults.StuckAt) {
+	t.Helper()
+	e, err := diffprop.New(circuits.MustGet(name), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Circuit
+	gen := New(w)
+	for _, f := range fs {
+		res := gen.Generate(f)
+		if res.Aborted {
+			t.Fatalf("%s %v: aborted without a limit", name, f.Describe(w))
+		}
+		dp := e.StuckAt(f)
+		if res.Found != dp.Detectable() {
+			t.Fatalf("%s %v: PODEM found=%v but DP detectability=%v",
+				name, f.Describe(w), res.Found, dp.Detectability)
+		}
+		if res.Found == res.Redundant {
+			t.Fatalf("%s %v: inconsistent result flags %+v", name, f.Describe(w), res)
+		}
+		if !res.Found {
+			continue
+		}
+		// The PODEM vector must detect the fault per the simulator...
+		p := simulate.FromVectors(len(w.Inputs), [][]bool{res.Vector})
+		if simulate.CountBits(simulate.DetectStuckAt(w, f, p)) != 1 {
+			t.Fatalf("%s %v: PODEM vector %v does not detect the fault",
+				name, f.Describe(w), res.Vector)
+		}
+		// ...and must be a member of DP's complete test set.
+		if !e.Manager().Eval(dp.Complete, e.Assignment(res.Vector)) {
+			t.Fatalf("%s %v: PODEM vector outside DP's complete test set", name, f.Describe(w))
+		}
+	}
+}
+
+func TestPodemAgainstDPCheckpoints(t *testing.T) {
+	for _, name := range []string{"c17", "fadd", "c95s", "alu181", "c432s"} {
+		e, err := diffprop.New(circuits.MustGet(name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossValidate(t, name, faults.CheckpointStuckAts(e.Circuit))
+	}
+}
+
+func TestPodemAllNetFaultsSmall(t *testing.T) {
+	for _, name := range []string{"c17", "fadd"} {
+		e, err := diffprop.New(circuits.MustGet(name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossValidate(t, name, faults.AllStuckAts(e.Circuit))
+	}
+}
+
+func TestPodemProvesRedundancy(t *testing.T) {
+	// z = a OR (a AND b): ab/SA0 is redundant; the decision tree must
+	// exhaust and report it.
+	c := netlist.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	ab := c.AddGate("ab", netlist.And, a, b)
+	z := c.AddGate("z", netlist.Or, a, ab)
+	c.MarkOutput(z)
+	gen := New(c)
+	res := gen.Generate(faults.StuckAt{Net: ab, Gate: -1, Pin: -1, Stuck: false})
+	if !res.Redundant || res.Found {
+		t.Fatalf("redundant fault not proven: %+v", res)
+	}
+	// The SA1 counterpart is testable.
+	res = gen.Generate(faults.StuckAt{Net: ab, Gate: -1, Pin: -1, Stuck: true})
+	if !res.Found {
+		t.Fatalf("ab/SA1 must be testable: %+v", res)
+	}
+}
+
+func TestPodemBacktrackLimit(t *testing.T) {
+	// A redundant fault with a tight backtrack limit reports Aborted, not
+	// Redundant — the abort is not a proof.
+	c := netlist.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	ab := c.AddGate("ab", netlist.And, a, b)
+	z := c.AddGate("z", netlist.Or, a, ab)
+	c.MarkOutput(z)
+	gen := New(c)
+	gen.BacktrackLimit = 1
+	res := gen.Generate(faults.StuckAt{Net: ab, Gate: -1, Pin: -1, Stuck: false})
+	if !res.Aborted || res.Redundant || res.Found {
+		t.Fatalf("limit must abort: %+v", res)
+	}
+}
+
+func TestPodemReusableAcrossFaults(t *testing.T) {
+	// A single generator must be reusable without state bleed: run the
+	// same fault list twice and demand identical outcomes.
+	c := circuits.MustGet("c95s").Decompose2()
+	gen := New(c)
+	fs := faults.CheckpointStuckAts(c)
+	first := make([]Result, len(fs))
+	for i, f := range fs {
+		first[i] = gen.Generate(f)
+	}
+	for i, f := range fs {
+		again := gen.Generate(f)
+		if again.Found != first[i].Found || again.Redundant != first[i].Redundant {
+			t.Fatalf("state bleed on %v", f.Describe(c))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package report renders experiment results as plain-text figures (ASCII
+// bar charts and XY tables) and CSV series, so every table and figure of
+// the paper can be regenerated on a terminal and diffed across runs.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named data series of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a renderable reproduction of one of the paper's exhibits.
+type Figure struct {
+	ID     string // e.g. "fig3"
+	Title  string // the paper's caption, abbreviated
+	XLabel string
+	YLabel string
+	Note   string // reproduction notes (fault counts, sampling, ...)
+	Series []Series
+}
+
+const barWidth = 50
+
+// Text renders the figure as an ASCII report: a header, one block per
+// series with aligned x/y columns and a proportional bar per row.
+func (f Figure) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", f.ID, f.Title)
+	if f.Note != "" {
+		fmt.Fprintf(&sb, "%s\n", f.Note)
+	}
+	fmt.Fprintf(&sb, "x: %s    y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "\n-- %s --\n", s.Name)
+		max := 0.0
+		for _, y := range s.Y {
+			if y > max {
+				max = y
+			}
+		}
+		for i := range s.X {
+			bar := ""
+			if max > 0 {
+				n := int(s.Y[i]/max*barWidth + 0.5)
+				bar = strings.Repeat("#", n)
+			}
+			fmt.Fprintf(&sb, "%10.4f  %8.4f  %s\n", s.X[i], s.Y[i], bar)
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders all series as long-format CSV: series,x,y.
+func (f Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("series,x,y\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&sb, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// HistogramSeries turns equal-width [0,1] bin fractions into a plottable
+// series whose X values are the bin centers.
+func HistogramSeries(name string, bins []float64) Series {
+	s := Series{Name: name, X: make([]float64, len(bins)), Y: append([]float64(nil), bins...)}
+	for i := range bins {
+		s.X[i] = (float64(i) + 0.5) / float64(len(bins))
+	}
+	return s
+}
+
+// Table is a simple aligned text table for tabular exhibits.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Text renders the table with aligned columns.
+func (t Table) Text() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "=== %s ===\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as CSV.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	esc := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		esc[i] = csvEscape(c)
+	}
+	sb.WriteString(strings.Join(esc, ","))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = csvEscape(c)
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureText(t *testing.T) {
+	f := Figure{
+		ID:     "figX",
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Note:   "a note",
+		Series: []Series{
+			{Name: "s1", X: []float64{0, 1, 2}, Y: []float64{0.5, 1.0, 0.25}},
+		},
+	}
+	text := f.Text()
+	for _, want := range []string{"figX", "demo", "a note", "s1", "x:", "y:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q:\n%s", want, text)
+		}
+	}
+	// The largest Y gets the full bar; a half value gets roughly half.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	counts := map[float64]int{}
+	for _, line := range lines {
+		for _, y := range []float64{0.5, 1.0, 0.25} {
+			if strings.Contains(line, "  "+formatY(y)+"  ") || strings.Contains(line, formatY(y)) {
+				counts[y] = strings.Count(line, "#")
+			}
+		}
+	}
+	if counts[1.0] != 50 {
+		t.Fatalf("max bar = %d, want 50", counts[1.0])
+	}
+	if counts[0.5] != 25 {
+		t.Fatalf("half bar = %d, want 25", counts[0.5])
+	}
+}
+
+func formatY(y float64) string {
+	switch y {
+	case 0.5:
+		return "0.5000"
+	case 1.0:
+		return "1.0000"
+	default:
+		return "0.2500"
+	}
+}
+
+func TestFigureTextEmptySeries(t *testing.T) {
+	f := Figure{ID: "e", Title: "empty", Series: []Series{{Name: "none"}}}
+	if text := f.Text(); !strings.Contains(text, "none") {
+		t.Fatal("empty series must still render its header")
+	}
+	// All-zero series must not divide by zero.
+	f.Series = []Series{{Name: "zero", X: []float64{0}, Y: []float64{0}}}
+	if text := f.Text(); !strings.Contains(text, "0.0000") {
+		t.Fatal("zero series must render")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		ID: "figX",
+		Series: []Series{
+			{Name: "a,b", X: []float64{1}, Y: []float64{2}},
+			{Name: `q"t`, X: []float64{3}, Y: []float64{4}},
+		},
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "series,x,y\n") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(csv, `"a,b",1,2`) {
+		t.Fatalf("comma name not escaped: %s", csv)
+	}
+	if !strings.Contains(csv, `"q""t",3,4`) {
+		t.Fatalf("quote name not escaped: %s", csv)
+	}
+}
+
+func TestHistogramSeries(t *testing.T) {
+	s := HistogramSeries("h", []float64{0.25, 0.75})
+	if len(s.X) != 2 || s.X[0] != 0.25 || s.X[1] != 0.75 {
+		t.Fatalf("bin centers wrong: %v", s.X)
+	}
+	if s.Y[0] != 0.25 || s.Y[1] != 0.75 {
+		t.Fatal("values must copy through")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := Table{
+		Title:   "demo table",
+		Columns: []string{"name", "value"},
+		Rows: [][]string{
+			{"alpha", "1"},
+			{"a-much-longer-name", "22"},
+		},
+	}
+	text := tab.Text()
+	if !strings.Contains(text, "demo table") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	// Header, separator, two rows, plus the title line.
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), text)
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	head := lines[1]
+	offset := strings.Index(head, "value")
+	for _, l := range lines[3:] {
+		cell := l[offset:]
+		if strings.HasPrefix(cell, " ") {
+			t.Fatalf("misaligned row: %q", l)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		Columns: []string{"a", "b,c"},
+		Rows:    [][]string{{"x", "y"}},
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, `a,"b,c"`) {
+		t.Fatalf("header escaping wrong: %s", csv)
+	}
+	if !strings.Contains(csv, "x,y") {
+		t.Fatal("row missing")
+	}
+}

@@ -1,0 +1,181 @@
+// Package scoap implements the classic SCOAP (Sandia Controllability/
+// Observability Analysis Program, Goldstein 1979) topological testability
+// measures: combinational 0/1-controllabilities per net and
+// observabilities per net and per gate input pin.
+//
+// SCOAP is the standard *estimate* the industry used where the paper
+// computes *exact* detection probabilities; the X8 experiment correlates
+// the two, quantifying how much signal the topological proxy carries — a
+// direct extension of the paper's detectability-versus-topology study.
+package scoap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Measures holds the SCOAP values of a circuit.
+type Measures struct {
+	// CC0[n], CC1[n] are the combinational 0-/1-controllabilities of net
+	// n (>= 1; primary inputs cost exactly 1).
+	CC0, CC1 []int
+	// CO[n] is the combinational observability of net n (0 at primary
+	// outputs), the minimum over its fan-out branches.
+	CO []int
+	// PinCO[gate][pin] is the observability of one gate input pin.
+	PinCO map[[2]int]int
+
+	circuit *netlist.Circuit
+}
+
+// unreachable marks nets with no path to a primary output.
+const unreachable = math.MaxInt32
+
+// Compute derives all SCOAP measures for the circuit.
+func Compute(c *netlist.Circuit) *Measures {
+	n := c.NumNets()
+	m := &Measures{
+		CC0:     make([]int, n),
+		CC1:     make([]int, n),
+		CO:      make([]int, n),
+		PinCO:   map[[2]int]int{},
+		circuit: c,
+	}
+	// Controllabilities, forward topological order.
+	for id, g := range c.Gates {
+		switch g.Type {
+		case netlist.Input:
+			m.CC0[id], m.CC1[id] = 1, 1
+		case netlist.Buff:
+			m.CC0[id] = m.CC0[g.Fanin[0]] + 1
+			m.CC1[id] = m.CC1[g.Fanin[0]] + 1
+		case netlist.Not:
+			m.CC0[id] = m.CC1[g.Fanin[0]] + 1
+			m.CC1[id] = m.CC0[g.Fanin[0]] + 1
+		case netlist.And, netlist.Nand:
+			sum1, min0 := 0, math.MaxInt32
+			for _, f := range g.Fanin {
+				sum1 += m.CC1[f]
+				if m.CC0[f] < min0 {
+					min0 = m.CC0[f]
+				}
+			}
+			if g.Type == netlist.And {
+				m.CC1[id], m.CC0[id] = sum1+1, min0+1
+			} else {
+				m.CC0[id], m.CC1[id] = sum1+1, min0+1
+			}
+		case netlist.Or, netlist.Nor:
+			sum0, min1 := 0, math.MaxInt32
+			for _, f := range g.Fanin {
+				sum0 += m.CC0[f]
+				if m.CC1[f] < min1 {
+					min1 = m.CC1[f]
+				}
+			}
+			if g.Type == netlist.Or {
+				m.CC0[id], m.CC1[id] = sum0+1, min1+1
+			} else {
+				m.CC1[id], m.CC0[id] = sum0+1, min1+1
+			}
+		case netlist.Xor, netlist.Xnor:
+			if len(g.Fanin) != 2 {
+				panic(fmt.Sprintf("scoap: %d-input %v unsupported; Decompose2 first", len(g.Fanin), g.Type))
+			}
+			a, b := g.Fanin[0], g.Fanin[1]
+			odd := min(m.CC0[a]+m.CC1[b], m.CC1[a]+m.CC0[b]) + 1
+			even := min(m.CC0[a]+m.CC0[b], m.CC1[a]+m.CC1[b]) + 1
+			if g.Type == netlist.Xor {
+				m.CC1[id], m.CC0[id] = odd, even
+			} else {
+				m.CC0[id], m.CC1[id] = odd, even
+			}
+		default:
+			panic(fmt.Sprintf("scoap: unsupported gate type %v", g.Type))
+		}
+	}
+	// Observabilities, reverse topological order.
+	for i := range m.CO {
+		m.CO[i] = unreachable
+	}
+	for _, o := range c.Outputs {
+		m.CO[o] = 0
+	}
+	for id := n - 1; id >= 0; id-- {
+		g := c.Gates[id]
+		if g.Type == netlist.Input || m.CO[id] == unreachable {
+			continue
+		}
+		for pin, f := range g.Fanin {
+			cost := m.CO[id] + 1
+			switch g.Type {
+			case netlist.And, netlist.Nand:
+				for j, other := range g.Fanin {
+					if j != pin {
+						cost += m.CC1[other]
+					}
+				}
+			case netlist.Or, netlist.Nor:
+				for j, other := range g.Fanin {
+					if j != pin {
+						cost += m.CC0[other]
+					}
+				}
+			case netlist.Xor, netlist.Xnor:
+				other := g.Fanin[1-pin]
+				cost += min(m.CC0[other], m.CC1[other])
+			case netlist.Not, netlist.Buff:
+				// just the +1
+			}
+			key := [2]int{id, pin}
+			if prev, ok := m.PinCO[key]; !ok || cost < prev {
+				m.PinCO[key] = cost
+			}
+			if cost < m.CO[f] {
+				m.CO[f] = cost
+			}
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Reachable reports whether the net has any path to a primary output.
+func (m *Measures) Reachable(net int) bool { return m.CO[net] != unreachable }
+
+// StuckAtCost returns the SCOAP detection-difficulty estimate of a
+// stuck-at fault: the controllability of the value that excites it plus
+// the observability of the faulted line (the branch pin's observability
+// for branch faults). Higher means harder. The boolean is false when the
+// site cannot reach any output.
+func (m *Measures) StuckAtCost(f faults.StuckAt) (int, bool) {
+	var cc int
+	if f.Stuck {
+		cc = m.CC0[f.Net] // exciting a stuck-at-1 requires driving 0
+	} else {
+		cc = m.CC1[f.Net]
+	}
+	var co int
+	if f.IsBranch() {
+		v, ok := m.PinCO[[2]int{f.Gate, f.Pin}]
+		if !ok {
+			return 0, false
+		}
+		co = v
+	} else {
+		if !m.Reachable(f.Net) {
+			return 0, false
+		}
+		co = m.CO[f.Net]
+	}
+	return cc + co, true
+}

@@ -1,0 +1,156 @@
+package scoap
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+func TestHandComputedChain(t *testing.T) {
+	// a -> NOT n -> AND(n, b) z
+	c := netlist.New("chain")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	nn := c.AddGate("n", netlist.Not, a)
+	z := c.AddGate("z", netlist.And, nn, b)
+	c.MarkOutput(z)
+	m := Compute(c)
+	// PIs: CC0=CC1=1.
+	if m.CC0[a] != 1 || m.CC1[a] != 1 || m.CC0[b] != 1 {
+		t.Fatal("PI controllabilities must be 1")
+	}
+	// NOT: CC0(n)=CC1(a)+1=2, CC1(n)=CC0(a)+1=2.
+	if m.CC0[nn] != 2 || m.CC1[nn] != 2 {
+		t.Fatalf("NOT controllabilities: %d/%d, want 2/2", m.CC0[nn], m.CC1[nn])
+	}
+	// AND: CC1(z)=CC1(n)+CC1(b)+1=4; CC0(z)=min(CC0)+1=2.
+	if m.CC1[z] != 4 || m.CC0[z] != 2 {
+		t.Fatalf("AND controllabilities: CC1=%d CC0=%d, want 4/2", m.CC1[z], m.CC0[z])
+	}
+	// Observabilities: CO(z)=0; CO(n)=CO(z)+CC1(b)+1=2; CO(b)=CO(z)+CC1(n)+1=3;
+	// CO(a)=CO(n)+1=3.
+	if m.CO[z] != 0 || m.CO[nn] != 2 || m.CO[b] != 3 || m.CO[a] != 3 {
+		t.Fatalf("observabilities z=%d n=%d b=%d a=%d", m.CO[z], m.CO[nn], m.CO[b], m.CO[a])
+	}
+}
+
+func TestXorMeasures(t *testing.T) {
+	c := netlist.New("x")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", netlist.Xor, a, b)
+	c.MarkOutput(z)
+	m := Compute(c)
+	// CC1(z) = min(1+1, 1+1)+1 = 3; CC0(z) = 3 as well for PIs.
+	if m.CC1[z] != 3 || m.CC0[z] != 3 {
+		t.Fatalf("XOR controllabilities %d/%d, want 3/3", m.CC0[z], m.CC1[z])
+	}
+	// CO(a) = CO(z) + min(CC0(b), CC1(b)) + 1 = 2.
+	if m.CO[a] != 2 || m.CO[b] != 2 {
+		t.Fatalf("XOR observabilities %d/%d, want 2/2", m.CO[a], m.CO[b])
+	}
+}
+
+func TestFanoutTakesMinimumCO(t *testing.T) {
+	// A stem observed through a cheap path and an expensive path takes the
+	// cheap one.
+	c := netlist.New("stem")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	cheap := c.AddGate("cheap", netlist.Buff, a)
+	d1 := c.AddGate("d1", netlist.And, a, b)
+	c.MarkOutput(cheap)
+	c.MarkOutput(d1)
+	m := Compute(c)
+	// Through the buffer: CO(a) = 0+1 = 1. Through the AND: 0+CC1(b)+1 = 2.
+	if m.CO[a] != 1 {
+		t.Fatalf("CO(a)=%d, want 1 (min over branches)", m.CO[a])
+	}
+	if got := m.PinCO[[2]int{d1, 0}]; got != 2 {
+		t.Fatalf("pin CO through AND = %d, want 2", got)
+	}
+}
+
+func TestUnreachableNets(t *testing.T) {
+	c := netlist.New("dead")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", netlist.And, a, b)
+	dead := c.AddGate("dead", netlist.Or, a, b)
+	c.MarkOutput(z)
+	m := Compute(c)
+	if m.Reachable(dead) {
+		t.Fatal("dangling net must be unreachable")
+	}
+	if _, ok := m.StuckAtCost(faults.StuckAt{Net: dead, Gate: -1, Pin: -1}); ok {
+		t.Fatal("cost of an unobservable fault must report not-ok")
+	}
+}
+
+func TestAllBenchmarksComputable(t *testing.T) {
+	for _, name := range circuits.Names() {
+		c := circuits.MustGet(name).Decompose2()
+		m := Compute(c)
+		for net := range c.Gates {
+			if m.CC0[net] < 1 || m.CC1[net] < 1 {
+				t.Fatalf("%s: controllability below 1 on %s", name, c.NetName(net))
+			}
+		}
+		for _, o := range c.Outputs {
+			if m.CO[o] != 0 {
+				t.Fatalf("%s: PO observability must be 0", name)
+			}
+		}
+		// Every observable checkpoint fault must have a finite cost >= 2
+		// (one controllability unit plus at least the pin step).
+		for _, f := range faults.CheckpointStuckAts(c) {
+			cost, ok := m.StuckAtCost(f)
+			if !ok {
+				continue // site structurally unobservable
+			}
+			if cost < 2 {
+				t.Fatalf("%s: bad cost %d for %v", name, cost, f.Describe(c))
+			}
+		}
+	}
+}
+
+func TestDepthIncreasesCost(t *testing.T) {
+	// An inverter chain's endpoint gets monotonically harder to control
+	// and the head harder to observe.
+	c := netlist.New("invchain")
+	a := c.AddInput("a")
+	prev := a
+	var nets []int
+	for i := 0; i < 6; i++ {
+		prev = c.AddGate("n"+string(rune('0'+i)), netlist.Not, prev)
+		nets = append(nets, prev)
+	}
+	c.MarkOutput(prev)
+	m := Compute(c)
+	for i := 1; i < len(nets); i++ {
+		if m.CC0[nets[i]] <= m.CC0[nets[i-1]]-1 && m.CC1[nets[i]] <= m.CC1[nets[i-1]]-1 {
+			t.Fatal("controllability must grow along the chain")
+		}
+	}
+	if m.CO[a] != 6 {
+		t.Fatalf("CO at chain head = %d, want 6", m.CO[a])
+	}
+}
+
+func TestPanicsOnWideXor(t *testing.T) {
+	c := netlist.New("wide")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	z := c.AddGate("z", netlist.Xor, a, b, d)
+	c.MarkOutput(z)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("3-input XOR must panic (Decompose2 first)")
+		}
+	}()
+	Compute(c)
+}

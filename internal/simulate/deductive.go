@@ -1,0 +1,192 @@
+package simulate
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Deductive fault simulation (Armstrong 1972, the family of Menon's
+// simulator the paper cites as ref [18]): one true-value pass per input
+// vector carries, on every net, the *list* of single stuck-at faults that
+// would flip that net — so a single pass determines every detected fault.
+// Reconvergent fan-out is handled exactly by the set rules:
+//
+//   - no input at controlling value:  L(out) = ∪ L(in_i)
+//   - S = inputs at controlling value: L(out) = ∩_{i∈S} L(in_i) \ ∪_{i∉S} L(in_i)
+//   - XOR-likes: f ∈ L(out) iff f flips an odd number of inputs
+//
+// plus the net's own active stuck-at fault, with branch faults entering at
+// their pin list. Inversions do not change fault lists.
+
+// faultSet is a set of fault indices.
+type faultSet map[int]struct{}
+
+func (s faultSet) add(i int)      { s[i] = struct{}{} }
+func (s faultSet) has(i int) bool { _, ok := s[i]; return ok }
+func (s faultSet) union(o faultSet) {
+	for i := range o {
+		s.add(i)
+	}
+}
+
+// DeductiveStuckAt runs one deductive simulation pass for the input
+// vector and returns, aligned with fs, whether each fault is detected at
+// some primary output by this vector. Results are exact for single
+// stuck-at faults (verified against per-fault simulation in the tests).
+func DeductiveStuckAt(c *netlist.Circuit, fs []faults.StuckAt, vec []bool) []bool {
+	if len(vec) != len(c.Inputs) {
+		panic(fmt.Sprintf("simulate: vector has %d bits for %d inputs", len(vec), len(c.Inputs)))
+	}
+	// Index the fault list by site.
+	netFault := map[[2]int]int{} // (net, stuckBit) -> fault index
+	pinFault := map[[4]int]int{} // (gate, pin, stuckBit, 0) -> fault index
+	for i, f := range fs {
+		sb := 0
+		if f.Stuck {
+			sb = 1
+		}
+		if f.IsBranch() {
+			pinFault[[4]int{f.Gate, f.Pin, sb, 0}] = i
+		} else {
+			netFault[[2]int{f.Net, sb}] = i
+		}
+	}
+
+	vals := make([]bool, c.NumNets())
+	lists := make([]faultSet, c.NumNets())
+	activeNetFault := func(net int, v bool) (int, bool) {
+		sb := 0
+		if !v {
+			sb = 1 // a line at 0 is flipped by its stuck-at-1 fault
+		}
+		i, ok := netFault[[2]int{net, sb}]
+		return i, ok
+	}
+
+	for id, g := range c.Gates {
+		if g.Type == netlist.Input {
+			vals[id] = vec[indexOfInput(c, id)]
+			l := faultSet{}
+			if fi, ok := activeNetFault(id, vals[id]); ok {
+				l.add(fi)
+			}
+			lists[id] = l
+			continue
+		}
+		// Per-pin values and lists (pin faults join here).
+		pinVals := make([]bool, len(g.Fanin))
+		pinLists := make([]faultSet, len(g.Fanin))
+		for pin, fin := range g.Fanin {
+			pinVals[pin] = vals[fin]
+			pl := faultSet{}
+			pl.union(lists[fin])
+			sb := 0
+			if !pinVals[pin] {
+				sb = 1
+			}
+			if fi, ok := pinFault[[4]int{id, pin, sb, 0}]; ok {
+				pl.add(fi)
+			}
+			pinLists[pin] = pl
+		}
+		v := g.Type.Eval(pinVals)
+		vals[id] = v
+
+		out := faultSet{}
+		switch g.Type {
+		case netlist.Not, netlist.Buff:
+			out.union(pinLists[0])
+		case netlist.Xor, netlist.Xnor:
+			// Odd-flip rule.
+			counts := map[int]int{}
+			for _, pl := range pinLists {
+				for fi := range pl {
+					counts[fi]++
+				}
+			}
+			for fi, n := range counts {
+				if n%2 == 1 {
+					out.add(fi)
+				}
+			}
+		default: // AND/NAND/OR/NOR
+			cv := g.Type == netlist.Or || g.Type == netlist.Nor // controlling value: 0 for AND-likes, 1 for OR-likes
+			var controllingPins []int
+			for pin, pv := range pinVals {
+				if pv == cv {
+					controllingPins = append(controllingPins, pin)
+				}
+			}
+			if len(controllingPins) == 0 {
+				for _, pl := range pinLists {
+					out.union(pl)
+				}
+			} else {
+				// Intersection over controlling pins...
+				for fi := range pinLists[controllingPins[0]] {
+					inAll := true
+					for _, pin := range controllingPins[1:] {
+						if !pinLists[pin].has(fi) {
+							inAll = false
+							break
+						}
+					}
+					if !inAll {
+						continue
+					}
+					// ...minus any non-controlling pin that would flip too.
+					flipsNC := false
+					for pin, pv := range pinVals {
+						if pv != cv && pinLists[pin].has(fi) {
+							flipsNC = true
+							break
+						}
+					}
+					if !flipsNC {
+						out.add(fi)
+					}
+				}
+			}
+		}
+		if fi, ok := activeNetFault(id, v); ok {
+			out.add(fi)
+		}
+		lists[id] = out
+	}
+
+	detected := make([]bool, len(fs))
+	for _, o := range c.Outputs {
+		for fi := range lists[o] {
+			detected[fi] = true
+		}
+	}
+	return detected
+}
+
+// indexOfInput returns the declaration index of a PI gate id.
+func indexOfInput(c *netlist.Circuit, id int) int {
+	for i, in := range c.Inputs {
+		if in == id {
+			return i
+		}
+	}
+	panic("simulate: not an input")
+}
+
+// DeductiveCoverage runs deductive simulation for every vector and
+// accumulates a coverage result over the fault list — one circuit pass
+// per vector regardless of the fault count.
+func DeductiveCoverage(c *netlist.Circuit, fs []faults.StuckAt, vectors [][]bool) CoverageResult {
+	r := CoverageResult{Total: len(fs), PerFault: make([]bool, len(fs))}
+	for _, vec := range vectors {
+		for i, d := range DeductiveStuckAt(c, fs, vec) {
+			if d && !r.PerFault[i] {
+				r.PerFault[i] = true
+				r.Detected++
+			}
+		}
+	}
+	return r
+}

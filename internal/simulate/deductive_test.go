@@ -1,0 +1,114 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// TestDeductiveMatchesPerFaultSimulation is the exactness check: for each
+// vector, the one-pass deductive verdicts must equal per-fault event
+// simulation bit for bit — including on heavily reconvergent circuits.
+func TestDeductiveMatchesPerFaultSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, name := range []string{"c17", "fadd", "c95s", "alu181", "c432s"} {
+		c := circuits.MustGet(name).Decompose2()
+		all := faults.CheckpointStuckAts(c)
+		for trial := 0; trial < 12; trial++ {
+			vec := make([]bool, len(c.Inputs))
+			for i := range vec {
+				vec[i] = rng.Intn(2) == 1
+			}
+			got := DeductiveStuckAt(c, all, vec)
+			p := FromVectors(len(c.Inputs), [][]bool{vec})
+			for i, f := range all {
+				want := CountBits(DetectStuckAt(c, f, p)) == 1
+				if got[i] != want {
+					t.Fatalf("%s vector %v fault %v: deductive=%v per-fault=%v",
+						name, vec, f.Describe(c), got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeductiveAllNetFaults(t *testing.T) {
+	// Every net fault of both polarities on the multiplier (stems,
+	// internal nets, POs) for several vectors.
+	c := circuits.MustGet("c95s")
+	all := faults.AllStuckAts(c)
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 10; trial++ {
+		vec := make([]bool, len(c.Inputs))
+		for i := range vec {
+			vec[i] = rng.Intn(2) == 1
+		}
+		got := DeductiveStuckAt(c, all, vec)
+		p := FromVectors(len(c.Inputs), [][]bool{vec})
+		for i, f := range all {
+			want := CountBits(DetectStuckAt(c, f, p)) == 1
+			if got[i] != want {
+				t.Fatalf("fault %v: deductive=%v per-fault=%v", f.Describe(c), got[i], want)
+			}
+		}
+	}
+}
+
+func TestDeductiveXorOddFlipRule(t *testing.T) {
+	// A fault reaching both XOR inputs through reconvergence must cancel.
+	c := netlist.New("recon")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	n1 := c.AddGate("n1", netlist.And, a, b)
+	x1 := c.AddGate("x1", netlist.Buff, n1)
+	x2 := c.AddGate("x2", netlist.Buff, n1)
+	z := c.AddGate("z", netlist.Xor, x1, x2) // always 0; n1 faults cancel
+	c.MarkOutput(z)
+	fs := []faults.StuckAt{
+		{Net: n1, Gate: -1, Pin: -1, Stuck: false},
+		{Net: n1, Gate: -1, Pin: -1, Stuck: true},
+	}
+	for v := 0; v < 4; v++ {
+		vec := []bool{v&1 == 1, v&2 == 2}
+		got := DeductiveStuckAt(c, fs, vec)
+		if got[0] || got[1] {
+			t.Fatalf("reconvergent cancellation missed at %v: %v", vec, got)
+		}
+	}
+}
+
+func TestDeductiveCoverageMatchesBitParallel(t *testing.T) {
+	c := circuits.MustGet("alu181").Decompose2()
+	fs := faults.CheckpointStuckAts(c)
+	vectors := make([][]bool, 24)
+	rng := rand.New(rand.NewSource(107))
+	for i := range vectors {
+		vectors[i] = make([]bool, len(c.Inputs))
+		for j := range vectors[i] {
+			vectors[i][j] = rng.Intn(2) == 1
+		}
+	}
+	ded := DeductiveCoverage(c, fs, vectors)
+	bit := CoverageStuckAt(c, fs, FromVectors(len(c.Inputs), vectors))
+	if ded.Detected != bit.Detected {
+		t.Fatalf("coverage disagrees: deductive %d, bit-parallel %d", ded.Detected, bit.Detected)
+	}
+	for i := range ded.PerFault {
+		if ded.PerFault[i] != bit.PerFault[i] {
+			t.Fatalf("per-fault verdict differs at %v", fs[i].Describe(c))
+		}
+	}
+}
+
+func TestDeductivePanicsOnBadVector(t *testing.T) {
+	c := circuits.MustGet("c17")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short vector must panic")
+		}
+	}()
+	DeductiveStuckAt(c, nil, []bool{true})
+}

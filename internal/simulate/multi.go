@@ -1,0 +1,140 @@
+package simulate
+
+import (
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// DetectMultipleStuckAt simulates a multiple stuck-at fault (all component
+// faults present simultaneously) over the pattern block and returns the
+// per-pattern detection mask. Later component faults override upstream
+// fault effects at their own sites, matching the semantics of
+// diffprop.MultipleStuckAt.
+func DetectMultipleStuckAt(c *netlist.Circuit, fs []faults.StuckAt, p *Patterns) []uint64 {
+	good := GoodValues(c, p)
+	words := p.NumWords()
+	netForce := map[int]uint64{}
+	pinForce := map[[2]int]uint64{}
+	cone := make([]bool, c.NumNets())
+	mark := func(from []bool) {
+		for n, set := range from {
+			cone[n] = cone[n] || set
+		}
+	}
+	for _, f := range fs {
+		forced := uint64(0)
+		if f.Stuck {
+			forced = ^uint64(0)
+		}
+		if f.IsBranch() {
+			pinForce[[2]int{f.Gate, f.Pin}] = forced
+			cone[f.Gate] = true
+			mark(c.FanoutCone(f.Gate))
+		} else {
+			netForce[f.Net] = forced
+			cone[f.Net] = true
+			mark(c.FanoutCone(f.Net))
+		}
+	}
+	vals := make([][]uint64, c.NumNets())
+	copy(vals, good)
+	// Forced primary inputs (and any forced net) take the constant.
+	for net, forced := range netForce {
+		fv := make([]uint64, words)
+		for w := range fv {
+			fv[w] = forced
+		}
+		vals[net] = fv
+	}
+	scratch := make([]uint64, 0, 8)
+	for id, g := range c.Gates {
+		if !cone[id] || g.Type == netlist.Input {
+			continue
+		}
+		if _, forced := netForce[id]; forced {
+			continue // already set; overrides upstream effects
+		}
+		out := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			scratch = scratch[:0]
+			for pin, fin := range g.Fanin {
+				v := vals[fin][w]
+				if fv, ok := pinForce[[2]int{id, pin}]; ok {
+					v = fv
+				}
+				scratch = append(scratch, v)
+			}
+			out[w] = g.Type.EvalWord(scratch)
+		}
+		vals[id] = out
+	}
+	det := outputDiff(c, good, vals, words)
+	if len(det) > 0 {
+		det[len(det)-1] &= p.lastMask()
+	}
+	return det
+}
+
+// DetectGateSub simulates a gate substitution fault over the pattern block
+// and returns the per-pattern detection mask.
+func DetectGateSub(c *netlist.Circuit, s faults.GateSub, p *Patterns) []uint64 {
+	good := GoodValues(c, p)
+	words := p.NumWords()
+	vals := make([][]uint64, c.NumNets())
+	copy(vals, good)
+	cone := make([]bool, c.NumNets())
+	cone[s.Gate] = true
+	for n, set := range c.FanoutCone(s.Gate) {
+		cone[n] = cone[n] || set
+	}
+	scratch := make([]uint64, 0, 8)
+	for id, g := range c.Gates {
+		if !cone[id] || g.Type == netlist.Input {
+			continue
+		}
+		typ := g.Type
+		if id == s.Gate {
+			typ = s.WrongType
+		}
+		out := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			scratch = scratch[:0]
+			for _, fin := range g.Fanin {
+				scratch = append(scratch, vals[fin][w])
+			}
+			out[w] = typ.EvalWord(scratch)
+		}
+		vals[id] = out
+	}
+	det := outputDiff(c, good, vals, words)
+	if len(det) > 0 {
+		det[len(det)-1] &= p.lastMask()
+	}
+	return det
+}
+
+// CoverageMultiple fault-simulates the pattern block against a list of
+// multiple stuck-at faults (each element is one multiple fault).
+func CoverageMultiple(c *netlist.Circuit, multis [][]faults.StuckAt, p *Patterns) CoverageResult {
+	r := CoverageResult{Total: len(multis), PerFault: make([]bool, len(multis))}
+	for i, fs := range multis {
+		if CountBits(DetectMultipleStuckAt(c, fs, p)) > 0 {
+			r.PerFault[i] = true
+			r.Detected++
+		}
+	}
+	return r
+}
+
+// CoverageGateSubs fault-simulates the pattern block against gate
+// substitution faults.
+func CoverageGateSubs(c *netlist.Circuit, subs []faults.GateSub, p *Patterns) CoverageResult {
+	r := CoverageResult{Total: len(subs), PerFault: make([]bool, len(subs))}
+	for i, s := range subs {
+		if CountBits(DetectGateSub(c, s, p)) > 0 {
+			r.PerFault[i] = true
+			r.Detected++
+		}
+	}
+	return r
+}

@@ -1,0 +1,108 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+func TestDetectMultipleStuckAtSingleEqualsSingle(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	p := Exhaustive(len(c.Inputs))
+	for _, f := range faults.CheckpointStuckAts(c)[:40] {
+		single := DetectStuckAt(c, f, p)
+		multi := DetectMultipleStuckAt(c, []faults.StuckAt{f}, p)
+		for w := range single {
+			if single[w] != multi[w] {
+				t.Fatalf("%v: multiple-fault path disagrees with single-fault path", f.Describe(c))
+			}
+		}
+	}
+}
+
+func TestDetectMultipleStuckAtDownstreamOverride(t *testing.T) {
+	// z = NOT(a); both a/SA1 and z/SA1 behave exactly like z/SA1 alone.
+	c := netlist.New("mask")
+	a := c.AddInput("a")
+	z := c.AddGate("z", netlist.Not, a)
+	c.MarkOutput(z)
+	p := Exhaustive(1)
+	fa := faults.StuckAt{Net: a, Gate: -1, Pin: -1, Stuck: true}
+	fz := faults.StuckAt{Net: z, Gate: -1, Pin: -1, Stuck: true}
+	both := DetectMultipleStuckAt(c, []faults.StuckAt{fa, fz}, p)
+	alone := DetectStuckAt(c, fz, p)
+	if both[0] != alone[0] {
+		t.Fatalf("downstream force must dominate: %b vs %b", both[0], alone[0])
+	}
+}
+
+func TestDetectMultipleStuckAtBranchComponents(t *testing.T) {
+	// Two branch faults of a c17 stem applied together must equal the
+	// stem's net fault (all branches forced to the same value).
+	c := circuits.MustGet("c17")
+	n := c.NetByName("16")
+	fo := c.Fanout()[n]
+	if len(fo) != 2 {
+		t.Fatal("net 16 must have two branches")
+	}
+	var branches []faults.StuckAt
+	for _, g := range fo {
+		for pin, fin := range c.Gates[g].Fanin {
+			if fin == n {
+				branches = append(branches, faults.StuckAt{Net: n, Gate: g, Pin: pin, Stuck: true})
+			}
+		}
+	}
+	p := Exhaustive(5)
+	multi := DetectMultipleStuckAt(c, branches, p)
+	net := DetectStuckAt(c, faults.StuckAt{Net: n, Gate: -1, Pin: -1, Stuck: true}, p)
+	// Net 16 is not a PO, so forcing every branch equals forcing the net.
+	for w := range multi {
+		if multi[w] != net[w] {
+			t.Fatal("all-branches multiple fault must equal the net fault")
+		}
+	}
+}
+
+func TestDetectGateSubKnownTruth(t *testing.T) {
+	c := netlist.New("sub")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	z := c.AddGate("z", netlist.And, a, b)
+	c.MarkOutput(z)
+	p := Exhaustive(2)
+	// AND -> OR differs at 01 and 10.
+	mask := DetectGateSub(c, faults.GateSub{Gate: z, WrongType: netlist.Or}, p)
+	if CountBits(mask) != 2 {
+		t.Fatalf("AND->OR detects %d patterns, want 2", CountBits(mask))
+	}
+	// AND -> NAND differs everywhere.
+	mask = DetectGateSub(c, faults.GateSub{Gate: z, WrongType: netlist.Nand}, p)
+	if CountBits(mask) != 4 {
+		t.Fatalf("AND->NAND detects %d patterns, want 4", CountBits(mask))
+	}
+}
+
+func TestCoverageMultipleAndGateSubs(t *testing.T) {
+	c := circuits.MustGet("c17")
+	p := Exhaustive(5)
+	pool := faults.CheckpointStuckAts(c)
+	multis := [][]faults.StuckAt{
+		{pool[0], pool[1]},
+		{pool[2], pool[3]},
+	}
+	cm := CoverageMultiple(c, multis, p)
+	if cm.Total != 2 || cm.Detected == 0 {
+		t.Fatalf("multiple coverage %d/%d", cm.Detected, cm.Total)
+	}
+	subs := faults.AllGateSubs(c)
+	cs := CoverageGateSubs(c, subs, p)
+	if cs.Total != len(subs) || cs.Detected == 0 {
+		t.Fatalf("gate-sub coverage %d/%d", cs.Detected, cs.Total)
+	}
+	if cs.Detected > cs.Total {
+		t.Fatal("impossible coverage")
+	}
+}

@@ -1,0 +1,338 @@
+// Package simulate is the baseline the paper argues against (§1, refs
+// [2][3]): a 64-way bit-parallel pattern simulator with stuck-at and
+// bridging fault injection. It is used here to cross-validate the exact
+// OBDD results of Difference Propagation on small circuits (where
+// exhaustive simulation is feasible) and to run the Millman–McCluskey
+// style "stuck-at test set versus bridging faults" coverage experiment.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Patterns is a bit-parallel pattern block: Words[i][w] holds the values
+// of primary input i for patterns 64*w .. 64*w+63 (LSB first). Count is
+// the number of valid patterns; trailing bits of the last word are
+// ignored by the accessors but are simulated (harmlessly) by the
+// evaluators.
+type Patterns struct {
+	Count int
+	Words [][]uint64
+}
+
+// NumWords returns the number of 64-pattern words.
+func (p *Patterns) NumWords() int {
+	if len(p.Words) == 0 {
+		return 0
+	}
+	return len(p.Words[0])
+}
+
+// lastMask masks off the unused bits of the final word.
+func (p *Patterns) lastMask() uint64 {
+	r := p.Count % 64
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (1 << uint(r)) - 1
+}
+
+// Get returns the value of input pi in pattern idx.
+func (p *Patterns) Get(pi, idx int) bool {
+	return p.Words[pi][idx/64]>>uint(idx%64)&1 == 1
+}
+
+// Vector returns pattern idx as a bool slice.
+func (p *Patterns) Vector(idx int) []bool {
+	out := make([]bool, len(p.Words))
+	for i := range p.Words {
+		out[i] = p.Get(i, idx)
+	}
+	return out
+}
+
+// FromVectors packs explicit test vectors into a pattern block.
+func FromVectors(nPI int, vectors [][]bool) *Patterns {
+	p := &Patterns{Count: len(vectors)}
+	words := (len(vectors) + 63) / 64
+	p.Words = make([][]uint64, nPI)
+	for i := range p.Words {
+		p.Words[i] = make([]uint64, words)
+	}
+	for idx, v := range vectors {
+		if len(v) != nPI {
+			panic(fmt.Sprintf("simulate: vector %d has %d bits, want %d", idx, len(v), nPI))
+		}
+		for i, b := range v {
+			if b {
+				p.Words[i][idx/64] |= 1 << uint(idx%64)
+			}
+		}
+	}
+	return p
+}
+
+// Exhaustive returns all 2^nPI patterns in counting order (input i is bit
+// i of the pattern index). Panics for nPI > 30.
+func Exhaustive(nPI int) *Patterns {
+	if nPI > 30 {
+		panic(fmt.Sprintf("simulate: exhaustive simulation of %d inputs is not sensible", nPI))
+	}
+	count := 1 << uint(nPI)
+	words := (count + 63) / 64
+	p := &Patterns{Count: count, Words: make([][]uint64, nPI)}
+	// Bit patterns for the six in-word variables.
+	inWord := [6]uint64{
+		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+	}
+	for i := 0; i < nPI; i++ {
+		p.Words[i] = make([]uint64, words)
+		for w := 0; w < words; w++ {
+			if i < 6 {
+				p.Words[i][w] = inWord[i]
+			} else if w>>(uint(i)-6)&1 == 1 {
+				p.Words[i][w] = ^uint64(0)
+			}
+		}
+	}
+	return p
+}
+
+// Random returns count uniformly random patterns from the given seed.
+func Random(nPI, count int, seed int64) *Patterns {
+	rng := rand.New(rand.NewSource(seed))
+	words := (count + 63) / 64
+	p := &Patterns{Count: count, Words: make([][]uint64, nPI)}
+	for i := range p.Words {
+		p.Words[i] = make([]uint64, words)
+		for w := range p.Words[i] {
+			p.Words[i][w] = rng.Uint64()
+		}
+	}
+	return p
+}
+
+// GoodValues evaluates the fault-free circuit over the pattern block and
+// returns one word slice per net.
+func GoodValues(c *netlist.Circuit, p *Patterns) [][]uint64 {
+	if len(p.Words) != len(c.Inputs) {
+		panic(fmt.Sprintf("simulate: %d input columns for %d inputs", len(p.Words), len(c.Inputs)))
+	}
+	words := p.NumWords()
+	vals := make([][]uint64, c.NumNets())
+	for i, in := range c.Inputs {
+		vals[in] = p.Words[i]
+	}
+	scratch := make([]uint64, 0, 8)
+	for id, g := range c.Gates {
+		if g.Type == netlist.Input {
+			continue
+		}
+		out := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			scratch = scratch[:0]
+			for _, f := range g.Fanin {
+				scratch = append(scratch, vals[f][w])
+			}
+			out[w] = g.Type.EvalWord(scratch)
+		}
+		vals[id] = out
+	}
+	return vals
+}
+
+// outputDiff ORs the XOR of good and faulty PO words into a detect mask.
+func outputDiff(c *netlist.Circuit, good, faulty [][]uint64, words int) []uint64 {
+	det := make([]uint64, words)
+	for _, o := range c.Outputs {
+		for w := 0; w < words; w++ {
+			det[w] |= good[o][w] ^ faulty[o][w]
+		}
+	}
+	return det
+}
+
+// DetectStuckAt simulates the stuck-at fault over the pattern block and
+// returns the per-pattern detection mask (bit set = some primary output
+// differs from the good circuit). Branch faults force only the faulted
+// gate pin; net faults force the net for all its consumers and for PO
+// observation.
+func DetectStuckAt(c *netlist.Circuit, f faults.StuckAt, p *Patterns) []uint64 {
+	return detectStuckAt(c, f, p, GoodValues(c, p))
+}
+
+func detectStuckAt(c *netlist.Circuit, f faults.StuckAt, p *Patterns, good [][]uint64) []uint64 {
+	words := p.NumWords()
+	forced := uint64(0)
+	if f.Stuck {
+		forced = ^uint64(0)
+	}
+	vals := make([][]uint64, c.NumNets())
+	copy(vals, good)
+	if !f.IsBranch() {
+		fv := make([]uint64, words)
+		for w := range fv {
+			fv[w] = forced
+		}
+		vals[f.Net] = fv
+	}
+	// Recompute the fan-out cone of the fault site.
+	var cone []bool
+	if f.IsBranch() {
+		cone = make([]bool, c.NumNets())
+		cone[f.Gate] = true
+		for n, set := range c.FanoutCone(f.Gate) {
+			cone[n] = cone[n] || set
+		}
+	} else {
+		cone = c.FanoutCone(f.Net)
+	}
+	scratch := make([]uint64, 0, 8)
+	for id, g := range c.Gates {
+		if !cone[id] || g.Type == netlist.Input {
+			continue
+		}
+		out := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			scratch = scratch[:0]
+			for pin, fin := range g.Fanin {
+				v := vals[fin][w]
+				if f.IsBranch() && id == f.Gate && pin == f.Pin {
+					v = forced
+				}
+				scratch = append(scratch, v)
+			}
+			out[w] = g.Type.EvalWord(scratch)
+		}
+		vals[id] = out
+	}
+	det := outputDiff(c, good, vals, words)
+	if len(det) > 0 {
+		det[len(det)-1] &= p.lastMask()
+	}
+	return det
+}
+
+// DetectBridging simulates the wired-logic bridging fault over the pattern
+// block and returns the per-pattern detection mask. The bridge must be
+// non-feedback.
+func DetectBridging(c *netlist.Circuit, b faults.Bridging, p *Patterns) []uint64 {
+	if faults.IsFeedback(c, b.U, b.V) {
+		panic(fmt.Sprintf("simulate: %v is a feedback bridge", b))
+	}
+	return detectBridging(c, b, p, GoodValues(c, p))
+}
+
+func detectBridging(c *netlist.Circuit, b faults.Bridging, p *Patterns, good [][]uint64) []uint64 {
+	words := p.NumWords()
+	wired := make([]uint64, words)
+	for w := 0; w < words; w++ {
+		if b.Kind == faults.WiredAND {
+			wired[w] = good[b.U][w] & good[b.V][w]
+		} else {
+			wired[w] = good[b.U][w] | good[b.V][w]
+		}
+	}
+	vals := make([][]uint64, c.NumNets())
+	copy(vals, good)
+	vals[b.U] = wired
+	vals[b.V] = wired
+	coneU := c.FanoutCone(b.U)
+	coneV := c.FanoutCone(b.V)
+	scratch := make([]uint64, 0, 8)
+	for id, g := range c.Gates {
+		if (!coneU[id] && !coneV[id]) || g.Type == netlist.Input {
+			continue
+		}
+		out := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			scratch = scratch[:0]
+			for _, fin := range g.Fanin {
+				scratch = append(scratch, vals[fin][w])
+			}
+			out[w] = g.Type.EvalWord(scratch)
+		}
+		vals[id] = out
+	}
+	det := outputDiff(c, good, vals, words)
+	if len(det) > 0 {
+		det[len(det)-1] &= p.lastMask()
+	}
+	return det
+}
+
+// CountBits sums the set bits of a detection mask.
+func CountBits(mask []uint64) int {
+	n := 0
+	for _, w := range mask {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ExhaustiveDetectabilityStuckAt returns the exact detection probability
+// of the fault by full enumeration — the quantity Difference Propagation
+// computes symbolically.
+func ExhaustiveDetectabilityStuckAt(c *netlist.Circuit, f faults.StuckAt) float64 {
+	p := Exhaustive(len(c.Inputs))
+	return float64(CountBits(DetectStuckAt(c, f, p))) / float64(p.Count)
+}
+
+// ExhaustiveDetectabilityBridging is the bridging analogue.
+func ExhaustiveDetectabilityBridging(c *netlist.Circuit, b faults.Bridging) float64 {
+	p := Exhaustive(len(c.Inputs))
+	return float64(CountBits(DetectBridging(c, b, p))) / float64(p.Count)
+}
+
+// CoverageResult reports a fault-simulation campaign.
+type CoverageResult struct {
+	Total    int
+	Detected int
+	// PerFault[i] is true when fault i was detected by some pattern.
+	PerFault []bool
+}
+
+// Coverage returns the detected fraction.
+func (r CoverageResult) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// CoverageStuckAt fault-simulates the pattern block against every fault.
+func CoverageStuckAt(c *netlist.Circuit, fs []faults.StuckAt, p *Patterns) CoverageResult {
+	r := CoverageResult{Total: len(fs), PerFault: make([]bool, len(fs))}
+	good := GoodValues(c, p)
+	for i, f := range fs {
+		if CountBits(detectStuckAt(c, f, p, good)) > 0 {
+			r.PerFault[i] = true
+			r.Detected++
+		}
+	}
+	return r
+}
+
+// CoverageBridging fault-simulates the pattern block against every
+// bridging fault.
+func CoverageBridging(c *netlist.Circuit, bs []faults.Bridging, p *Patterns) CoverageResult {
+	r := CoverageResult{Total: len(bs), PerFault: make([]bool, len(bs))}
+	good := GoodValues(c, p)
+	for i, b := range bs {
+		if faults.IsFeedback(c, b.U, b.V) {
+			panic(fmt.Sprintf("simulate: %v is a feedback bridge", b))
+		}
+		if CountBits(detectBridging(c, b, p, good)) > 0 {
+			r.PerFault[i] = true
+			r.Detected++
+		}
+	}
+	return r
+}

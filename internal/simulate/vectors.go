@@ -1,0 +1,65 @@
+package simulate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadVectors parses a test-vector file: one vector per line as '0'/'1'
+// characters (optionally separated by spaces), '#' comments and blank
+// lines ignored. Every vector must have exactly nPI bits. This is the
+// format cmd/atpg writes and cmd/simulate consumes.
+func ReadVectors(r io.Reader, nPI int) ([][]bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out [][]bool
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		vec := make([]bool, 0, nPI)
+		for _, ch := range line {
+			switch ch {
+			case '0':
+				vec = append(vec, false)
+			case '1':
+				vec = append(vec, true)
+			case ' ', '\t', '_':
+				// separators allowed
+			default:
+				return nil, fmt.Errorf("vectors:%d: unexpected character %q", lineNo, ch)
+			}
+		}
+		if len(vec) != nPI {
+			return nil, fmt.Errorf("vectors:%d: %d bits, want %d", lineNo, len(vec), nPI)
+		}
+		out = append(out, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteVectors emits vectors in the same format, one per line.
+func WriteVectors(w io.Writer, vectors [][]bool) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range vectors {
+		line := make([]byte, len(v))
+		for i, b := range v {
+			line[i] = '0'
+			if b {
+				line[i] = '1'
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

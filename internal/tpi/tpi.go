@@ -1,0 +1,243 @@
+// Package tpi implements observability-driven test-point insertion, the
+// design action the paper's conclusions call for: detectability sags at
+// the circuit center and responds best to added observability, so
+// observation points belong on the center nets where faults are hardest
+// to see. Two selectors are provided:
+//
+//   - CenterHeuristic ranks center nets by the mean exact detectability of
+//     the faults sitting on them (one DP study, cheap);
+//   - GreedyExact re-runs the exact analysis after every insertion and
+//     always takes the net with the best measured improvement (expensive,
+//     optimal-greedy).
+//
+// Both return modified circuits whose added primary outputs are plain
+// observation taps — no logic is altered, so the original outputs compute
+// exactly as before (the tests prove it with the equivalence checker).
+package tpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// Plan is the outcome of a test-point selection.
+type Plan struct {
+	// Circuit is the modified circuit with observation points appended to
+	// its primary outputs.
+	Circuit *netlist.Circuit
+	// Points lists the chosen nets (indices into the *working*, two-input
+	// decomposed circuit used for analysis).
+	Points []int
+	// Names lists the chosen nets' names.
+	Names []string
+	// Before and After are the mean detectabilities of detectable
+	// checkpoint faults without and with the observation points.
+	Before, After float64
+}
+
+// Gain returns the relative improvement in mean detectability.
+func (p Plan) Gain() float64 {
+	if p.Before == 0 {
+		return 0
+	}
+	return (p.After - p.Before) / p.Before
+}
+
+// centerScores aggregates, per center net, the mean detectability of the
+// faults sitting on it.
+func centerScores(study analysis.StuckAtStudy, depth int) map[int]float64 {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	agg := map[int]*acc{}
+	for _, r := range study.Records {
+		if r.MaxLevelsToPO < depth/4 || r.LevelFromPI < depth/4 {
+			continue // keep only center sites
+		}
+		a := agg[r.Fault.Net]
+		if a == nil {
+			a = &acc{}
+			agg[r.Fault.Net] = a
+		}
+		a.sum += r.Detectability
+		a.n++
+	}
+	out := map[int]float64{}
+	for net, a := range agg {
+		out[net] = a.sum / float64(a.n)
+	}
+	return out
+}
+
+// studyOf runs the collapsed-checkpoint study for a circuit.
+func studyOf(c *netlist.Circuit) (analysis.StuckAtStudy, *diffprop.Engine, error) {
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		return analysis.StuckAtStudy{}, nil, err
+	}
+	return analysis.RunStuckAt(e, faults.CheckpointStuckAts(e.Circuit)), e, nil
+}
+
+// withObservationPoints returns a copy of the working circuit with the
+// given nets appended as primary outputs.
+func withObservationPoints(w *netlist.Circuit, nets []int, label string) *netlist.Circuit {
+	mod := w.Clone()
+	mod.Name = w.Name + label
+	for _, n := range nets {
+		if !mod.IsOutput(n) {
+			mod.MarkOutput(n)
+		}
+	}
+	return mod
+}
+
+// CenterHeuristic inserts k observation points on the center nets whose
+// faults have the lowest mean exact detectability.
+func CenterHeuristic(c *netlist.Circuit, k int) (Plan, error) {
+	if k <= 0 {
+		return Plan{}, fmt.Errorf("tpi: k must be positive")
+	}
+	study, e, err := studyOf(c)
+	if err != nil {
+		return Plan{}, err
+	}
+	w := e.Circuit
+	scores := centerScores(study, w.Depth())
+	type cand struct {
+		net   int
+		score float64
+	}
+	ranked := make([]cand, 0, len(scores))
+	for net, s := range scores {
+		if w.IsOutput(net) {
+			continue
+		}
+		ranked = append(ranked, cand{net, s})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score < ranked[b].score
+		}
+		return ranked[a].net < ranked[b].net
+	})
+	// Take the k worst nets, but diversify: a candidate inside the fan-in
+	// or fan-out cone of an already chosen point largely shares its
+	// observability fix, so it is skipped while alternatives remain.
+	plan := Plan{Before: study.MeanDetectable()}
+	taken := map[int]bool{}
+	overlaps := func(net int) bool {
+		for chosen := range taken {
+			if net == chosen || w.FanoutCone(chosen)[net] || w.FaninCone(chosen)[net] {
+				return true
+			}
+		}
+		return false
+	}
+	for pass := 0; pass < 2 && len(plan.Points) < k; pass++ {
+		for _, r := range ranked {
+			if len(plan.Points) == k {
+				break
+			}
+			if taken[r.net] {
+				continue
+			}
+			if pass == 0 && overlaps(r.net) {
+				continue // first pass insists on cone-disjoint picks
+			}
+			taken[r.net] = true
+			plan.Points = append(plan.Points, r.net)
+			plan.Names = append(plan.Names, w.NetName(r.net))
+		}
+	}
+	plan.Circuit = withObservationPoints(w, plan.Points, "+tpi")
+	after, _, err := studyOf(plan.Circuit)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.After = after.MeanDetectable()
+	return plan, nil
+}
+
+// GreedyExact inserts k observation points one at a time, each time
+// measuring (exactly) the mean-detectability improvement of every
+// candidate center net and keeping the best. candidates bounds how many
+// lowest-scoring center nets are measured per round (0 = a sensible
+// default of 8).
+func GreedyExact(c *netlist.Circuit, k, candidates int) (Plan, error) {
+	if k <= 0 {
+		return Plan{}, fmt.Errorf("tpi: k must be positive")
+	}
+	if candidates <= 0 {
+		candidates = 8
+	}
+	study, e, err := studyOf(c)
+	if err != nil {
+		return Plan{}, err
+	}
+	w := e.Circuit
+	plan := Plan{Before: study.MeanDetectable()}
+	current := w.Clone()
+	currentMean := plan.Before
+	for round := 0; round < k; round++ {
+		roundStudy, re, err := studyOf(current)
+		if err != nil {
+			return Plan{}, err
+		}
+		rw := re.Circuit
+		scores := centerScores(roundStudy, rw.Depth())
+		type cand struct {
+			net   int
+			score float64
+		}
+		ranked := make([]cand, 0, len(scores))
+		for net, s := range scores {
+			if rw.IsOutput(net) {
+				continue
+			}
+			ranked = append(ranked, cand{net, s})
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].score != ranked[b].score {
+				return ranked[a].score < ranked[b].score
+			}
+			return ranked[a].net < ranked[b].net
+		})
+		if len(ranked) > candidates {
+			ranked = ranked[:candidates]
+		}
+		bestNet, bestMean := -1, currentMean
+		for _, cd := range ranked {
+			trial := withObservationPoints(rw, []int{cd.net}, "+trial")
+			ts, _, err := studyOf(trial)
+			if err != nil {
+				return Plan{}, err
+			}
+			if m := ts.MeanDetectable(); m > bestMean {
+				bestMean, bestNet = m, cd.net
+			}
+		}
+		if bestNet < 0 {
+			break // no candidate improves; stop early
+		}
+		plan.Points = append(plan.Points, bestNet)
+		plan.Names = append(plan.Names, rw.NetName(bestNet))
+		current = withObservationPoints(rw, []int{bestNet}, "")
+		currentMean = bestMean
+	}
+	current.Name = w.Name + "+tpi"
+	plan.Circuit = current
+	plan.After = currentMean
+	// Net indices drifted across rounds (each round re-decomposes);
+	// resolve the chosen points by name against the final circuit.
+	plan.Points = plan.Points[:0]
+	for _, name := range plan.Names {
+		plan.Points = append(plan.Points, current.NetByName(name))
+	}
+	return plan, nil
+}
