@@ -36,6 +36,8 @@ func main() {
 		seed    = flag.Int64("seed", 1990, "sampling seed")
 		summary = flag.Bool("summary", false, "print aggregates only")
 		dotOut  = flag.String("dot", "", "write the first analyzed fault's complete-test-set BDD as Graphviz DOT to this file")
+		workers = flag.Int("workers", 1, "parallel analysis workers (0 = one per CPU)")
+		verbose = flag.Bool("v", false, "stream progress and campaign runtime stats to stderr")
 	)
 	flag.Parse()
 
@@ -51,13 +53,29 @@ func main() {
 	fmt.Printf("circuit: %s (analyzed as %d two-input gates, %d PIs, %d POs)\n\n",
 		c, w.NumGates(), len(w.Inputs), len(w.Outputs))
 
+	ccfg := analysis.CampaignConfig{Workers: *workers}
+	if *verbose {
+		ccfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d faults", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
 	switch strings.ToLower(*model) {
 	case "stuckat", "sa":
 		fs := faults.CheckpointStuckAts(w)
 		if *max > 0 && len(fs) > *max {
 			fs = fs[:*max]
 		}
-		study := analysis.RunStuckAt(e, fs)
+		study, err := analysis.RunStuckAtCampaign(c, nil, fs, ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintln(os.Stderr, study.Stats)
+		}
 		if *dotOut != "" && len(fs) > 0 {
 			res := e.StuckAt(fs[0])
 			dot := e.Manager().DOT(fs[0].Describe(w), res.Complete)
@@ -82,7 +100,13 @@ func main() {
 		if *max > 0 && len(set) > *max {
 			set = set[:*max]
 		}
-		study := analysis.RunBridging(e, set, kind, pop, sampled)
+		study, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintln(os.Stderr, study.Stats)
+		}
 		if !*summary {
 			printBridging(w, study)
 		}

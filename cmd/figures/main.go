@@ -32,6 +32,8 @@ func main() {
 		theta    = flag.Float64("theta", 0, "override the exponential distance parameter")
 		bins     = flag.Int("bins", 0, "override the histogram bin count")
 		circuits = flag.String("circuits", "", "comma-separated circuit list for the trend figures")
+		workers  = flag.Int("workers", 0, "parallel analysis workers per campaign (0 = one per CPU)")
+		verbose  = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
 	)
 	flag.Parse()
 
@@ -53,6 +55,15 @@ func main() {
 	}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+	cfg.Workers = *workers
+	if *verbose {
+		cfg.Progress = func(circuit string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d faults", circuit, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	r := experiments.NewRunner(cfg)
 

@@ -60,6 +60,11 @@ type StuckAtStudy struct {
 	NumPIs      int
 	NumPOs      int
 	Records     []StuckAtRecord
+	// Stats holds the campaign's runtime counters. Filled by the campaign
+	// runners; zero for plain serial RunStuckAt calls. Excluded from
+	// serial-vs-parallel equality: it reflects how the work was scheduled,
+	// not what was computed.
+	Stats CampaignStats
 }
 
 // BridgingStudy is a complete bridging campaign over one circuit.
@@ -72,6 +77,8 @@ type BridgingStudy struct {
 	Sampled     bool // true when the fault set was layout-sampled
 	Population  int  // size of the potentially detectable NFBF population
 	Records     []BridgingRecord
+	// Stats holds the campaign's runtime counters (see StuckAtStudy.Stats).
+	Stats CampaignStats
 }
 
 // siteDistances returns (max levels to PO, level) for a stuck-at site.
@@ -88,43 +95,101 @@ func siteDistances(c *netlist.Circuit, f faults.StuckAt, toPO, levels []int) (in
 	return toPO[f.Net], levels[f.Net]
 }
 
+// stuckAtRecord analyzes one stuck-at fault. It is the single source of
+// truth for both the serial and the work-stealing runners, which keeps
+// parallel results bit-identical to serial ones by construction.
+func stuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int) StuckAtRecord {
+	c := e.Circuit
+	res := e.StuckAt(f)
+	ub := e.StuckAtUpperBound(f)
+	a, ok := diffprop.Adherence(res.Detectability, ub)
+	dist, lvl := siteDistances(c, f, toPO, levels)
+	// A branch fault reaches the outputs only through its consumer
+	// gate, so its fed-PO set is the gate's cone, not the stem's.
+	fedSite := f.Net
+	if f.IsBranch() {
+		fedSite = f.Gate
+	}
+	return StuckAtRecord{
+		Fault:          f,
+		Detectability:  res.Detectability,
+		UpperBound:     ub,
+		Adherence:      a,
+		AdherenceOK:    ok,
+		ObservedPOs:    len(res.ObservedPOs),
+		POsFed:         len(c.POsFed(fedSite)),
+		MaxLevelsToPO:  dist,
+		LevelFromPI:    lvl,
+		IsPOFault:      !f.IsBranch() && c.IsOutput(f.Net),
+		GatesEvaluated: res.GatesEvaluated,
+	}
+}
+
+// bridgingRecord analyzes one bridging fault (shared by the serial and
+// work-stealing runners, like stuckAtRecord).
+func bridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int) BridgingRecord {
+	c := e.Circuit
+	res := e.Bridging(b)
+	ub := e.BridgingUpperBound(b)
+	a, ok := diffprop.Adherence(res.Detectability, ub)
+	fed := map[int]bool{}
+	for _, po := range c.POsFed(b.U) {
+		fed[po] = true
+	}
+	for _, po := range c.POsFed(b.V) {
+		fed[po] = true
+	}
+	dist := toPO[b.U]
+	if toPO[b.V] > dist {
+		dist = toPO[b.V]
+	}
+	return BridgingRecord{
+		Fault:         b,
+		Detectability: res.Detectability,
+		UpperBound:    ub,
+		Adherence:     a,
+		AdherenceOK:   ok,
+		ObservedPOs:   len(res.ObservedPOs),
+		POsFed:        len(fed),
+		MaxLevelsToPO: dist,
+		ActsStuckAt:   e.BridgeActsStuckAt(b),
+	}
+}
+
+// stuckAtHeader fills the study fields derived from the working circuit.
+func stuckAtHeader(c *netlist.Circuit) StuckAtStudy {
+	return StuckAtStudy{
+		Circuit:     c.Name,
+		NetlistSize: c.NumGates(),
+		NumPIs:      len(c.Inputs),
+		NumPOs:      len(c.Outputs),
+	}
+}
+
+// bridgingHeader fills the study fields derived from the working circuit
+// and the fault-set policy.
+func bridgingHeader(c *netlist.Circuit, kind faults.BridgeKind, population int, sampled bool) BridgingStudy {
+	return BridgingStudy{
+		Circuit:     c.Name,
+		Kind:        kind,
+		NetlistSize: c.NumGates(),
+		NumPIs:      len(c.Inputs),
+		NumPOs:      len(c.Outputs),
+		Sampled:     sampled,
+		Population:  population,
+	}
+}
+
 // RunStuckAt analyzes every fault in the set with exact Difference
 // Propagation. Faults must refer to e.Circuit's net numbering.
 func RunStuckAt(e *diffprop.Engine, fs []faults.StuckAt) StuckAtStudy {
 	c := e.Circuit
 	toPO := c.MaxLevelsToPO()
 	levels := c.Levels()
-	study := StuckAtStudy{
-		Circuit:     c.Name,
-		NetlistSize: c.NumGates(),
-		NumPIs:      len(c.Inputs),
-		NumPOs:      len(c.Outputs),
-		Records:     make([]StuckAtRecord, 0, len(fs)),
-	}
+	study := stuckAtHeader(c)
+	study.Records = make([]StuckAtRecord, 0, len(fs))
 	for _, f := range fs {
-		res := e.StuckAt(f)
-		ub := e.StuckAtUpperBound(f)
-		a, ok := diffprop.Adherence(res.Detectability, ub)
-		dist, lvl := siteDistances(c, f, toPO, levels)
-		// A branch fault reaches the outputs only through its consumer
-		// gate, so its fed-PO set is the gate's cone, not the stem's.
-		fedSite := f.Net
-		if f.IsBranch() {
-			fedSite = f.Gate
-		}
-		study.Records = append(study.Records, StuckAtRecord{
-			Fault:          f,
-			Detectability:  res.Detectability,
-			UpperBound:     ub,
-			Adherence:      a,
-			AdherenceOK:    ok,
-			ObservedPOs:    len(res.ObservedPOs),
-			POsFed:         len(c.POsFed(fedSite)),
-			MaxLevelsToPO:  dist,
-			LevelFromPI:    lvl,
-			IsPOFault:      !f.IsBranch() && c.IsOutput(f.Net),
-			GatesEvaluated: res.GatesEvaluated,
-		})
+		study.Records = append(study.Records, stuckAtRecord(e, f, toPO, levels))
 	}
 	return study
 }
@@ -133,42 +198,10 @@ func RunStuckAt(e *diffprop.Engine, fs []faults.StuckAt) StuckAtStudy {
 func RunBridging(e *diffprop.Engine, bs []faults.Bridging, kind faults.BridgeKind, population int, sampled bool) BridgingStudy {
 	c := e.Circuit
 	toPO := c.MaxLevelsToPO()
-	study := BridgingStudy{
-		Circuit:     c.Name,
-		Kind:        kind,
-		NetlistSize: c.NumGates(),
-		NumPIs:      len(c.Inputs),
-		NumPOs:      len(c.Outputs),
-		Sampled:     sampled,
-		Population:  population,
-		Records:     make([]BridgingRecord, 0, len(bs)),
-	}
+	study := bridgingHeader(c, kind, population, sampled)
+	study.Records = make([]BridgingRecord, 0, len(bs))
 	for _, b := range bs {
-		res := e.Bridging(b)
-		ub := e.BridgingUpperBound(b)
-		a, ok := diffprop.Adherence(res.Detectability, ub)
-		fed := map[int]bool{}
-		for _, po := range c.POsFed(b.U) {
-			fed[po] = true
-		}
-		for _, po := range c.POsFed(b.V) {
-			fed[po] = true
-		}
-		dist := toPO[b.U]
-		if toPO[b.V] > dist {
-			dist = toPO[b.V]
-		}
-		study.Records = append(study.Records, BridgingRecord{
-			Fault:         b,
-			Detectability: res.Detectability,
-			UpperBound:    ub,
-			Adherence:     a,
-			AdherenceOK:   ok,
-			ObservedPOs:   len(res.ObservedPOs),
-			POsFed:        len(fed),
-			MaxLevelsToPO: dist,
-			ActsStuckAt:   e.BridgeActsStuckAt(b),
-		})
+		study.Records = append(study.Records, bridgingRecord(e, b, toPO))
 	}
 	return study
 }

@@ -1,10 +1,30 @@
+// Work-stealing parallel campaign runners.
+//
+// The per-fault cost of Difference Propagation is heavily skewed —
+// selective trace makes faults deep in the logic roughly an order of
+// magnitude costlier than shallow ones — so contiguous per-worker chunks
+// leave workers idle behind the unlucky chunk. The runners here instead
+// dispatch fault indices through a single atomic counter: every worker
+// claims the next contiguous block of unanalyzed faults the moment it
+// drains its previous one (block size shrinking as the set empties), which
+// keeps all workers busy until the set is drained while results stay
+// index-aligned and bit-identical to the serial runners (each fault is
+// analyzed exactly, by the same record builder).
+//
+// Workers no longer pay full BDD re-synthesis either: one prototype engine
+// is built with diffprop.New and every other worker receives a
+// diffprop.Engine.Clone — a structural manager-to-manager copy, linear in
+// the node count of the good functions.
 package analysis
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/diffprop"
 	"repro/internal/faults"
 	"repro/internal/netlist"
@@ -18,113 +38,222 @@ func Workers(n int) int {
 	return runtime.NumCPU()
 }
 
-// RunStuckAtParallel analyzes the fault set with `workers` independent
-// engines (diffprop engines are single-threaded) and returns a study
-// bit-identical to the serial RunStuckAt: every fault is analyzed exactly,
-// so the partitioning cannot change any result, only the wall clock.
-// Fault sites must refer to the two-input decomposition of c (the working
-// circuit of any engine built from c), which is deterministic.
-func RunStuckAtParallel(c *netlist.Circuit, opts *diffprop.Options, fs []faults.StuckAt, workers int) (StuckAtStudy, error) {
-	workers = Workers(workers)
+// Progress observes a running campaign: done faults out of total. The
+// runners invoke it serially (never from two goroutines at once), after
+// every completed fault.
+type Progress func(done, total int)
+
+// CampaignConfig tunes a campaign run.
+type CampaignConfig struct {
+	// Workers is the number of analysis engines run in parallel
+	// (0 = one per CPU; capped at the fault count).
+	Workers int
+	// Progress, when non-nil, is called after each analyzed fault.
+	Progress Progress
+}
+
+// CampaignStats reports what a campaign actually did at runtime: scheduling
+// shape, total analysis work, and the behavior of the BDD substrate
+// aggregated over all worker engines. It describes how the work was
+// executed, not what was computed — serial and parallel runs of the same
+// fault set produce identical Records but different Stats.
+type CampaignStats struct {
+	// Workers is the number of engines the faults were dispatched over.
+	Workers int
+	// Faults is the number of faults analyzed.
+	Faults int
+	// GateEvaluations totals the gates whose difference function was
+	// computed across all faults; selective trace skipped the rest.
+	GateEvaluations int64
+	// Rebuilds counts generational BDD-manager GC passes over all engines.
+	Rebuilds int
+	// PeakNodes is the largest node table any single engine reached.
+	PeakNodes int
+	// Cache aggregates BDD apply/ite/not cache hits and misses over all
+	// engines.
+	Cache bdd.CacheStats
+	// Elapsed is the campaign wall-clock time.
+	Elapsed time.Duration
+}
+
+// String renders the stats as a one-line summary for -v style output.
+func (s CampaignStats) String() string {
+	return fmt.Sprintf(
+		"workers=%d faults=%d gate-evals=%d rebuilds=%d peak-nodes=%d cache-hit=%.1f%% elapsed=%s",
+		s.Workers, s.Faults, s.GateEvaluations, s.Rebuilds, s.PeakNodes,
+		100*s.Cache.HitRate(), s.Elapsed.Round(time.Millisecond))
+}
+
+// add folds one worker engine's counters into the campaign totals.
+func (s *CampaignStats) add(es diffprop.Stats) {
+	s.GateEvaluations += es.GateEvaluations
+	s.Rebuilds += es.Rebuilds
+	if es.PeakNodes > s.PeakNodes {
+		s.PeakNodes = es.PeakNodes
+	}
+	s.Cache.Add(es.Cache)
+}
+
+// prepareEngines builds the prototype engine, runs prep on it (nil for
+// none), and clones it into one engine per worker. Clones are taken
+// concurrently — Transfer only reads the source — but strictly before any
+// worker starts analyzing (analysis mutates the prototype's manager). The
+// shared working circuit's lazy topology caches are warmed here so workers
+// only ever read them.
+func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, prep func(*diffprop.Engine)) ([]*diffprop.Engine, error) {
+	proto, err := diffprop.New(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parallel run failed: %w", err)
+	}
+	work := proto.Circuit
+	work.Fanout()
+	work.Levels()
+	work.MaxLevelsToPO()
+	if prep != nil {
+		prep(proto)
+	}
+	engines := make([]*diffprop.Engine, workers)
+	engines[0] = proto
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			engines[w] = proto.Clone()
+		}(w)
+	}
+	wg.Wait()
+	return engines, nil
+}
+
+// runCampaign drains indices 0..total-1 through the worker engines via an
+// atomic work-stealing counter. analyze(e, i) must write its result to its
+// own index; it runs concurrently on distinct engines.
+//
+// Workers claim guided-size blocks of contiguous indices rather than
+// single faults: neighboring faults share fan-out cones, so analyzing them
+// on the same engine keeps its operation caches warm (single-index
+// dispatch costs ~20% extra apply work on c1355s). Block size shrinks
+// with the remaining work, so the tail still balances across workers.
+func runCampaign(engines []*diffprop.Engine, total int, progress Progress, analyze func(e *diffprop.Engine, i int)) CampaignStats {
+	start := time.Now()
+	var (
+		next atomic.Int64
+		done atomic.Int64
+		mu   sync.Mutex // serializes progress callbacks
+		wg   sync.WaitGroup
+	)
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *diffprop.Engine) {
+			defer wg.Done()
+			for {
+				lo := int(next.Load())
+				if lo >= total {
+					return
+				}
+				size := (total - lo) / (2 * len(engines))
+				if size < 1 {
+					size = 1
+				}
+				if !next.CompareAndSwap(int64(lo), int64(lo+size)) {
+					continue
+				}
+				hi := lo + size
+				if hi > total {
+					hi = total
+				}
+				for i := lo; i < hi; i++ {
+					analyze(e, i)
+					if progress != nil {
+						d := int(done.Add(1))
+						mu.Lock()
+						progress(d, total)
+						mu.Unlock()
+					}
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	stats := CampaignStats{Workers: len(engines), Faults: total, Elapsed: time.Since(start)}
+	for _, e := range engines {
+		stats.add(e.Stats())
+	}
+	return stats
+}
+
+// RunStuckAtCampaign analyzes the fault set with work-stealing dispatch
+// over cfg.Workers cloned engines and returns a study whose Records are
+// bit-identical and index-aligned to the serial RunStuckAt: every fault is
+// analyzed exactly, so the scheduling cannot change any result, only the
+// wall clock. Fault sites must refer to the two-input decomposition of c
+// (the working circuit of any engine built from c), which is
+// deterministic.
+func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.StuckAt, cfg CampaignConfig) (StuckAtStudy, error) {
+	workers := Workers(cfg.Workers)
 	if workers > len(fs) {
 		workers = len(fs)
 	}
-	if workers <= 1 {
-		e, err := diffprop.New(c, opts)
-		if err != nil {
-			return StuckAtStudy{}, err
-		}
-		return RunStuckAt(e, fs), nil
+	if workers < 1 {
+		workers = 1
 	}
+	engines, err := prepareEngines(c, opts, workers, nil)
+	if err != nil {
+		return StuckAtStudy{}, err
+	}
+	work := engines[0].Circuit
+	toPO := work.MaxLevelsToPO()
+	levels := work.Levels()
 	records := make([]StuckAtRecord, len(fs))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	var header StuckAtStudy
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			e, err := diffprop.New(c, opts)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			// Contiguous chunk per worker.
-			lo := w * len(fs) / workers
-			hi := (w + 1) * len(fs) / workers
-			sub := RunStuckAt(e, fs[lo:hi])
-			copy(records[lo:hi], sub.Records)
-			if w == 0 {
-				mu.Lock()
-				header = sub
-				mu.Unlock()
-			}
-		}(w)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return StuckAtStudy{}, fmt.Errorf("analysis: parallel run failed: %w", firstErr)
-	}
-	header.Records = records
-	return header, nil
+	stats := runCampaign(engines, len(fs), cfg.Progress, func(e *diffprop.Engine, i int) {
+		records[i] = stuckAtRecord(e, fs[i], toPO, levels)
+	})
+	study := stuckAtHeader(work)
+	study.Records = records
+	study.Stats = stats
+	return study, nil
 }
 
-// RunBridgingParallel is the bridging-fault counterpart of
-// RunStuckAtParallel.
-func RunBridgingParallel(c *netlist.Circuit, opts *diffprop.Options, bs []faults.Bridging, kind faults.BridgeKind, population int, sampled bool, workers int) (BridgingStudy, error) {
-	workers = Workers(workers)
+// RunStuckAtParallel analyzes the fault set with `workers` engines
+// (0 = one per CPU). It is RunStuckAtCampaign without progress reporting,
+// kept for callers that only want to set the parallelism.
+func RunStuckAtParallel(c *netlist.Circuit, opts *diffprop.Options, fs []faults.StuckAt, workers int) (StuckAtStudy, error) {
+	return RunStuckAtCampaign(c, opts, fs, CampaignConfig{Workers: workers})
+}
+
+// RunBridgingCampaign is the bridging-fault counterpart of
+// RunStuckAtCampaign.
+func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults.Bridging, kind faults.BridgeKind, population int, sampled bool, cfg CampaignConfig) (BridgingStudy, error) {
+	workers := Workers(cfg.Workers)
 	if workers > len(bs) {
 		workers = len(bs)
 	}
-	if workers <= 1 {
-		e, err := diffprop.New(c, opts)
-		if err != nil {
-			return BridgingStudy{}, err
-		}
-		return RunBridging(e, bs, kind, population, sampled), nil
+	if workers < 1 {
+		workers = 1
 	}
+	// The feedback-reachability table is built on the prototype before
+	// cloning so all workers share one immutable copy instead of each
+	// building its own.
+	engines, err := prepareEngines(c, opts, workers, func(e *diffprop.Engine) {
+		e.FeedbackChecker()
+	})
+	if err != nil {
+		return BridgingStudy{}, err
+	}
+	work := engines[0].Circuit
+	toPO := work.MaxLevelsToPO()
 	records := make([]BridgingRecord, len(bs))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	var header BridgingStudy
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			e, err := diffprop.New(c, opts)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			lo := w * len(bs) / workers
-			hi := (w + 1) * len(bs) / workers
-			sub := RunBridging(e, bs[lo:hi], kind, population, sampled)
-			copy(records[lo:hi], sub.Records)
-			if w == 0 {
-				mu.Lock()
-				header = sub
-				mu.Unlock()
-			}
-		}(w)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return BridgingStudy{}, fmt.Errorf("analysis: parallel run failed: %w", firstErr)
-	}
-	header.Records = records
-	return header, nil
+	stats := runCampaign(engines, len(bs), cfg.Progress, func(e *diffprop.Engine, i int) {
+		records[i] = bridgingRecord(e, bs[i], toPO)
+	})
+	study := bridgingHeader(work, kind, population, sampled)
+	study.Records = records
+	study.Stats = stats
+	return study, nil
+}
+
+// RunBridgingParallel is RunBridgingCampaign without progress reporting.
+func RunBridgingParallel(c *netlist.Circuit, opts *diffprop.Options, bs []faults.Bridging, kind faults.BridgeKind, population int, sampled bool, workers int) (BridgingStudy, error) {
+	return RunBridgingCampaign(c, opts, bs, kind, population, sampled, CampaignConfig{Workers: workers})
 }

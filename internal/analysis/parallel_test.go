@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/circuits"
@@ -17,6 +19,19 @@ func TestWorkers(t *testing.T) {
 	}
 }
 
+// stripStats zeroes the scheduling-dependent fields so studies can be
+// compared with reflect.DeepEqual: Stats describes how the work ran, not
+// what was computed.
+func stripStatsSA(s StuckAtStudy) StuckAtStudy {
+	s.Stats = CampaignStats{}
+	return s
+}
+
+func stripStatsBF(s BridgingStudy) BridgingStudy {
+	s.Stats = CampaignStats{}
+	return s
+}
+
 func TestParallelStuckAtMatchesSerial(t *testing.T) {
 	c := circuits.MustGet("c95s")
 	e, err := diffprop.New(c, nil)
@@ -30,21 +45,14 @@ func TestParallelStuckAtMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(par.Records) != len(serial.Records) {
-			t.Fatalf("workers=%d: %d records, want %d", workers, len(par.Records), len(serial.Records))
+		if par.Stats.Faults != len(fs) {
+			t.Fatalf("workers=%d: stats report %d faults, want %d", workers, par.Stats.Faults, len(fs))
 		}
-		if par.Circuit != serial.Circuit || par.NetlistSize != serial.NetlistSize ||
-			par.NumPIs != serial.NumPIs || par.NumPOs != serial.NumPOs {
-			t.Fatalf("workers=%d: header mismatch", workers)
+		if par.Stats.GateEvaluations <= 0 || par.Stats.PeakNodes <= 0 {
+			t.Fatalf("workers=%d: empty stats %+v", workers, par.Stats)
 		}
-		for i := range par.Records {
-			a, b := par.Records[i], serial.Records[i]
-			if a.Fault != b.Fault || a.Detectability != b.Detectability ||
-				a.UpperBound != b.UpperBound || a.Adherence != b.Adherence ||
-				a.ObservedPOs != b.ObservedPOs || a.POsFed != b.POsFed ||
-				a.MaxLevelsToPO != b.MaxLevelsToPO {
-				t.Fatalf("workers=%d record %d differs: %+v vs %+v", workers, i, a, b)
-			}
+		if !reflect.DeepEqual(stripStatsSA(par), stripStatsSA(serial)) {
+			t.Fatalf("workers=%d: parallel study differs from serial", workers)
 		}
 	}
 }
@@ -57,20 +65,69 @@ func TestParallelBridgingMatchesSerial(t *testing.T) {
 	}
 	set, pop, sampled := BridgingSet(e.Circuit, faults.WiredOR, 150, 0.3, 7)
 	serial := RunBridging(e, set, faults.WiredOR, pop, sampled)
-	par, err := RunBridgingParallel(c, nil, set, faults.WiredOR, pop, sampled, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if par.Kind != serial.Kind || par.Population != serial.Population || par.Sampled != serial.Sampled {
-		t.Fatal("header mismatch")
-	}
-	for i := range par.Records {
-		if par.Records[i] != serial.Records[i] {
-			t.Fatalf("record %d differs", i)
+	for _, workers := range []int{1, 4} {
+		par, err := RunBridgingParallel(c, nil, set, faults.WiredOR, pop, sampled, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripStatsBF(par), stripStatsBF(serial)) {
+			t.Fatalf("workers=%d: parallel study differs from serial", workers)
 		}
 	}
 }
 
+// TestParallelRace4Workers drives the work-stealing scheduler with more
+// workers than CPUs would commonly grant, for both fault models, so `go
+// test -race ./internal/analysis/...` exercises the engine cloning, the
+// shared topology caches, the shared reachability table, and the progress
+// path under the race detector.
+func TestParallelRace4Workers(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	e, err := diffprop.New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	var mu sync.Mutex
+	calls := 0
+	last := 0
+	cfg := CampaignConfig{Workers: 4, Progress: func(done, total int) {
+		mu.Lock()
+		calls++
+		if done > last {
+			last = done
+		}
+		if total != len(fs) {
+			t.Errorf("progress total = %d, want %d", total, len(fs))
+		}
+		mu.Unlock()
+	}}
+	sa, err := RunStuckAtCampaign(c, nil, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.Records) != len(fs) {
+		t.Fatalf("%d records, want %d", len(sa.Records), len(fs))
+	}
+	if calls != len(fs) || last != len(fs) {
+		t.Fatalf("progress saw %d calls (max done %d), want %d", calls, last, len(fs))
+	}
+	if sa.Stats.Workers != 4 {
+		t.Fatalf("stats workers = %d, want 4", sa.Stats.Workers)
+	}
+	set, pop, sampled := BridgingSet(e.Circuit, faults.WiredAND, 80, 0.3, 7)
+	bf, err := RunBridgingCampaign(c, nil, set, faults.WiredAND, pop, sampled, CampaignConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Records) != len(set) {
+		t.Fatalf("%d bridging records, want %d", len(bf.Records), len(set))
+	}
+}
+
+// TestParallelRejectsBadCircuit covers the error path where the worker
+// prototype's diffprop.New fails: the error must surface instead of
+// panicking or returning a half-filled study.
 func TestParallelRejectsBadCircuit(t *testing.T) {
 	c := circuits.MustGet("c17")
 	bad := &diffprop.Options{Order: []string{"nope"}}
@@ -80,5 +137,18 @@ func TestParallelRejectsBadCircuit(t *testing.T) {
 	}
 	if _, err := RunBridgingParallel(c, bad, faults.AllNFBFs(c, faults.WiredAND), faults.WiredAND, 1, false, 4); err == nil {
 		t.Fatal("bad options must surface an error (bridging)")
+	}
+}
+
+// TestCampaignEmptyFaultSet pins the degenerate input: no faults, no
+// workers to spawn, but a valid header and empty (non-nil) record slice.
+func TestCampaignEmptyFaultSet(t *testing.T) {
+	c := circuits.MustGet("c17")
+	s, err := RunStuckAtParallel(c, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records) != 0 || s.Circuit == "" {
+		t.Fatalf("unexpected study for empty fault set: %+v", s)
 	}
 }

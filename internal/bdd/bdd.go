@@ -64,6 +64,37 @@ const (
 	maxCacheBits = 21
 )
 
+// CacheStats counts hits and misses of the three operation caches. The
+// counters are plain (non-atomic) because managers are single-threaded;
+// reading them costs nothing on the hot path beyond one increment per
+// cache probe.
+type CacheStats struct {
+	ApplyHits, ApplyMisses int64
+	IteHits, IteMisses     int64
+	NotHits, NotMisses     int64
+}
+
+// Add accumulates other into s (used to aggregate across managers, e.g.
+// over generational rebuilds or parallel workers).
+func (s *CacheStats) Add(other CacheStats) {
+	s.ApplyHits += other.ApplyHits
+	s.ApplyMisses += other.ApplyMisses
+	s.IteHits += other.IteHits
+	s.IteMisses += other.IteMisses
+	s.NotHits += other.NotHits
+	s.NotMisses += other.NotMisses
+}
+
+// HitRate returns the overall cache hit fraction (0 when no probes ran).
+func (s CacheStats) HitRate() float64 {
+	hits := s.ApplyHits + s.IteHits + s.NotHits
+	total := hits + s.ApplyMisses + s.IteMisses + s.NotMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
 // Manager owns a BDD node table over a fixed, ordered variable set.
 // Managers are not safe for concurrent use.
 type Manager struct {
@@ -86,9 +117,14 @@ type Manager struct {
 	iteC      []iteEntry
 	notC      []notEntry
 	cacheBits uint
+	stats     CacheStats
 
 	satC map[Ref]*big.Int
 }
+
+// CacheStats reports the operation-cache hit/miss counters accumulated
+// since the manager was created.
+func (m *Manager) CacheStats() CacheStats { return m.stats }
 
 // New creates a manager over the named variables, ordered as given.
 // Variable names must be unique and non-empty.
@@ -327,8 +363,10 @@ func (m *Manager) not(f Ref) Ref {
 	}
 	slot := (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
 	if e := &m.notC[slot]; e.f == f {
+		m.stats.NotHits++
 		return e.res
 	}
+	m.stats.NotMisses++
 	r := m.mk(m.level[f], m.not(m.low[f]), m.not(m.high[f]))
 	slot = (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
 	m.notC[slot] = notEntry{f: f, res: r}
@@ -396,8 +434,10 @@ func (m *Manager) apply(op opcode, f, g Ref) Ref {
 	}
 	slot := applyHash(op, f, g, uint32(len(m.applyC)))
 	if e := &m.applyC[slot]; e.f == f && e.g == g && e.op == op {
+		m.stats.ApplyHits++
 		return e.res
 	}
+	m.stats.ApplyMisses++
 	fl, gl := m.level[f], m.level[g]
 	var level int32
 	var f0, f1, g0, g1 Ref
@@ -446,8 +486,10 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 	}
 	slot := iteHash(f, g, h, uint32(len(m.iteC)))
 	if e := &m.iteC[slot]; e.f == f && e.g == g && e.h == h {
+		m.stats.IteHits++
 		return e.res
 	}
+	m.stats.IteMisses++
 	level := m.level[f]
 	if l := m.level[g]; l < level {
 		level = l

@@ -1,0 +1,79 @@
+package bdd
+
+import "testing"
+
+// TestCacheStatsCount verifies the operation-cache counters move and that
+// repeated identical operations register as hits.
+func TestCacheStatsCount(t *testing.T) {
+	m := NewAnon(8)
+	if s := m.CacheStats(); s != (CacheStats{}) {
+		t.Fatalf("fresh manager has non-zero stats: %+v", s)
+	}
+	a := m.Xor(m.Var(0), m.Var(1))
+	b := m.Xor(m.Var(2), m.Var(3))
+	m.And(a, b)
+	after := m.CacheStats()
+	if after.ApplyMisses == 0 {
+		t.Fatal("apply misses never counted")
+	}
+	// The same top-level operation again must be a cache hit.
+	m.And(a, b)
+	again := m.CacheStats()
+	if again.ApplyHits <= after.ApplyHits {
+		t.Fatalf("repeated And not counted as hit: %+v -> %+v", after, again)
+	}
+	m.Not(m.And(a, b))
+	m.Ite(a, b, m.Var(4))
+	s := m.CacheStats()
+	if s.NotHits+s.NotMisses == 0 {
+		t.Fatal("not cache counters never moved")
+	}
+	if s.IteHits+s.IteMisses == 0 {
+		t.Fatal("ite cache counters never moved")
+	}
+	if r := s.HitRate(); r < 0 || r > 1 {
+		t.Fatalf("hit rate %v out of range", r)
+	}
+	var sum CacheStats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.ApplyMisses != 2*s.ApplyMisses {
+		t.Fatal("Add must accumulate")
+	}
+}
+
+// TestTransferCarriesSatCounts checks that same-order Transfer moves the
+// cached satisfying-set counts with the nodes, and that counting in the
+// destination still produces correct values.
+func TestTransferCarriesSatCounts(t *testing.T) {
+	m := NewAnon(6)
+	f := m.Or(m.And(m.Var(0), m.Var(1)), m.Xor(m.Var(2), m.Var(3)))
+	want := m.SatCount(f)
+	if len(m.satC) == 0 {
+		t.Fatal("SatCount cached nothing")
+	}
+	dst := NewAnon(6)
+	out := m.Transfer(dst, f)
+	if len(dst.satC) == 0 {
+		t.Fatal("transfer did not carry sat counts")
+	}
+	if got := dst.SatCount(out[0]); got.Cmp(want) != 0 {
+		t.Fatalf("transferred count %v, want %v", got, want)
+	}
+	if dst.SatFrac(out[0]) != m.SatFrac(f) {
+		t.Fatal("sat fractions disagree after transfer")
+	}
+}
+
+// TestTransferReorderSkipsSatCounts ensures the ITE (order-changing) path
+// does not carry counts — levels change, so cached values would be wrong.
+func TestTransferReorderSkipsSatCounts(t *testing.T) {
+	m := New("a", "b", "c")
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.Var(2)))
+	want := m.SatCount(f)
+	dst := New("c", "b", "a")
+	out := m.Transfer(dst, f)
+	if got := dst.SatCount(out[0]); got.Cmp(want) != 0 {
+		t.Fatalf("reordered count %v, want %v", got, want)
+	}
+}

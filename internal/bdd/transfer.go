@@ -6,6 +6,14 @@ import "fmt"
 // the corresponding refs in dst. Variables are matched by name, so dst may
 // use a different order (the copy is rebuilt through ITE in that case) or a
 // superset of m's variables. Every variable of m must exist in dst.
+//
+// When source and destination share the variable order (the structural-copy
+// fast path), cached satisfying-set counts of the transferred nodes are
+// carried over too: node levels are preserved, so the counts — which are
+// normalized to each node's own level — stay valid. This keeps syndrome
+// and detectability counting warm across engine clones and generational
+// rebuilds. Transfer reads but never mutates the source manager, so many
+// destinations may be filled from one source concurrently.
 func (m *Manager) Transfer(dst *Manager, refs ...Ref) []Ref {
 	varMap := make([]Ref, len(m.names))
 	sameOrder := len(m.names) == len(dst.names)
@@ -44,6 +52,18 @@ func (m *Manager) Transfer(dst *Manager, refs ...Ref) []Ref {
 	out := make([]Ref, len(refs))
 	for i, r := range refs {
 		out[i] = rec(r)
+	}
+	if sameOrder {
+		// Carry cached sat counts for every node that made the trip. The
+		// *big.Int values are shared: SatCount treats stored counts as
+		// immutable, so aliasing across managers is safe.
+		for src, count := range m.satC {
+			if dstRef, ok := memo[src]; ok {
+				if _, have := dst.satC[dstRef]; !have {
+					dst.satC[dstRef] = count
+				}
+			}
+		}
 	}
 	return out
 }

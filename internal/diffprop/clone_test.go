@@ -1,0 +1,229 @@
+package diffprop
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/circuits"
+	"repro/internal/faults"
+)
+
+// TestCloneMatchesNew verifies that a cloned engine produces results
+// bit-identical to both its source and a freshly synthesized engine, for
+// stuck-at and bridging faults.
+func TestCloneMatchesNew(t *testing.T) {
+	for _, name := range []string{"c17", "c95s", "alu181"} {
+		c := circuits.MustGet(name)
+		src, err := New(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := src.Clone()
+		fs := faults.CheckpointStuckAts(src.Circuit)
+		for _, f := range fs {
+			want := fresh.StuckAt(f)
+			got := clone.StuckAt(f)
+			if got.Detectability != want.Detectability ||
+				len(got.ObservedPOs) != len(want.ObservedPOs) ||
+				got.GatesEvaluated != want.GatesEvaluated {
+				t.Fatalf("%s %v: clone result differs from fresh engine", name, f)
+			}
+			if ub1, ub2 := clone.StuckAtUpperBound(f), fresh.StuckAtUpperBound(f); ub1 != ub2 {
+				t.Fatalf("%s %v: clone syndrome bound %v != %v", name, f, ub1, ub2)
+			}
+		}
+		bs := faults.AllNFBFs(src.Circuit, faults.WiredAND)
+		if len(bs) > 40 {
+			bs = bs[:40]
+		}
+		for _, b := range bs {
+			if clone.Bridging(b).Detectability != fresh.Bridging(b).Detectability {
+				t.Fatalf("%s %v: clone bridging detectability differs", name, b)
+			}
+		}
+	}
+}
+
+// TestCloneCarriesSyndromeCache checks that syndromes computed on the
+// source are visible in the clone without recomputation (same values), and
+// that the sat-count cache survives the BDD transfer.
+func TestCloneCarriesSyndromeCache(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	src, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, src.Circuit.NumNets())
+	for net := range want {
+		want[net] = src.Syndrome(net)
+	}
+	clone := src.Clone()
+	for net := range want {
+		if got := clone.Syndrome(net); got != want[net] {
+			t.Fatalf("net %d: clone syndrome %v, source %v", net, got, want[net])
+		}
+	}
+}
+
+// TestCloneIsIndependent ensures analyses on a clone do not disturb the
+// source: both engines analyze interleaved faults and must agree with a
+// reference engine that saw each fault once.
+func TestCloneIsIndependent(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	src, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := src.Clone()
+	ref, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := faults.CheckpointStuckAts(src.Circuit)
+	for i, f := range fs {
+		want := ref.StuckAt(f).Detectability
+		e := src
+		if i%2 == 1 {
+			e = clone
+		}
+		if got := e.StuckAt(f).Detectability; got != want {
+			t.Fatalf("fault %d: interleaved engines diverged", i)
+		}
+	}
+}
+
+// TestVarToInputCached verifies the mapping is computed once, is correct,
+// and is shared with clones.
+func TestVarToInputCached(t *testing.T) {
+	c := circuits.MustGet("alu181")
+	e, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2i := e.VarToInput()
+	if &v2i[0] != &e.VarToInput()[0] {
+		t.Fatal("VarToInput must return the cached mapping, not a rebuild")
+	}
+	names := e.Circuit.InputNames()
+	m := e.Manager()
+	for v, i := range v2i {
+		if i < 0 {
+			continue
+		}
+		if names[i] != m.VarName(v) {
+			t.Fatalf("variable %d (%s) mapped to input %d (%s)", v, m.VarName(v), i, names[i])
+		}
+	}
+	if !reflect.DeepEqual(e.Clone().VarToInput(), v2i) {
+		t.Fatal("clone must share the input mapping")
+	}
+}
+
+// referenceMinimalTestCube is the pre-optimization O(vars²) implementation,
+// kept verbatim as the oracle for the linear rewrite.
+func referenceMinimalTestCube(e *Engine, res Result) []int8 {
+	m := e.Manager()
+	cube := m.AnySat(res.Complete)
+	if cube == nil {
+		return nil
+	}
+	build := func(c []int8) bdd.Ref {
+		f := bdd.True
+		for v, s := range c {
+			switch s {
+			case 0:
+				f = m.And(f, m.NVar(v))
+			case 1:
+				f = m.And(f, m.Var(v))
+			}
+		}
+		return f
+	}
+	for v := range cube {
+		if cube[v] < 0 {
+			continue
+		}
+		saved := cube[v]
+		cube[v] = -1
+		if m.And(build(cube), m.Not(res.Complete)) != bdd.False {
+			cube[v] = saved
+		}
+	}
+	return cube
+}
+
+// TestMinimalTestCubeMatchesReference asserts the linear prefix/suffix
+// implementation yields exactly the cube of the quadratic original on the
+// seed circuits.
+func TestMinimalTestCubeMatchesReference(t *testing.T) {
+	for _, name := range []string{"c17", "fadd", "c95s", "alu181"} {
+		c := circuits.MustGet(name)
+		e, err := New(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults.CheckpointStuckAts(e.Circuit) {
+			res := e.StuckAt(f)
+			want := referenceMinimalTestCube(e, res)
+			got := e.MinimalTestCube(res)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s %v: cube %v, reference %v", name, f, got, want)
+			}
+			if got == nil {
+				continue
+			}
+			// The widened cube must still imply the complete test set.
+			m := e.Manager()
+			cubeF := bdd.True
+			for v, s := range got {
+				switch s {
+				case 0:
+					cubeF = m.And(cubeF, m.NVar(v))
+				case 1:
+					cubeF = m.And(cubeF, m.Var(v))
+				}
+			}
+			if m.And(cubeF, m.Not(res.Complete)) != bdd.False {
+				t.Fatalf("%s %v: widened cube leaves the test set", name, f)
+			}
+		}
+	}
+}
+
+// TestEngineStats sanity-checks the runtime counters.
+func TestEngineStats(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	e, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Analyses != 0 || s.GateEvaluations != 0 {
+		t.Fatalf("fresh engine has non-zero analysis counters: %+v", s)
+	}
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	var evals int64
+	for _, f := range fs {
+		evals += int64(e.StuckAt(f).GatesEvaluated)
+	}
+	s := e.Stats()
+	if s.Analyses != len(fs) {
+		t.Fatalf("stats count %d analyses, want %d", s.Analyses, len(fs))
+	}
+	if s.GateEvaluations != evals {
+		t.Fatalf("stats total %d gate evaluations, want %d", s.GateEvaluations, evals)
+	}
+	if s.PeakNodes < e.Manager().NodeCount() {
+		t.Fatalf("peak nodes %d below live node count %d", s.PeakNodes, e.Manager().NodeCount())
+	}
+	if s.Cache.ApplyHits+s.Cache.ApplyMisses == 0 {
+		t.Fatal("apply cache counters never moved")
+	}
+	if clone := e.Clone(); clone.Stats().Analyses != 0 {
+		t.Fatal("clone must start with zero analysis counters")
+	}
+}

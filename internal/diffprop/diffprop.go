@@ -72,6 +72,57 @@ type Engine struct {
 
 	syndromes []float64
 	synValid  []bool
+
+	// varToInput maps each BDD variable position to its primary-input
+	// declaration index (-1 for cut variables). The mapping is invariant
+	// for the engine's lifetime, so it is computed once in New.
+	varToInput []int
+
+	// reach is the lazily built fan-out reachability table used to screen
+	// feedback bridges in O(1) per fault instead of re-tracing two cones.
+	reach *faults.Reachability
+
+	// Runtime counters (see Stats).
+	gateEvals  int64
+	analyses   int
+	peakNodes  int
+	cacheAccum bdd.CacheStats // cache stats of managers retired by compaction
+}
+
+// Stats is a snapshot of an engine's runtime counters: how much work the
+// per-fault analyses actually did, how the BDD substrate behaved, and how
+// often the generational GC ran. Aggregated across workers into
+// analysis.CampaignStats.
+type Stats struct {
+	// Analyses counts difference propagations run (one per fault query).
+	Analyses int
+	// GateEvaluations totals the gates whose difference function was
+	// computed; selective trace skipped the rest.
+	GateEvaluations int64
+	// Rebuilds counts generational GC passes of the BDD manager.
+	Rebuilds int
+	// PeakNodes is the largest node count the manager reached.
+	PeakNodes int
+	// Cache aggregates apply/ite/not cache hits and misses, including
+	// managers retired by compaction.
+	Cache bdd.CacheStats
+}
+
+// Stats returns the engine's runtime counters accumulated so far.
+func (e *Engine) Stats() Stats {
+	cache := e.cacheAccum
+	cache.Add(e.m.CacheStats())
+	peak := e.peakNodes
+	if nc := e.m.NodeCount(); nc > peak {
+		peak = nc
+	}
+	return Stats{
+		Analyses:        e.analyses,
+		GateEvaluations: e.gateEvals,
+		Rebuilds:        e.rebuilds,
+		PeakNodes:       peak,
+		Cache:           cache,
+	}
 }
 
 // New builds an engine for the circuit. The circuit is decomposed to
@@ -156,7 +207,54 @@ func New(c *netlist.Circuit, opts *Options) (*Engine, error) {
 			e.cutNets = append(e.cutNets, id)
 		}
 	}
+	e.varToInput = buildVarToInput(work, m)
+	e.peakNodes = m.NodeCount()
 	return e, nil
+}
+
+// buildVarToInput computes the BDD-variable-position → primary-input-index
+// mapping (-1 for cut variables).
+func buildVarToInput(c *netlist.Circuit, m *bdd.Manager) []int {
+	names := c.InputNames()
+	pos := make(map[string]int, len(names))
+	for i, n := range names {
+		pos[n] = i
+	}
+	out := make([]int, m.NumVars())
+	for v := range out {
+		if i, ok := pos[m.VarName(v)]; ok {
+			out[v] = i
+		} else {
+			out[v] = -1
+		}
+	}
+	return out
+}
+
+// Clone builds an independent engine over the same circuit by structurally
+// copying the good functions into a fresh manager (bdd.Manager.Transfer,
+// linear in the node count) instead of re-running Apply-synthesis. The
+// clone shares the immutable working circuit, the precomputed input
+// mapping and the feedback-reachability table with its source, and starts
+// with the source's syndrome cache and a compact, garbage-free manager.
+// Cloning reads but never mutates the source, so several clones may be
+// taken concurrently — but not while another goroutine is analyzing faults
+// on the source. Runtime counters start at zero.
+func (e *Engine) Clone() *Engine {
+	m2 := bdd.New(e.m.Names()...)
+	good2 := e.m.Transfer(m2, e.good...)
+	return &Engine{
+		Circuit:      e.Circuit,
+		m:            m2,
+		good:         good2,
+		rebuildLimit: e.rebuildLimit,
+		cutNets:      append([]int(nil), e.cutNets...),
+		syndromes:    append([]float64(nil), e.syndromes...),
+		synValid:     append([]bool(nil), e.synValid...),
+		varToInput:   e.varToInput,
+		reach:        e.reach,
+		peakNodes:    m2.NodeCount(),
+	}
 }
 
 // CutNets returns the nets replaced by cut variables under functional
@@ -181,31 +279,18 @@ func (e *Engine) Rebuilds() int { return e.rebuilds }
 // corresponding primary input in circuit declaration order, or -1 for a
 // cut variable introduced by functional decomposition. Needed to
 // translate AnySat cubes (variable order) into test vectors (input order).
-func (e *Engine) VarToInput() []int {
-	names := e.Circuit.InputNames()
-	pos := make(map[string]int, len(names))
-	for i, n := range names {
-		pos[n] = i
-	}
-	out := make([]int, e.m.NumVars())
-	for v := range out {
-		if i, ok := pos[e.m.VarName(v)]; ok {
-			out[v] = i
-		} else {
-			out[v] = -1
-		}
-	}
-	return out
-}
+// The mapping is invariant for the engine's lifetime and computed once in
+// New; the returned slice is the engine's cached copy and must not be
+// modified.
+func (e *Engine) VarToInput() []int { return e.varToInput }
 
 // Assignment converts a test vector in primary-input declaration order
 // into a BDD evaluation assignment in variable order. Cut variables (if
 // any) evaluate as false; exact evaluation is only meaningful without
 // functional decomposition.
 func (e *Engine) Assignment(vec []bool) []bool {
-	v2i := e.VarToInput()
-	out := make([]bool, len(v2i))
-	for v, i := range v2i {
+	out := make([]bool, len(e.varToInput))
+	for v, i := range e.varToInput {
 		if i >= 0 {
 			out[v] = vec[i]
 		}
@@ -226,9 +311,12 @@ func (e *Engine) Syndrome(net int) float64 {
 // maybeCompact rebuilds the manager around the good functions when the
 // node table has grown past the limit, dropping all per-fault garbage.
 func (e *Engine) maybeCompact() {
-	if e.m.NodeCount() <= e.rebuildLimit {
+	if nc := e.m.NodeCount(); nc <= e.rebuildLimit {
 		return
+	} else if nc > e.peakNodes {
+		e.peakNodes = nc
 	}
+	e.cacheAccum.Add(e.m.CacheStats())
 	m2, roots := e.m.Rebuild(e.good)
 	e.m = m2
 	e.good = roots
@@ -379,6 +467,11 @@ func (e *Engine) propagateSeeds(sd seeds) Result {
 		}
 	}
 	res.Detectability = m.SatFrac(res.Complete)
+	e.analyses++
+	e.gateEvals += int64(evaluated)
+	if nc := m.NodeCount(); nc > e.peakNodes {
+		e.peakNodes = nc
+	}
 	return res
 }
 
@@ -472,12 +565,23 @@ func (e *Engine) GateSubstitution(gate int, wrongType netlist.GateType) Result {
 	return e.propagate(map[int]bdd.Ref{gate: d}, nil)
 }
 
+// FeedbackChecker returns the engine's fan-out reachability table,
+// building it on first use. It is immutable once built, shared with
+// clones, and screens feedback bridges in O(1) per pair instead of
+// re-tracing two fan-out cones per fault.
+func (e *Engine) FeedbackChecker() *faults.Reachability {
+	if e.reach == nil {
+		e.reach = faults.NewReachability(e.Circuit)
+	}
+	return e.reach
+}
+
 // Bridging computes the complete test set for a two-wire non-feedback
 // bridging fault. The difference seeds follow directly from the wired
 // functions: for a wired-AND bridge F_u = F_v = f_u∧f_v, so
 // Δ_u = f_u·¬f_v and Δ_v = f_v·¬f_u; dually for wired-OR.
 func (e *Engine) Bridging(b faults.Bridging) Result {
-	if faults.IsFeedback(e.Circuit, b.U, b.V) {
+	if e.FeedbackChecker().IsFeedback(b.U, b.V) {
 		panic(fmt.Sprintf("diffprop: %v is a feedback bridge", b))
 	}
 	e.maybeCompact()
@@ -573,29 +677,39 @@ func (e *Engine) MinimalTestCube(res Result) []int8 {
 	if cube == nil {
 		return nil
 	}
-	build := func(c []int8) bdd.Ref {
-		f := bdd.True
-		for v, s := range c {
-			switch s {
-			case 0:
-				f = m.And(f, m.NVar(v))
-			case 1:
-				f = m.And(f, m.Var(v))
-			}
+	lit := func(v int, s int8) bdd.Ref {
+		if s == 1 {
+			return m.Var(v)
 		}
-		return f
+		return m.NVar(v)
 	}
+	// Widening literal v tests the cube prefix[v] ∧ suffix[v+1], where the
+	// prefix holds the literals kept so far and the suffix the not-yet-
+	// visited ones. Maintaining both as running conjunctions needs O(vars)
+	// BDD operations total instead of rebuilding the cube from scratch
+	// (O(vars²)) after every candidate drop; the drop decisions — and hence
+	// the resulting cube — are identical.
+	notT := m.Not(res.Complete)
+	suffix := make([]bdd.Ref, len(cube)+1)
+	suffix[len(cube)] = bdd.True
+	for v := len(cube) - 1; v >= 0; v-- {
+		suffix[v] = suffix[v+1]
+		if cube[v] >= 0 {
+			suffix[v] = m.And(suffix[v], lit(v, cube[v]))
+		}
+	}
+	prefix := bdd.True
 	for v := range cube {
 		if cube[v] < 0 {
 			continue
 		}
-		saved := cube[v]
-		cube[v] = -1
 		// The widened cube must still imply the complete test set:
 		// cube ∧ ¬T ≡ 0.
-		if m.And(build(cube), m.Not(res.Complete)) != bdd.False {
-			cube[v] = saved
+		if m.And(m.And(prefix, suffix[v+1]), notT) == bdd.False {
+			cube[v] = -1
+			continue
 		}
+		prefix = m.And(prefix, lit(v, cube[v]))
 	}
 	return cube
 }

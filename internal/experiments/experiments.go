@@ -49,6 +49,11 @@ type Config struct {
 	DistanceCircuit string
 	// Workers sets the analysis parallelism (0 = one worker per CPU).
 	Workers int
+	// Progress, when non-nil, observes every fault-analysis campaign the
+	// runner launches: the circuit being studied plus done/total fault
+	// counts. Callbacks arrive serially per campaign. Used by cmd/figures
+	// -v to stream progress to stderr.
+	Progress func(circuit string, done, total int)
 }
 
 // DefaultConfig reproduces the paper's choices.
@@ -125,6 +130,16 @@ func (r *Runner) TestSet(name string) ([][]bool, error) {
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
+// campaignConfig adapts the runner's worker count and progress callback to
+// one named campaign.
+func (r *Runner) campaignConfig(label string) analysis.CampaignConfig {
+	cfg := analysis.CampaignConfig{Workers: r.cfg.Workers}
+	if p := r.cfg.Progress; p != nil {
+		cfg.Progress = func(done, total int) { p(label, done, total) }
+	}
+	return cfg
+}
+
 // Engine returns (building and caching on first use) the DP engine for a
 // circuit.
 func (r *Runner) Engine(name string) (*diffprop.Engine, error) {
@@ -156,7 +171,7 @@ func (r *Runner) StuckAtStudy(name string) (*analysis.StuckAtStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := analysis.RunStuckAtParallel(c, nil, faults.CheckpointStuckAts(e.Circuit), r.cfg.Workers)
+	s, err := analysis.RunStuckAtCampaign(c, nil, faults.CheckpointStuckAts(e.Circuit), r.campaignConfig(name+" stuck-at"))
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +194,7 @@ func (r *Runner) BridgingStudy(name string, kind faults.BridgeKind) (*analysis.B
 		return nil, err
 	}
 	set, pop, sampled := analysis.BridgingSet(e.Circuit, kind, r.cfg.MaxBFs, r.cfg.Theta, r.cfg.Seed)
-	s, err := analysis.RunBridgingParallel(c, nil, set, kind, pop, sampled, r.cfg.Workers)
+	s, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, r.campaignConfig(fmt.Sprintf("%s %v", name, kind)))
 	if err != nil {
 		return nil, err
 	}
@@ -718,7 +733,7 @@ func (r *Runner) X7() (report.Table, error) {
 	if err != nil {
 		return t, err
 	}
-	reopt, err := analysis.RunStuckAtParallel(opt, nil, faults.CheckpointStuckAts(e.Circuit), r.cfg.Workers)
+	reopt, err := analysis.RunStuckAtCampaign(opt, nil, faults.CheckpointStuckAts(e.Circuit), r.campaignConfig(opt.Name+" stuck-at"))
 	if err != nil {
 		return t, err
 	}

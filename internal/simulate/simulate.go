@@ -220,15 +220,17 @@ func detectStuckAt(c *netlist.Circuit, f faults.StuckAt, p *Patterns, good [][]u
 
 // DetectBridging simulates the wired-logic bridging fault over the pattern
 // block and returns the per-pattern detection mask. The bridge must be
-// non-feedback.
+// non-feedback; the check reuses the fan-out cones the simulation needs
+// anyway instead of tracing them twice.
 func DetectBridging(c *netlist.Circuit, b faults.Bridging, p *Patterns) []uint64 {
-	if faults.IsFeedback(c, b.U, b.V) {
+	coneU, coneV := c.FanoutCone(b.U), c.FanoutCone(b.V)
+	if coneU[b.V] || coneV[b.U] {
 		panic(fmt.Sprintf("simulate: %v is a feedback bridge", b))
 	}
-	return detectBridging(c, b, p, GoodValues(c, p))
+	return detectBridging(c, b, p, GoodValues(c, p), coneU, coneV)
 }
 
-func detectBridging(c *netlist.Circuit, b faults.Bridging, p *Patterns, good [][]uint64) []uint64 {
+func detectBridging(c *netlist.Circuit, b faults.Bridging, p *Patterns, good [][]uint64, coneU, coneV []bool) []uint64 {
 	words := p.NumWords()
 	wired := make([]uint64, words)
 	for w := 0; w < words; w++ {
@@ -242,8 +244,6 @@ func detectBridging(c *netlist.Circuit, b faults.Bridging, p *Patterns, good [][
 	copy(vals, good)
 	vals[b.U] = wired
 	vals[b.V] = wired
-	coneU := c.FanoutCone(b.U)
-	coneV := c.FanoutCone(b.V)
 	scratch := make([]uint64, 0, 8)
 	for id, g := range c.Gates {
 		if (!coneU[id] && !coneV[id]) || g.Type == netlist.Input {
@@ -321,15 +321,18 @@ func CoverageStuckAt(c *netlist.Circuit, fs []faults.StuckAt, p *Patterns) Cover
 }
 
 // CoverageBridging fault-simulates the pattern block against every
-// bridging fault.
+// bridging fault. Feedback screening and cone extraction use one
+// precomputed reachability table for the whole campaign instead of
+// re-tracing two fan-out cones per fault.
 func CoverageBridging(c *netlist.Circuit, bs []faults.Bridging, p *Patterns) CoverageResult {
 	r := CoverageResult{Total: len(bs), PerFault: make([]bool, len(bs))}
 	good := GoodValues(c, p)
+	reach := faults.NewReachability(c)
 	for i, b := range bs {
-		if faults.IsFeedback(c, b.U, b.V) {
+		if reach.IsFeedback(b.U, b.V) {
 			panic(fmt.Sprintf("simulate: %v is a feedback bridge", b))
 		}
-		if CountBits(detectBridging(c, b, p, good)) > 0 {
+		if CountBits(detectBridging(c, b, p, good, reach.Cone(b.U), reach.Cone(b.V))) > 0 {
 			r.PerFault[i] = true
 			r.Detected++
 		}
