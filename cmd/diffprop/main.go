@@ -9,12 +9,21 @@
 //	diffprop -circuit c95s -model and         # wired-AND bridging faults
 //	diffprop -bench my.bench -model or -max 50
 //	diffprop -circuit c17 -summary            # aggregates only
+//	diffprop -circuit c1355s -budget 2000000 -timeout 5s   # degrade hard faults
+//	diffprop -circuit c1355s -checkpoint run.jsonl         # persist records
+//	diffprop -circuit c1355s -checkpoint run.jsonl -resume # continue after a crash
+//
+// An interrupt (Ctrl-C) cancels the campaign between faults: the partial
+// study is reported, finished records stay in the checkpoint, and a later
+// -resume run completes the set with bit-identical results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/analysis"
@@ -27,19 +36,28 @@ import (
 
 func main() {
 	var (
-		circuit = flag.String("circuit", "", "built-in circuit name (see cmd/benchgen -list)")
-		bench   = flag.String("bench", "", "path to an ISCAS-85 .bench netlist")
-		model   = flag.String("model", "stuckat", "fault model: stuckat, and, or")
-		max     = flag.Int("max", 0, "analyze at most this many faults (0 = all)")
-		maxBFs  = flag.Int("maxbfs", 1000, "bridging fault sample ceiling")
-		theta   = flag.Float64("theta", 0.3, "exponential distance parameter for sampling")
-		seed    = flag.Int64("seed", 1990, "sampling seed")
-		summary = flag.Bool("summary", false, "print aggregates only")
-		dotOut  = flag.String("dot", "", "write the first analyzed fault's complete-test-set BDD as Graphviz DOT to this file")
-		workers = flag.Int("workers", 1, "parallel analysis workers (0 = one per CPU)")
-		verbose = flag.Bool("v", false, "stream progress and campaign runtime stats to stderr")
+		circuit    = flag.String("circuit", "", "built-in circuit name (see cmd/benchgen -list)")
+		bench      = flag.String("bench", "", "path to an ISCAS-85 .bench netlist")
+		model      = flag.String("model", "stuckat", "fault model: stuckat, and, or")
+		max        = flag.Int("max", 0, "analyze at most this many faults (0 = all)")
+		maxBFs     = flag.Int("maxbfs", 1000, "bridging fault sample ceiling")
+		theta      = flag.Float64("theta", 0.3, "exponential distance parameter for sampling")
+		seed       = flag.Int64("seed", 1990, "sampling seed")
+		summary    = flag.Bool("summary", false, "print aggregates only")
+		dotOut     = flag.String("dot", "", "write the first analyzed fault's complete-test-set BDD as Graphviz DOT to this file")
+		workers    = flag.Int("workers", 1, "parallel analysis workers (0 = one per CPU)")
+		verbose    = flag.Bool("v", false, "stream progress and campaign runtime stats to stderr")
+		budget     = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
+		timeout    = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
+		estVectors = flag.Int("estvectors", 0, "random vectors behind each degraded estimate (0 = default)")
+		ckptPath   = flag.String("checkpoint", "", "persist finished records to this JSONL file as they complete")
+		resume     = flag.Bool("resume", false, "continue from the -checkpoint file, skipping already-persisted faults")
 	)
 	flag.Parse()
+
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint <file>"))
+	}
 
 	c, err := loadCircuit(*circuit, *bench)
 	if err != nil {
@@ -53,7 +71,16 @@ func main() {
 	fmt.Printf("circuit: %s (analyzed as %d two-input gates, %d PIs, %d POs)\n\n",
 		c, w.NumGates(), len(w.Inputs), len(w.Outputs))
 
-	ccfg := analysis.CampaignConfig{Workers: *workers}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	ccfg := analysis.CampaignConfig{
+		Workers:         *workers,
+		Context:         ctx,
+		FaultOps:        *budget,
+		FaultTimeout:    *timeout,
+		FallbackVectors: *estVectors,
+	}
 	if *verbose {
 		ccfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d faults", done, total)
@@ -66,10 +93,10 @@ func main() {
 	switch strings.ToLower(*model) {
 	case "stuckat", "sa":
 		fs := faults.CheckpointStuckAts(w)
-		if *max > 0 && len(fs) > *max {
-			fs = fs[:*max]
-		}
+		fs = truncateFaults(fs, *max)
+		cp := openCheckpoint(*ckptPath, *resume, analysis.StuckAtCheckpointHeader(w, fs), &ccfg)
 		study, err := analysis.RunStuckAtCampaign(c, nil, fs, ccfg)
+		closeCheckpoint(cp)
 		if err != nil {
 			fatal(err)
 		}
@@ -91,16 +118,17 @@ func main() {
 			len(study.Records), 100*study.CoverageRate(), study.MeanDetectable(), study.ObservedEqualsFedRate())
 		fmt.Printf("selective trace: %.1f of %d gates evaluated per fault on average\n",
 			study.MeanGatesEvaluated(), w.NumGates())
+		finishCampaign(study.Stats, study.Errors())
 	case "and", "or":
 		kind := faults.WiredAND
 		if strings.ToLower(*model) == "or" {
 			kind = faults.WiredOR
 		}
 		set, pop, sampled := analysis.BridgingSet(w, kind, *maxBFs, *theta, *seed)
-		if *max > 0 && len(set) > *max {
-			set = set[:*max]
-		}
+		set = truncateFaults(set, *max)
+		cp := openCheckpoint(*ckptPath, *resume, analysis.BridgingCheckpointHeader(w, set), &ccfg)
 		study, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, ccfg)
+		closeCheckpoint(cp)
 		if err != nil {
 			fatal(err)
 		}
@@ -113,8 +141,75 @@ func main() {
 		fmt.Printf("faults: %d of %d potentially detectable NFBFs (sampled: %v)\n", len(study.Records), pop, sampled)
 		fmt.Printf("detectable: %.1f%%   mean detectability (detectable): %.4f   stuck-at behavior: %.1f%%\n",
 			100*study.CoverageRate(), study.MeanDetectable(), 100*study.StuckAtProportion())
+		finishCampaign(study.Stats, study.Errors())
 	default:
 		fatal(fmt.Errorf("unknown fault model %q (stuckat, and, or)", *model))
+	}
+}
+
+// truncateFaults applies -max, warning on stderr when it actually drops
+// faults: a truncated set silently changes every aggregate the report
+// prints.
+func truncateFaults[F any](fs []F, max int) []F {
+	if max > 0 && len(fs) > max {
+		fmt.Fprintf(os.Stderr, "diffprop: warning: -max truncates the fault set from %d to %d faults; aggregates cover the truncated set only\n", len(fs), max)
+		return fs[:max]
+	}
+	return fs
+}
+
+// openCheckpoint wires the checkpoint file (if any) into the campaign
+// config: fresh creation by default, validated resume with -resume.
+func openCheckpoint(path string, resume bool, hdr analysis.CheckpointHeader, ccfg *analysis.CampaignConfig) *analysis.Checkpointer {
+	if path == "" {
+		return nil
+	}
+	if resume {
+		cp, records, err := analysis.ResumeCheckpoint(path, hdr)
+		if err != nil {
+			fatal(err)
+		}
+		if len(records) > 0 {
+			fmt.Fprintf(os.Stderr, "diffprop: resuming %s: %d of %d faults already analyzed\n", path, len(records), hdr.Faults)
+		}
+		ccfg.Checkpoint = cp
+		ccfg.Resume = records
+		return cp
+	}
+	cp, err := analysis.CreateCheckpoint(path, hdr)
+	if err != nil {
+		fatal(err)
+	}
+	ccfg.Checkpoint = cp
+	return cp
+}
+
+// closeCheckpoint flushes the checkpoint; main exits through os.Exit, so
+// this cannot be left to a defer.
+func closeCheckpoint(cp *analysis.Checkpointer) {
+	if cp == nil {
+		return
+	}
+	if err := cp.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// finishCampaign reports degradation/cancellation on stderr and exits
+// non-zero when any per-fault analysis failed.
+func finishCampaign(stats analysis.CampaignStats, errs []analysis.FaultError) {
+	if stats.Degraded > 0 {
+		fmt.Fprintf(os.Stderr, "diffprop: %d fault(s) blew the per-fault budget; their detectabilities are random-vector estimates (marked ~)\n", stats.Degraded)
+	}
+	if stats.Canceled {
+		fmt.Fprintln(os.Stderr, "diffprop: campaign cancelled; unanalyzed faults are marked skipped")
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "diffprop: %d fault(s) failed to analyze:\n", len(errs))
+		for _, fe := range errs {
+			fmt.Fprintf(os.Stderr, "  %s\n", fe)
+		}
+		os.Exit(2)
 	}
 }
 
@@ -141,18 +236,35 @@ func printStuckAt(e *diffprop.Engine, w *netlist.Circuit, study analysis.StuckAt
 		Columns: []string{"fault", "detect", "bound", "adher", "POs obs/fed", "toPO", "test"},
 	}
 	for _, r := range study.Records {
-		test := "(redundant)"
-		if r.Detectable() {
+		var test string
+		switch {
+		case r.Skipped:
+			t.Rows = append(t.Rows, []string{r.Fault.Describe(w), "(skipped)", "", "", "", "", ""})
+			continue
+		case r.Err != "":
+			t.Rows = append(t.Rows, []string{r.Fault.Describe(w), "(error)", "", "", "", "", r.Err})
+			continue
+		case r.Approximate:
+			// The exact complete test set was never built, so there is no
+			// vector to extract; the detectability is an estimate.
+			test = fmt.Sprintf("(estimate over %d vectors)", r.EstimateVectors)
+		case r.Detectable():
 			res := e.StuckAt(r.Fault)
 			test = vectorString(e, res)
+		default:
+			test = "(redundant)"
 		}
 		adher := "-"
 		if r.AdherenceOK {
 			adher = fmt.Sprintf("%.3f", r.Adherence)
 		}
+		detect := fmt.Sprintf("%.4f", r.Detectability)
+		if r.Approximate {
+			detect = "~" + detect
+		}
 		t.Rows = append(t.Rows, []string{
 			r.Fault.Describe(w),
-			fmt.Sprintf("%.4f", r.Detectability),
+			detect,
 			fmt.Sprintf("%.4f", r.UpperBound),
 			adher,
 			fmt.Sprintf("%d/%d", r.ObservedPOs, r.POsFed),
@@ -168,6 +280,14 @@ func printBridging(w *netlist.Circuit, study analysis.BridgingStudy) {
 		Columns: []string{"fault", "detect", "bound", "adher", "POs obs/fed", "stuck-at?"},
 	}
 	for _, r := range study.Records {
+		switch {
+		case r.Skipped:
+			t.Rows = append(t.Rows, []string{r.Fault.Describe(w), "(skipped)", "", "", "", ""})
+			continue
+		case r.Err != "":
+			t.Rows = append(t.Rows, []string{r.Fault.Describe(w), "(error)", "", "", "", r.Err})
+			continue
+		}
 		adher := "-"
 		if r.AdherenceOK {
 			adher = fmt.Sprintf("%.3f", r.Adherence)
@@ -176,9 +296,13 @@ func printBridging(w *netlist.Circuit, study analysis.BridgingStudy) {
 		if r.ActsStuckAt {
 			sa = "yes"
 		}
+		detect := fmt.Sprintf("%.4f", r.Detectability)
+		if r.Approximate {
+			detect = "~" + detect
+		}
 		t.Rows = append(t.Rows, []string{
 			r.Fault.Describe(w),
-			fmt.Sprintf("%.4f", r.Detectability),
+			detect,
 			fmt.Sprintf("%.4f", r.UpperBound),
 			adher,
 			fmt.Sprintf("%d/%d", r.ObservedPOs, r.POsFed),

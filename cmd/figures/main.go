@@ -34,6 +34,8 @@ func main() {
 		circuits = flag.String("circuits", "", "comma-separated circuit list for the trend figures")
 		workers  = flag.Int("workers", 0, "parallel analysis workers per campaign (0 = one per CPU)")
 		verbose  = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
+		budget   = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
+		timeout  = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,8 @@ func main() {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
 	cfg.Workers = *workers
+	cfg.FaultOps = *budget
+	cfg.FaultTimeout = *timeout
 	if *verbose {
 		cfg.Progress = func(circuit string, done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%s: %d/%d faults", circuit, done, total)

@@ -32,6 +32,18 @@ type StuckAtRecord struct {
 	// GatesEvaluated counts gates whose difference function was computed;
 	// the rest were skipped by selective trace (§3).
 	GatesEvaluated int
+	// Approximate marks a record whose Detectability is a random-vector
+	// estimate over EstimateVectors patterns: the exact analysis blew its
+	// per-fault resource budget and degraded to simulation. Adherence and
+	// observability fields are not computed for degraded records.
+	Approximate     bool `json:",omitempty"`
+	EstimateVectors int  `json:",omitempty"`
+	// Err carries the message of a panic isolated during this fault's
+	// analysis; all analysis fields are zero when it is set.
+	Err string `json:",omitempty"`
+	// Skipped marks a fault never analyzed because the campaign was
+	// cancelled (or aborted on a checkpoint error) before reaching it.
+	Skipped bool `json:",omitempty"`
 }
 
 // Detectable reports whether the fault has a non-empty test set.
@@ -48,6 +60,12 @@ type BridgingRecord struct {
 	POsFed        int // union of both wires' cones
 	MaxLevelsToPO int // max over the two wires
 	ActsStuckAt   bool
+	// Approximate, EstimateVectors, Err and Skipped mirror the stuck-at
+	// record's degradation and isolation markers (see StuckAtRecord).
+	Approximate     bool   `json:",omitempty"`
+	EstimateVectors int    `json:",omitempty"`
+	Err             string `json:",omitempty"`
+	Skipped         bool   `json:",omitempty"`
 }
 
 // Detectable reports whether the fault has a non-empty test set.
@@ -181,27 +199,36 @@ func bridgingHeader(c *netlist.Circuit, kind faults.BridgeKind, population int, 
 }
 
 // RunStuckAt analyzes every fault in the set with exact Difference
-// Propagation. Faults must refer to e.Circuit's net numbering.
+// Propagation. Faults must refer to e.Circuit's net numbering. A fault
+// whose analysis panics (or blows a budget armed via
+// Engine.SetFaultBudget) poisons only its own record: the study carries a
+// per-fault error (or degraded estimate) at that index and the remaining
+// faults complete normally.
 func RunStuckAt(e *diffprop.Engine, fs []faults.StuckAt) StuckAtStudy {
 	c := e.Circuit
 	toPO := c.MaxLevelsToPO()
 	levels := c.Levels()
+	fb := newFallback(0, 0)
 	study := stuckAtHeader(c)
 	study.Records = make([]StuckAtRecord, 0, len(fs))
 	for _, f := range fs {
-		study.Records = append(study.Records, stuckAtRecord(e, f, toPO, levels))
+		rec, _ := analyzeStuckAt(e, f, toPO, levels, fb)
+		study.Records = append(study.Records, rec)
 	}
 	return study
 }
 
-// RunBridging analyzes every bridging fault in the set.
+// RunBridging analyzes every bridging fault in the set. Panic isolation
+// and budget degradation behave as in RunStuckAt.
 func RunBridging(e *diffprop.Engine, bs []faults.Bridging, kind faults.BridgeKind, population int, sampled bool) BridgingStudy {
 	c := e.Circuit
 	toPO := c.MaxLevelsToPO()
+	fb := newFallback(0, 0)
 	study := bridgingHeader(c, kind, population, sampled)
 	study.Records = make([]BridgingRecord, 0, len(bs))
 	for _, b := range bs {
-		study.Records = append(study.Records, bridgingRecord(e, b, toPO))
+		rec, _ := analyzeBridging(e, b, toPO, fb)
+		study.Records = append(study.Records, rec)
 	}
 	return study
 }
@@ -243,6 +270,40 @@ func Histogram(values []float64, bins int) []float64 {
 	}
 	for i := range out {
 		out[i] /= float64(len(values))
+	}
+	return out
+}
+
+// FaultError summarizes one isolated per-fault failure in a study.
+type FaultError struct {
+	Index int
+	Fault string
+	Err   string
+}
+
+func (e FaultError) String() string {
+	return fmt.Sprintf("fault %d (%s): %s", e.Index, e.Fault, e.Err)
+}
+
+// Errors lists the faults whose analysis panicked, in index order. A
+// non-empty result means the study is complete except at those indices.
+func (s StuckAtStudy) Errors() []FaultError {
+	var out []FaultError
+	for i, r := range s.Records {
+		if r.Err != "" {
+			out = append(out, FaultError{Index: i, Fault: r.Fault.String(), Err: r.Err})
+		}
+	}
+	return out
+}
+
+// Errors lists the faults whose analysis panicked, in index order.
+func (s BridgingStudy) Errors() []FaultError {
+	var out []FaultError
+	for i, r := range s.Records {
+		if r.Err != "" {
+			out = append(out, FaultError{Index: i, Fault: r.Fault.String(), Err: r.Err})
+		}
 	}
 	return out
 }

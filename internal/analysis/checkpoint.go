@@ -1,0 +1,248 @@
+// Campaign checkpointing: crash-safe JSONL persistence of finished fault
+// records, and resume support that refuses mismatched fault sets.
+//
+// File format: the first line is a CheckpointHeader (schema version plus a
+// fingerprint of the circuit and the exact fault set); every following
+// line is one {"i":<fault index>,"r":<record>} pair, appended the moment
+// the fault finishes. The work-stealing scheduler makes record order
+// irrelevant — each line is self-identifying — so a resumed campaign only
+// needs the set of persisted indices, not their sequence. Appends are
+// single write(2) calls with a periodic fsync, and loading tolerates a
+// torn final line (a crash mid-append), which the resuming writer then
+// truncates away before continuing.
+package analysis
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// CheckpointVersion is the schema version written to (and required from)
+// checkpoint headers.
+const CheckpointVersion = 1
+
+// DefaultFsyncEvery is the default append-to-fsync cadence.
+const DefaultFsyncEvery = 32
+
+// CheckpointHeader identifies what a checkpoint file holds: the schema
+// version, the fault model, and a fingerprint binding it to one circuit
+// and one exact fault set. Resume refuses any mismatch — record indices
+// are only meaningful against the fault set they were computed from.
+type CheckpointHeader struct {
+	Version     int    `json:"version"`
+	Kind        string `json:"kind"` // "stuckat" or "bridging"
+	Circuit     string `json:"circuit"`
+	Faults      int    `json:"faults"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// StuckAtCheckpointHeader builds the header for a stuck-at campaign over
+// the working circuit c and fault set fs (in campaign index order).
+func StuckAtCheckpointHeader(c *netlist.Circuit, fs []faults.StuckAt) CheckpointHeader {
+	h := sha256.New()
+	fmt.Fprintf(h, "stuckat|%s|%d|%d\n", c.Name, c.NumNets(), len(fs))
+	for _, f := range fs {
+		fmt.Fprintf(h, "%d,%d,%d,%t\n", f.Net, f.Gate, f.Pin, f.Stuck)
+	}
+	return CheckpointHeader{
+		Version:     CheckpointVersion,
+		Kind:        "stuckat",
+		Circuit:     c.Name,
+		Faults:      len(fs),
+		Fingerprint: hex.EncodeToString(h.Sum(nil)[:16]),
+	}
+}
+
+// BridgingCheckpointHeader builds the header for a bridging campaign.
+func BridgingCheckpointHeader(c *netlist.Circuit, bs []faults.Bridging) CheckpointHeader {
+	h := sha256.New()
+	fmt.Fprintf(h, "bridging|%s|%d|%d\n", c.Name, c.NumNets(), len(bs))
+	for _, b := range bs {
+		fmt.Fprintf(h, "%d,%d,%d\n", b.U, b.V, b.Kind)
+	}
+	return CheckpointHeader{
+		Version:     CheckpointVersion,
+		Kind:        "bridging",
+		Circuit:     c.Name,
+		Faults:      len(bs),
+		Fingerprint: hex.EncodeToString(h.Sum(nil)[:16]),
+	}
+}
+
+// checkpointLine is one persisted record: the fault's campaign index and
+// the marshaled record.
+type checkpointLine struct {
+	Index  int             `json:"i"`
+	Record json.RawMessage `json:"r"`
+}
+
+// Checkpointer appends finished fault records to a JSONL checkpoint file.
+// Append is safe for concurrent use by the campaign workers; each record
+// becomes exactly one write(2) call, so a crash can tear at most the final
+// line, which LoadCheckpoint tolerates.
+type Checkpointer struct {
+	// FsyncEvery is the number of appends between fsync calls (set before
+	// the campaign starts; DefaultFsyncEvery when constructed by this
+	// package, 0 disables periodic fsync — Close still syncs).
+	FsyncEvery int
+
+	mu       sync.Mutex
+	f        *os.File
+	appended int
+}
+
+// CreateCheckpoint starts a fresh checkpoint file (truncating any existing
+// one) and persists the header immediately.
+func CreateCheckpoint(path string, hdr CheckpointHeader) (*Checkpointer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: create checkpoint: %w", err)
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("analysis: marshal checkpoint header: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("analysis: write checkpoint header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("analysis: sync checkpoint header: %w", err)
+	}
+	return &Checkpointer{f: f, FsyncEvery: DefaultFsyncEvery}, nil
+}
+
+// Append persists one finished record under its fault index.
+func (cp *Checkpointer) Append(index int, record any) error {
+	raw, err := json.Marshal(record)
+	if err != nil {
+		return fmt.Errorf("analysis: marshal checkpoint record %d: %w", index, err)
+	}
+	line, err := json.Marshal(checkpointLine{Index: index, Record: raw})
+	if err != nil {
+		return fmt.Errorf("analysis: marshal checkpoint line %d: %w", index, err)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, err := cp.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("analysis: append checkpoint record %d: %w", index, err)
+	}
+	cp.appended++
+	if cp.FsyncEvery > 0 && cp.appended%cp.FsyncEvery == 0 {
+		if err := cp.f.Sync(); err != nil {
+			return fmt.Errorf("analysis: sync checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the checkpoint file.
+func (cp *Checkpointer) Close() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f == nil {
+		return nil
+	}
+	f := cp.f
+	cp.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("analysis: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("analysis: close checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint file: its header, the persisted
+// records by fault index (when an index appears twice the later line
+// wins), and the byte offset where valid content ends. A torn final line
+// — no trailing newline, or undecodable JSON from a crash mid-append — is
+// tolerated: loading stops there and validEnd excludes it.
+func LoadCheckpoint(path string) (hdr CheckpointHeader, records map[int]json.RawMessage, validEnd int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CheckpointHeader{}, nil, 0, fmt.Errorf("analysis: read checkpoint: %w", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return CheckpointHeader{}, nil, 0, fmt.Errorf("analysis: checkpoint %s: missing header line", path)
+	}
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return CheckpointHeader{}, nil, 0, fmt.Errorf("analysis: checkpoint %s: bad header: %w", path, err)
+	}
+	records = make(map[int]json.RawMessage)
+	validEnd = int64(nl + 1)
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn tail: line never finished
+		}
+		var line checkpointLine
+		if err := json.Unmarshal(rest[:nl], &line); err != nil {
+			break // torn tail: overwritten or truncated mid-write
+		}
+		records[line.Index] = line.Record
+		validEnd += int64(nl + 1)
+		rest = rest[nl+1:]
+	}
+	return hdr, records, validEnd, nil
+}
+
+// ResumeCheckpoint opens a checkpoint for continuation. A missing file
+// starts a fresh checkpoint with no restored records. An existing file is
+// validated against the expected header — version, fault model, circuit,
+// fault count and fault-set fingerprint must all match, otherwise resume
+// is refused with an error saying which field disagrees — then truncated
+// past any torn tail and reopened for appending. The returned records map
+// feeds CampaignConfig.Resume.
+func ResumeCheckpoint(path string, want CheckpointHeader) (*Checkpointer, map[int]json.RawMessage, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		cp, err := CreateCheckpoint(path, want)
+		return cp, nil, err
+	}
+	hdr, records, validEnd, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case hdr.Version != want.Version:
+		err = fmt.Errorf("schema version %d, want %d", hdr.Version, want.Version)
+	case hdr.Kind != want.Kind:
+		err = fmt.Errorf("fault model %q, want %q", hdr.Kind, want.Kind)
+	case hdr.Circuit != want.Circuit:
+		err = fmt.Errorf("circuit %q, want %q", hdr.Circuit, want.Circuit)
+	case hdr.Faults != want.Faults:
+		err = fmt.Errorf("%d faults, want %d", hdr.Faults, want.Faults)
+	case hdr.Fingerprint != want.Fingerprint:
+		err = fmt.Errorf("fault-set fingerprint %s, want %s (same size but different faults)", hdr.Fingerprint, want.Fingerprint)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: cannot resume %s: checkpoint has %v; it was written for a different fault set", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: reopen checkpoint: %w", err)
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("analysis: truncate torn checkpoint tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("analysis: seek checkpoint: %w", err)
+	}
+	return &Checkpointer{f: f, FsyncEvery: DefaultFsyncEvery}, records, nil
+}

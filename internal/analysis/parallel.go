@@ -18,6 +18,8 @@
 package analysis
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,6 +52,43 @@ type CampaignConfig struct {
 	Workers int
 	// Progress, when non-nil, is called after each analyzed fault.
 	Progress Progress
+	// Context, when non-nil, cancels the campaign: workers observe
+	// cancellation between faults, the partial index-aligned study is
+	// returned with unreached faults marked Skipped, and
+	// CampaignStats.Canceled is set. Nil means run to completion.
+	Context context.Context
+	// FaultOps caps the charged BDD operations of a single fault analysis
+	// and FaultTimeout its wall-clock time (zero = unlimited). A fault
+	// blowing either bound degrades to a random-vector estimate marked
+	// Approximate and counted in CampaignStats.Degraded.
+	FaultOps     int64
+	FaultTimeout time.Duration
+	// FallbackVectors and FallbackSeed parameterize the degradation
+	// estimate (zero selects DefaultFallbackVectors / DefaultFallbackSeed).
+	// The estimate is a pure function of (circuit, vectors, seed, fault),
+	// so degraded records are identical across schedules and resumes.
+	FallbackVectors int
+	FallbackSeed    int64
+	// Checkpoint, when non-nil, persists every finished record (by fault
+	// index) as it completes. A persist failure aborts the campaign.
+	Checkpoint *Checkpointer
+	// Resume maps fault indices to previously persisted record lines
+	// (from LoadCheckpoint/ResumeCheckpoint); those indices are decoded
+	// instead of re-analyzed and counted in CampaignStats.Resumed.
+	Resume map[int]json.RawMessage
+}
+
+// budget extracts the per-fault resource budget.
+func (cfg CampaignConfig) budget() diffprop.FaultBudget {
+	return diffprop.FaultBudget{Ops: cfg.FaultOps, Wall: cfg.FaultTimeout}
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (cfg CampaignConfig) ctx() context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
 }
 
 // CampaignStats reports what a campaign actually did at runtime: scheduling
@@ -74,14 +113,39 @@ type CampaignStats struct {
 	Cache bdd.CacheStats
 	// Elapsed is the campaign wall-clock time.
 	Elapsed time.Duration
+	// Canceled reports that the campaign's context was cancelled before
+	// the fault set drained; unreached records are marked Skipped.
+	Canceled bool
+	// Degraded counts faults that blew their resource budget and carry a
+	// simulation estimate instead of an exact detectability.
+	Degraded int
+	// Errored counts faults whose analysis panicked; their records carry
+	// the message in Err and nothing else.
+	Errored int
+	// Resumed counts records restored from a checkpoint instead of being
+	// re-analyzed.
+	Resumed int
 }
 
 // String renders the stats as a one-line summary for -v style output.
 func (s CampaignStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"workers=%d faults=%d gate-evals=%d rebuilds=%d peak-nodes=%d cache-hit=%.1f%% elapsed=%s",
 		s.Workers, s.Faults, s.GateEvaluations, s.Rebuilds, s.PeakNodes,
 		100*s.Cache.HitRate(), s.Elapsed.Round(time.Millisecond))
+	if s.Resumed > 0 {
+		out += fmt.Sprintf(" resumed=%d", s.Resumed)
+	}
+	if s.Degraded > 0 {
+		out += fmt.Sprintf(" degraded=%d", s.Degraded)
+	}
+	if s.Errored > 0 {
+		out += fmt.Sprintf(" errored=%d", s.Errored)
+	}
+	if s.Canceled {
+		out += " canceled"
+	}
+	return out
 }
 
 // add folds one worker engine's counters into the campaign totals.
@@ -128,26 +192,55 @@ func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, pre
 
 // runCampaign drains indices 0..total-1 through the worker engines via an
 // atomic work-stealing counter. analyze(e, i) must write its result to its
-// own index; it runs concurrently on distinct engines.
+// own index; it runs concurrently on distinct engines and reports how the
+// record was produced plus any fatal persistence error. skip[i] (nil for
+// none) marks indices restored from a checkpoint, which are counted as
+// done without being re-analyzed.
 //
 // Workers claim guided-size blocks of contiguous indices rather than
 // single faults: neighboring faults share fan-out cones, so analyzing them
 // on the same engine keeps its operation caches warm (single-index
 // dispatch costs ~20% extra apply work on c1355s). Block size shrinks
 // with the remaining work, so the tail still balances across workers.
-func runCampaign(engines []*diffprop.Engine, total int, progress Progress, analyze func(e *diffprop.Engine, i int)) CampaignStats {
+//
+// Workers observe cancellation of cfg's context between faults — including
+// inside a claimed block — and drain out promptly, leaving the remaining
+// indices untouched. A persistence error likewise stops the campaign; the
+// first one is returned.
+func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, analyze func(e *diffprop.Engine, i int) (faultOutcome, error)) (CampaignStats, error) {
 	start := time.Now()
+	ctx := cfg.ctx()
 	var (
 		next atomic.Int64
-		done atomic.Int64
-		mu   sync.Mutex // serializes progress callbacks
+		stop atomic.Bool
 		wg   sync.WaitGroup
+
+		mu       sync.Mutex // guards the counters below and serializes Progress
+		done     int
+		analyzed int
+		degraded int
+		errored  int
+		resumed  int
+		firstErr error
 	)
+	for i := 0; i < total; i++ {
+		if skip != nil && skip[i] {
+			resumed++
+		}
+	}
+	done = resumed
+	if cfg.Progress != nil && resumed > 0 {
+		cfg.Progress(done, total)
+	}
+	halted := func() bool { return stop.Load() || ctx.Err() != nil }
 	for _, e := range engines {
 		wg.Add(1)
 		go func(e *diffprop.Engine) {
 			defer wg.Done()
 			for {
+				if halted() {
+					return
+				}
 				lo := int(next.Load())
 				if lo >= total {
 					return
@@ -164,23 +257,69 @@ func runCampaign(engines []*diffprop.Engine, total int, progress Progress, analy
 					hi = total
 				}
 				for i := lo; i < hi; i++ {
-					analyze(e, i)
-					if progress != nil {
-						d := int(done.Add(1))
-						mu.Lock()
-						progress(d, total)
-						mu.Unlock()
+					if skip != nil && skip[i] {
+						continue
 					}
+					if halted() {
+						return
+					}
+					outcome, err := analyze(e, i)
+					mu.Lock()
+					done++
+					analyzed++
+					switch outcome {
+					case outcomeDegraded:
+						degraded++
+					case outcomeErrored:
+						errored++
+					}
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						stop.Store(true)
+					}
+					if cfg.Progress != nil {
+						cfg.Progress(done, total)
+					}
+					mu.Unlock()
 				}
 			}
 		}(e)
 	}
 	wg.Wait()
-	stats := CampaignStats{Workers: len(engines), Faults: total, Elapsed: time.Since(start)}
+	stats := CampaignStats{
+		Workers:  len(engines),
+		Faults:   analyzed,
+		Elapsed:  time.Since(start),
+		Canceled: ctx.Err() != nil,
+		Degraded: degraded,
+		Errored:  errored,
+		Resumed:  resumed,
+	}
 	for _, e := range engines {
 		stats.add(e.Stats())
 	}
-	return stats
+	return stats, firstErr
+}
+
+// resumeDecode restores checkpointed records into their slots and returns
+// the skip mask. decode(i, raw) must unmarshal raw into records[i].
+func resumeDecode(total int, resume map[int]json.RawMessage, decode func(i int, raw json.RawMessage) error) ([]bool, error) {
+	if len(resume) == 0 {
+		return nil, nil
+	}
+	skip := make([]bool, total)
+	for i, raw := range resume {
+		if i < 0 || i >= total {
+			return nil, fmt.Errorf("analysis: checkpoint record index %d out of range for %d faults", i, total)
+		}
+		if err := decode(i, raw); err != nil {
+			return nil, fmt.Errorf("analysis: checkpoint record %d: %w", i, err)
+		}
+		skip[i] = true
+	}
+	return skip, nil
 }
 
 // RunStuckAtCampaign analyzes the fault set with work-stealing dispatch
@@ -202,17 +341,41 @@ func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.
 	if err != nil {
 		return StuckAtStudy{}, err
 	}
+	for _, e := range engines {
+		e.SetFaultBudget(cfg.budget())
+	}
 	work := engines[0].Circuit
 	toPO := work.MaxLevelsToPO()
 	levels := work.Levels()
 	records := make([]StuckAtRecord, len(fs))
-	stats := runCampaign(engines, len(fs), cfg.Progress, func(e *diffprop.Engine, i int) {
-		records[i] = stuckAtRecord(e, fs[i], toPO, levels)
+	skip, err := resumeDecode(len(fs), cfg.Resume, func(i int, raw json.RawMessage) error {
+		return json.Unmarshal(raw, &records[i])
 	})
+	if err != nil {
+		return StuckAtStudy{}, err
+	}
+	fb := newFallback(cfg.FallbackVectors, cfg.FallbackSeed)
+	analyzed := make([]bool, len(fs))
+	stats, runErr := runCampaign(engines, len(fs), cfg, skip, func(e *diffprop.Engine, i int) (faultOutcome, error) {
+		rec, outcome := analyzeStuckAt(e, fs[i], toPO, levels, fb)
+		records[i] = rec
+		analyzed[i] = true
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint.Append(i, rec); err != nil {
+				return outcome, err
+			}
+		}
+		return outcome, nil
+	})
+	for i := range records {
+		if !analyzed[i] && (skip == nil || !skip[i]) {
+			records[i] = StuckAtRecord{Fault: fs[i], Skipped: true}
+		}
+	}
 	study := stuckAtHeader(work)
 	study.Records = records
 	study.Stats = stats
-	return study, nil
+	return study, runErr
 }
 
 // RunStuckAtParallel analyzes the fault set with `workers` engines
@@ -241,16 +404,40 @@ func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults
 	if err != nil {
 		return BridgingStudy{}, err
 	}
+	for _, e := range engines {
+		e.SetFaultBudget(cfg.budget())
+	}
 	work := engines[0].Circuit
 	toPO := work.MaxLevelsToPO()
 	records := make([]BridgingRecord, len(bs))
-	stats := runCampaign(engines, len(bs), cfg.Progress, func(e *diffprop.Engine, i int) {
-		records[i] = bridgingRecord(e, bs[i], toPO)
+	skip, err := resumeDecode(len(bs), cfg.Resume, func(i int, raw json.RawMessage) error {
+		return json.Unmarshal(raw, &records[i])
 	})
+	if err != nil {
+		return BridgingStudy{}, err
+	}
+	fb := newFallback(cfg.FallbackVectors, cfg.FallbackSeed)
+	analyzed := make([]bool, len(bs))
+	stats, runErr := runCampaign(engines, len(bs), cfg, skip, func(e *diffprop.Engine, i int) (faultOutcome, error) {
+		rec, outcome := analyzeBridging(e, bs[i], toPO, fb)
+		records[i] = rec
+		analyzed[i] = true
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint.Append(i, rec); err != nil {
+				return outcome, err
+			}
+		}
+		return outcome, nil
+	})
+	for i := range records {
+		if !analyzed[i] && (skip == nil || !skip[i]) {
+			records[i] = BridgingRecord{Fault: bs[i], Skipped: true}
+		}
+	}
 	study := bridgingHeader(work, kind, population, sampled)
 	study.Records = records
 	study.Stats = stats
-	return study, nil
+	return study, runErr
 }
 
 // RunBridgingParallel is RunBridgingCampaign without progress reporting.

@@ -1,0 +1,186 @@
+// Graceful degradation and panic isolation for fault analyses.
+//
+// Exact Difference Propagation is worst-case exponential; Butler & Mercer
+// themselves fell back to functional decomposition once circuits reached
+// C499 size. The campaign layer instead bounds each fault with a resource
+// budget (diffprop.FaultBudget): a fault that blows its budget is re-scored
+// by a bit-parallel random-vector estimate — statistically useful exactly
+// where exact analysis is infeasible, in the spirit of sampled n-detection
+// analysis — and marked Approximate. Any other panic escaping a fault
+// query (a feedback bridge slipping into a fault set, a malformed site) is
+// converted into a per-fault error record so one bad fault cannot take
+// down a campaign.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bdd"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+	"repro/internal/simulate"
+)
+
+// Defaults for the random-vector degradation estimate.
+const (
+	DefaultFallbackVectors = 4096
+	DefaultFallbackSeed    = 1990
+)
+
+// faultOutcome classifies how one fault's record was produced.
+type faultOutcome int
+
+const (
+	outcomeExact faultOutcome = iota
+	outcomeDegraded
+	outcomeErrored
+)
+
+// fallback lazily builds the shared simulation estimator used to re-score
+// budget-blown faults. The estimator is fixed-seed and immutable once
+// built, so every worker — and every resumed run — produces the same
+// estimate for the same fault.
+type fallback struct {
+	vectors int
+	seed    int64
+	once    sync.Once
+	est     *simulate.Estimator
+}
+
+// newFallback applies the package defaults to zero parameters.
+func newFallback(vectors int, seed int64) *fallback {
+	if vectors <= 0 {
+		vectors = DefaultFallbackVectors
+	}
+	if seed == 0 {
+		seed = DefaultFallbackSeed
+	}
+	return &fallback{vectors: vectors, seed: seed}
+}
+
+func (fb *fallback) get(e *diffprop.Engine) *simulate.Estimator {
+	fb.once.Do(func() {
+		fb.est = simulate.NewEstimator(e.Circuit, fb.vectors, fb.seed)
+	})
+	return fb.est
+}
+
+// panicMessage renders a recovered panic value deterministically (panics
+// raised by diffprop/simulate/runtime carry stable strings, which keeps
+// serial and parallel error records bit-identical).
+func panicMessage(r any) string {
+	if err, ok := r.(error); ok {
+		return err.Error()
+	}
+	return fmt.Sprint(r)
+}
+
+// tryStuckAtRecord runs the exact analysis, converting an escaping panic
+// into an error after restoring the engine.
+func tryStuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int) (rec StuckAtRecord, budget bool, errMsg string) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		e.Recover()
+		if err, ok := r.(error); ok && errors.Is(err, bdd.ErrBudget) {
+			budget = true
+			return
+		}
+		errMsg = panicMessage(r)
+	}()
+	return stuckAtRecord(e, f, toPO, levels), false, ""
+}
+
+// tryBridgingRecord is the bridging counterpart of tryStuckAtRecord.
+func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int) (rec BridgingRecord, budget bool, errMsg string) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		e.Recover()
+		if err, ok := r.(error); ok && errors.Is(err, bdd.ErrBudget) {
+			budget = true
+			return
+		}
+		errMsg = panicMessage(r)
+	}()
+	return bridgingRecord(e, b, toPO), false, ""
+}
+
+// analyzeStuckAt produces the record for one stuck-at fault: exact when
+// the analysis completes, a simulation estimate when it blows its budget,
+// an error record when it panics. Shared by the serial and work-stealing
+// runners.
+func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb *fallback) (StuckAtRecord, faultOutcome) {
+	rec, budget, errMsg := tryStuckAtRecord(e, f, toPO, levels)
+	if errMsg != "" {
+		return StuckAtRecord{Fault: f, Err: errMsg}, outcomeErrored
+	}
+	if !budget {
+		return rec, outcomeExact
+	}
+	est := fb.get(e)
+	c := e.Circuit
+	dist, lvl := siteDistances(c, f, toPO, levels)
+	fedSite := f.Net
+	if f.IsBranch() {
+		fedSite = f.Gate
+	}
+	// The syndrome bound is still exact: SatFrac counts over the (intact)
+	// good functions without building nodes. Adherence and observability
+	// need the aborted test-set BDD, so they stay unset.
+	return StuckAtRecord{
+		Fault:           f,
+		Detectability:   est.StuckAt(f),
+		UpperBound:      e.StuckAtUpperBound(f),
+		ObservedPOs:     0,
+		POsFed:          len(c.POsFed(fedSite)),
+		MaxLevelsToPO:   dist,
+		LevelFromPI:     lvl,
+		IsPOFault:       !f.IsBranch() && c.IsOutput(f.Net),
+		Approximate:     true,
+		EstimateVectors: est.Vectors(),
+	}, outcomeDegraded
+}
+
+// analyzeBridging is the bridging counterpart of analyzeStuckAt. A budget
+// blow implies the bridge already passed the engine's feedback screen, so
+// the estimator's own screen cannot fire.
+func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fallback) (BridgingRecord, faultOutcome) {
+	rec, budget, errMsg := tryBridgingRecord(e, b, toPO)
+	if errMsg != "" {
+		return BridgingRecord{Fault: b, Err: errMsg}, outcomeErrored
+	}
+	if !budget {
+		return rec, outcomeExact
+	}
+	est := fb.get(e)
+	c := e.Circuit
+	fed := map[int]bool{}
+	for _, po := range c.POsFed(b.U) {
+		fed[po] = true
+	}
+	for _, po := range c.POsFed(b.V) {
+		fed[po] = true
+	}
+	dist := toPO[b.U]
+	if toPO[b.V] > dist {
+		dist = toPO[b.V]
+	}
+	// The excitation bound |f_u XOR f_v| would need a fresh BDD build, so
+	// it stays unset (AdherenceOK false marks it unusable), as do the
+	// stuck-at classification and observability fields.
+	return BridgingRecord{
+		Fault:           b,
+		Detectability:   est.Bridging(b),
+		POsFed:          len(fed),
+		MaxLevelsToPO:   dist,
+		Approximate:     true,
+		EstimateVectors: est.Vectors(),
+	}, outcomeDegraded
+}

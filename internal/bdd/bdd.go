@@ -16,10 +16,20 @@
 package bdd
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
+	"time"
 )
+
+// ErrBudget is the sentinel raised — as a panic value, from arbitrarily
+// deep inside the apply/ite/not recursions — when the manager's armed
+// operation budget (SetBudget) is exhausted. Callers that arm a budget
+// must recover it at their analysis boundary (see diffprop.Engine) and
+// may keep using the manager afterwards: the panic is only raised between
+// node-table mutations, so the unique table stays consistent.
+var ErrBudget = errors.New("bdd: per-analysis operation budget exhausted")
 
 // Ref identifies a BDD node within a Manager. Refs are stable for the
 // lifetime of the manager (there is no in-place mutation; reclamation is
@@ -119,7 +129,51 @@ type Manager struct {
 	cacheBits uint
 	stats     CacheStats
 
+	// Armed resource budget (SetBudget): ops counts charged cache-miss
+	// operations since arming; budgetOps > 0 caps them, and a non-zero
+	// deadline is checked every deadlineCheckMask+1 charges.
+	ops       int64
+	budgetOps int64
+	deadline  time.Time
+
 	satC map[Ref]*big.Int
+}
+
+// deadlineCheckMask throttles the wall-clock check of an armed budget to
+// one time.Now() call per 1024 charged operations.
+const deadlineCheckMask = 0x3FF
+
+// SetBudget arms a resource budget for the analyses that follow: the
+// manager aborts with a panic(ErrBudget) once it performs more than ops
+// cache-miss operations (ops <= 0 leaves the count unlimited) or passes
+// the deadline (zero time disables the clock). Arming resets the charged
+// operation counter, so callers arm once per unit of work (per fault).
+// Cache-miss operations are a machine-independent proxy for the nodes an
+// analysis builds and visits.
+func (m *Manager) SetBudget(ops int64, deadline time.Time) {
+	m.budgetOps = ops
+	m.deadline = deadline
+	m.ops = 0
+}
+
+// ClearBudget disarms any armed budget.
+func (m *Manager) ClearBudget() { m.SetBudget(0, time.Time{}) }
+
+// OpsCharged reports the cache-miss operations charged since the last
+// SetBudget (or manager creation).
+func (m *Manager) OpsCharged() int64 { return m.ops }
+
+// chargeOp records one cache-miss operation against the armed budget,
+// aborting with panic(ErrBudget) when the budget is blown. It is called
+// only at points where the node store is consistent.
+func (m *Manager) chargeOp() {
+	m.ops++
+	if m.budgetOps > 0 && m.ops > m.budgetOps {
+		panic(ErrBudget)
+	}
+	if m.ops&deadlineCheckMask == 0 && !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		panic(ErrBudget)
+	}
 }
 
 // CacheStats reports the operation-cache hit/miss counters accumulated
@@ -367,6 +421,7 @@ func (m *Manager) not(f Ref) Ref {
 		return e.res
 	}
 	m.stats.NotMisses++
+	m.chargeOp()
 	r := m.mk(m.level[f], m.not(m.low[f]), m.not(m.high[f]))
 	slot = (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
 	m.notC[slot] = notEntry{f: f, res: r}
@@ -438,6 +493,7 @@ func (m *Manager) apply(op opcode, f, g Ref) Ref {
 		return e.res
 	}
 	m.stats.ApplyMisses++
+	m.chargeOp()
 	fl, gl := m.level[f], m.level[g]
 	var level int32
 	var f0, f1, g0, g1 Ref
@@ -490,6 +546,7 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 		return e.res
 	}
 	m.stats.IteMisses++
+	m.chargeOp()
 	level := m.level[f]
 	if l := m.level[g]; l < level {
 		level = l

@@ -22,11 +22,25 @@ package diffprop
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/faults"
 	"repro/internal/netlist"
 )
+
+// FaultBudget bounds the resources a single fault analysis may consume.
+// Ops caps the number of charged BDD operations (cache-miss recursions);
+// Wall caps the wall-clock time. A zero field means unlimited. When a
+// budget is exceeded the analysis panics with bdd.ErrBudget; callers
+// recover at the analysis boundary and must call Engine.Recover before
+// issuing further queries.
+type FaultBudget struct {
+	Ops  int64
+	Wall time.Duration
+}
+
+func (b FaultBudget) active() bool { return b.Ops > 0 || b.Wall > 0 }
 
 // Options configures an Engine.
 type Options struct {
@@ -81,6 +95,9 @@ type Engine struct {
 	// reach is the lazily built fan-out reachability table used to screen
 	// feedback bridges in O(1) per fault instead of re-tracing two cones.
 	reach *faults.Reachability
+
+	// faultBudget bounds each analysis when active (see SetFaultBudget).
+	faultBudget FaultBudget
 
 	// Runtime counters (see Stats).
 	gateEvals  int64
@@ -253,6 +270,7 @@ func (e *Engine) Clone() *Engine {
 		synValid:     append([]bool(nil), e.synValid...),
 		varToInput:   e.varToInput,
 		reach:        e.reach,
+		faultBudget:  e.faultBudget,
 		peakNodes:    m2.NodeCount(),
 	}
 }
@@ -306,6 +324,49 @@ func (e *Engine) Syndrome(net int) float64 {
 		e.synValid[net] = true
 	}
 	return e.syndromes[net]
+}
+
+// SetFaultBudget arms a per-analysis resource budget: every subsequent
+// fault query charges BDD operations against budget.Ops and the clock
+// against budget.Wall, and panics with bdd.ErrBudget when either is
+// exhausted. The zero budget disarms. After recovering from bdd.ErrBudget
+// the caller must invoke Recover before the next query.
+func (e *Engine) SetFaultBudget(budget FaultBudget) { e.faultBudget = budget }
+
+// FaultBudget returns the currently armed per-analysis budget.
+func (e *Engine) FaultBudget() FaultBudget { return e.faultBudget }
+
+// begin opens a fault analysis: compacts the manager if it outgrew the
+// limit, then arms the per-analysis budget (if any) so the whole query —
+// seed construction, propagation, counting — is metered as one unit.
+func (e *Engine) begin() {
+	e.maybeCompact()
+	if !e.faultBudget.active() {
+		return
+	}
+	var deadline time.Time
+	if e.faultBudget.Wall > 0 {
+		deadline = time.Now().Add(e.faultBudget.Wall)
+	}
+	e.m.SetBudget(e.faultBudget.Ops, deadline)
+}
+
+// Recover restores the engine after an aborted analysis (a bdd.ErrBudget
+// panic, or any panic that escaped a fault query): the manager is rebuilt
+// around the good functions, dropping every node the aborted query left
+// behind, and the budget is disarmed until the next query re-arms it. The
+// abort fires only between node-table mutations and the node store is
+// append-only, so the rebuild always starts from a consistent table.
+func (e *Engine) Recover() {
+	if nc := e.m.NodeCount(); nc > e.peakNodes {
+		e.peakNodes = nc
+	}
+	e.m.ClearBudget()
+	e.cacheAccum.Add(e.m.CacheStats())
+	m2, roots := e.m.Rebuild(e.good)
+	e.m = m2
+	e.good = roots
+	e.rebuilds++
 }
 
 // maybeCompact rebuilds the manager around the good functions when the
@@ -478,7 +539,7 @@ func (e *Engine) propagateSeeds(sd seeds) Result {
 // StuckAt computes the complete test set for a single stuck-at fault
 // (net or fan-out-branch site) in the working circuit.
 func (e *Engine) StuckAt(f faults.StuckAt) Result {
-	e.maybeCompact()
+	e.begin()
 	fl := e.good[f.Net]
 	var d bdd.Ref
 	if f.Stuck {
@@ -511,7 +572,7 @@ func (e *Engine) forcedDelta(net int, v bool) bdd.Ref {
 // addressed, and it powers the X5 double-fault experiment in the style of
 // Hughes & McCluskey (the paper's ref [2]).
 func (e *Engine) MultipleStuckAt(fs []faults.StuckAt) Result {
-	e.maybeCompact()
+	e.begin()
 	sd := seeds{forceNet: map[int]bool{}, forcePin: map[pinKey]bool{}}
 	for _, f := range fs {
 		if f.IsBranch() {
@@ -530,7 +591,7 @@ func (e *Engine) MultipleStuckAt(fs []faults.StuckAt) Result {
 // Difference Propagation addresses "more logical fault models than just
 // the single stuck-at fault".
 func (e *Engine) GateSubstitution(gate int, wrongType netlist.GateType) Result {
-	e.maybeCompact()
+	e.begin()
 	g := e.Circuit.Gates[gate]
 	if g.Type == netlist.Input {
 		panic("diffprop: cannot substitute a primary input")
@@ -584,7 +645,7 @@ func (e *Engine) Bridging(b faults.Bridging) Result {
 	if e.FeedbackChecker().IsFeedback(b.U, b.V) {
 		panic(fmt.Sprintf("diffprop: %v is a feedback bridge", b))
 	}
-	e.maybeCompact()
+	e.begin()
 	m := e.m
 	fu, fv := e.good[b.U], e.good[b.V]
 	var du, dv bdd.Ref
@@ -610,7 +671,7 @@ func (e *Engine) Bridging(b faults.Bridging) Result {
 // which FactoredStuckAt exploits and the tests verify against the direct
 // difference propagation.
 func (e *Engine) Observability(net int) bdd.Ref {
-	e.maybeCompact()
+	e.begin()
 	return e.propagate(map[int]bdd.Ref{net: bdd.True}, nil).Complete
 }
 
@@ -618,7 +679,7 @@ func (e *Engine) Observability(net int) bdd.Ref {
 // of vectors under which inverting only that gate input pin is visible at
 // some primary output.
 func (e *Engine) PinObservability(gate, pin int) bdd.Ref {
-	e.maybeCompact()
+	e.begin()
 	return e.propagate(nil, map[pinKey]bdd.Ref{{gate, pin}: bdd.True}).Complete
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/atpg"
@@ -49,6 +50,12 @@ type Config struct {
 	DistanceCircuit string
 	// Workers sets the analysis parallelism (0 = one worker per CPU).
 	Workers int
+	// FaultOps and FaultTimeout bound each fault analysis (zero =
+	// unlimited); faults blowing either budget degrade to random-vector
+	// estimates marked Approximate in the studies (see
+	// analysis.CampaignConfig).
+	FaultOps     int64
+	FaultTimeout time.Duration
 	// Progress, when non-nil, observes every fault-analysis campaign the
 	// runner launches: the circuit being studied plus done/total fault
 	// counts. Callbacks arrive serially per campaign. Used by cmd/figures
@@ -133,7 +140,11 @@ func (r *Runner) Config() Config { return r.cfg }
 // campaignConfig adapts the runner's worker count and progress callback to
 // one named campaign.
 func (r *Runner) campaignConfig(label string) analysis.CampaignConfig {
-	cfg := analysis.CampaignConfig{Workers: r.cfg.Workers}
+	cfg := analysis.CampaignConfig{
+		Workers:      r.cfg.Workers,
+		FaultOps:     r.cfg.FaultOps,
+		FaultTimeout: r.cfg.FaultTimeout,
+	}
 	if p := r.cfg.Progress; p != nil {
 		cfg.Progress = func(done, total int) { p(label, done, total) }
 	}

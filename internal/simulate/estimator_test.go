@@ -1,0 +1,81 @@
+package simulate
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+)
+
+func TestEstimatorMatchesDirectSimulation(t *testing.T) {
+	c := circuits.MustGet("c95s").Decompose2()
+	est := NewEstimator(c, 512, 7)
+	p := Random(len(c.Inputs), 512, 7)
+	for _, f := range faults.CheckpointStuckAts(c)[:20] {
+		want := float64(CountBits(DetectStuckAt(c, f, p))) / 512
+		if got := est.StuckAt(f); got != want {
+			t.Fatalf("%v: estimator %.6f != direct %.6f", f, got, want)
+		}
+	}
+	for _, b := range faults.AllNFBFs(c, faults.WiredAND)[:20] {
+		want := float64(CountBits(DetectBridging(c, b, p))) / 512
+		if got := est.Bridging(b); got != want {
+			t.Fatalf("%v: estimator %.6f != direct %.6f", b, got, want)
+		}
+	}
+}
+
+func TestEstimatorDeterministicAndConcurrent(t *testing.T) {
+	c := circuits.MustGet("c95s").Decompose2()
+	fs := faults.CheckpointStuckAts(c)
+	ref := NewEstimator(c, 256, 1990)
+	want := make([]float64, len(fs))
+	for i, f := range fs {
+		want[i] = ref.StuckAt(f)
+	}
+	// A second estimator with the same parameters, hammered from several
+	// goroutines, must reproduce the reference exactly.
+	est := NewEstimator(c, 256, 1990)
+	if est.Vectors() != 256 {
+		t.Fatalf("Vectors() = %d", est.Vectors())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, f := range fs {
+				if got := est.StuckAt(f); got != want[i] {
+					t.Errorf("%v: %.6f != %.6f", f, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEstimatorFeedbackBridgePanics(t *testing.T) {
+	c := circuits.MustGet("c17").Decompose2()
+	est := NewEstimator(c, 64, 3)
+	reach := faults.NewReachability(c)
+	var fb *faults.Bridging
+	for u := 0; u < c.NumNets() && fb == nil; u++ {
+		for v := u + 1; v < c.NumNets(); v++ {
+			if reach.IsFeedback(u, v) {
+				fb = &faults.Bridging{U: u, V: v, Kind: faults.WiredAND}
+				break
+			}
+		}
+	}
+	if fb == nil {
+		t.Skip("no feedback pair in c17")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("feedback bridge did not panic")
+		}
+	}()
+	est.Bridging(*fb)
+}
