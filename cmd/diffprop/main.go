@@ -12,6 +12,8 @@
 //	diffprop -circuit c1355s -budget 2000000 -timeout 5s   # degrade hard faults
 //	diffprop -circuit c1355s -checkpoint run.jsonl         # persist records
 //	diffprop -circuit c1355s -checkpoint run.jsonl -resume # continue after a crash
+//	diffprop -circuit c1355s -http :6060 -log info         # live /metrics, /progress, pprof
+//	diffprop -circuit c1355s -trace run.trace -traceformat chrome   # per-fault trace events
 //
 // An interrupt (Ctrl-C) cancels the campaign between faults: the partial
 // study is reported, finished records stay in the checkpoint, and a later
@@ -25,14 +27,21 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/circuits"
 	"repro/internal/diffprop"
 	"repro/internal/faults"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+// shutdownObs flushes the trace file and stops the debug server. main exits
+// through os.Exit on several paths, so fatal and finishCampaign call it
+// explicitly; it is idempotent.
+var shutdownObs = func() {}
 
 func main() {
 	var (
@@ -52,12 +61,19 @@ func main() {
 		estVectors = flag.Int("estvectors", 0, "random vectors behind each degraded estimate (0 = default)")
 		ckptPath   = flag.String("checkpoint", "", "persist finished records to this JSONL file as they complete")
 		resume     = flag.Bool("resume", false, "continue from the -checkpoint file, skipping already-persisted faults")
+		httpAddr   = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
+		logLevel   = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
+		logJSON    = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
+		tracePath  = flag.String("trace", "", "stream one trace event per analyzed fault to this file")
+		traceFmt   = flag.String("traceformat", "jsonl", "trace file format: jsonl, chrome (chrome://tracing)")
 	)
 	flag.Parse()
 
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume needs -checkpoint <file>"))
 	}
+
+	o := setupObs("diffprop", *httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt)
 
 	c, err := loadCircuit(*circuit, *bench)
 	if err != nil {
@@ -80,6 +96,7 @@ func main() {
 		FaultOps:        *budget,
 		FaultTimeout:    *timeout,
 		FallbackVectors: *estVectors,
+		Obs:             o,
 	}
 	if *verbose {
 		ccfg.Progress = func(done, total int) {
@@ -118,7 +135,7 @@ func main() {
 			len(study.Records), 100*study.CoverageRate(), study.MeanDetectable(), study.ObservedEqualsFedRate())
 		fmt.Printf("selective trace: %.1f of %d gates evaluated per fault on average\n",
 			study.MeanGatesEvaluated(), w.NumGates())
-		finishCampaign(study.Stats, study.Errors())
+		finishCampaign(study.Stats, study.Errors(), study.DegradedFaults())
 	case "and", "or":
 		kind := faults.WiredAND
 		if strings.ToLower(*model) == "or" {
@@ -141,10 +158,67 @@ func main() {
 		fmt.Printf("faults: %d of %d potentially detectable NFBFs (sampled: %v)\n", len(study.Records), pop, sampled)
 		fmt.Printf("detectable: %.1f%%   mean detectability (detectable): %.4f   stuck-at behavior: %.1f%%\n",
 			100*study.CoverageRate(), study.MeanDetectable(), 100*study.StuckAtProportion())
-		finishCampaign(study.Stats, study.Errors())
+		finishCampaign(study.Stats, study.Errors(), study.DegradedFaults())
 	default:
 		fatal(fmt.Errorf("unknown fault model %q (stuckat, and, or)", *model))
 	}
+}
+
+// setupObs builds the campaign observer from the -http/-log/-logjson/
+// -trace/-traceformat flags and arms shutdownObs. Returns nil — the
+// zero-overhead off state — when no observability flag is set.
+func setupObs(prog, httpAddr, logLevel string, logJSON bool, tracePath, traceFmt string) *obs.Observer {
+	if httpAddr == "" && logLevel == "" && tracePath == "" {
+		return nil
+	}
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	if logLevel != "" {
+		lv, err := obs.ParseLevel(logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		o.Log = obs.NewLogger(os.Stderr, lv, logJSON)
+	}
+	var traceFile *os.File
+	if tracePath != "" {
+		format, err := obs.ParseTraceFormat(traceFmt)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		o.Tracer = obs.NewTracer(f, format)
+	}
+	var srv *obs.Server
+	if httpAddr != "" {
+		o.Metrics.PublishExpvar(prog)
+		s, err := obs.Serve(httpAddr, o)
+		if err != nil {
+			fatal(err)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s (/metrics /progress /debug/pprof)\n", prog, s.Addr())
+	}
+	var once sync.Once
+	shutdownObs = func() {
+		once.Do(func() {
+			if o.Tracer != nil {
+				if err := o.Tracer.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: closing trace: %v\n", prog, err)
+				}
+			}
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			if srv != nil {
+				srv.Close()
+			}
+		})
+	}
+	return o
 }
 
 // truncateFaults applies -max, warning on stderr when it actually drops
@@ -172,6 +246,9 @@ func openCheckpoint(path string, resume bool, hdr analysis.CheckpointHeader, ccf
 		if len(records) > 0 {
 			fmt.Fprintf(os.Stderr, "diffprop: resuming %s: %d of %d faults already analyzed\n", path, len(records), hdr.Faults)
 		}
+		ccfg.Obs.Logger().Info("checkpoint resumed",
+			"path", path, "fingerprint", hdr.Fingerprint,
+			"restored", len(records), "faults", hdr.Faults)
 		ccfg.Checkpoint = cp
 		ccfg.Resume = records
 		return cp
@@ -196,10 +273,21 @@ func closeCheckpoint(cp *analysis.Checkpointer) {
 }
 
 // finishCampaign reports degradation/cancellation on stderr and exits
-// non-zero when any per-fault analysis failed.
-func finishCampaign(stats analysis.CampaignStats, errs []analysis.FaultError) {
+// non-zero when any per-fault analysis failed. The degraded and error
+// lists come pre-sorted by fault index, so this output is deterministic
+// regardless of how the workers interleaved.
+func finishCampaign(stats analysis.CampaignStats, errs []analysis.FaultError, degraded []analysis.DegradedFault) {
+	shutdownObs()
 	if stats.Degraded > 0 {
-		fmt.Fprintf(os.Stderr, "diffprop: %d fault(s) blew the per-fault budget; their detectabilities are random-vector estimates (marked ~)\n", stats.Degraded)
+		fmt.Fprintf(os.Stderr, "diffprop: %d fault(s) blew the per-fault budget; their detectabilities are random-vector estimates (marked ~):\n", stats.Degraded)
+		const maxListed = 20
+		for i, d := range degraded {
+			if i == maxListed {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(degraded)-maxListed)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
 	}
 	if stats.Canceled {
 		fmt.Fprintln(os.Stderr, "diffprop: campaign cancelled; unanalyzed faults are marked skipped")
@@ -339,6 +427,7 @@ func vectorString(e *diffprop.Engine, res diffprop.Result) string {
 }
 
 func fatal(err error) {
+	shutdownObs()
 	fmt.Fprintln(os.Stderr, "diffprop:", err)
 	os.Exit(1)
 }

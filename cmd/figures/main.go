@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -36,6 +37,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
 		budget   = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
 		timeout  = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
+		httpAddr = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
+		logLevel = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
+		logJSON  = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
 	)
 	flag.Parse()
 
@@ -61,6 +65,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.FaultOps = *budget
 	cfg.FaultTimeout = *timeout
+	cfg.Obs = setupObs(*httpAddr, *logLevel, *logJSON)
 	if *verbose {
 		cfg.Progress = func(circuit string, done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%s: %d/%d faults", circuit, done, total)
@@ -128,6 +133,33 @@ func one(r *experiments.Runner, id string) (experiments.Exhibit, error) {
 		return experiments.Exhibit{ID: id, Text: t.Text(), CSV: t.CSV()}, nil
 	}
 	return experiments.Exhibit{}, fmt.Errorf("unknown exhibit %q (table1, fig1..fig8, x1..x12, summary, all)", id)
+}
+
+// setupObs builds the observer shared by every campaign the runner
+// launches. Returns nil (the zero-overhead off state) when no
+// observability flag is set. The debug server lives for the whole run;
+// the process exit tears it down.
+func setupObs(httpAddr, logLevel string, logJSON bool) *obs.Observer {
+	if httpAddr == "" && logLevel == "" {
+		return nil
+	}
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	if logLevel != "" {
+		lv, err := obs.ParseLevel(logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		o.Log = obs.NewLogger(os.Stderr, lv, logJSON)
+	}
+	if httpAddr != "" {
+		o.Metrics.PublishExpvar("figures")
+		s, err := obs.Serve(httpAddr, o)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "figures: debug server on http://%s (/metrics /progress /debug/pprof)\n", s.Addr())
+	}
+	return o
 }
 
 func fatal(err error) {

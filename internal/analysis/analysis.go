@@ -308,6 +308,46 @@ func (s BridgingStudy) Errors() []FaultError {
 	return out
 }
 
+// DegradedFault summarizes one fault whose exact analysis blew its budget
+// and was re-scored by simulation.
+type DegradedFault struct {
+	Index int
+	Fault string
+	// Detectability is the simulation estimate over Vectors patterns.
+	Detectability float64
+	Vectors       int
+}
+
+func (d DegradedFault) String() string {
+	return fmt.Sprintf("fault %d (%s): estimated detectability %.6f over %d vectors",
+		d.Index, d.Fault, d.Detectability, d.Vectors)
+}
+
+// DegradedFaults lists the budget-degraded faults sorted by fault index.
+// Records are index-aligned by construction, so the order is deterministic
+// regardless of how the work-stealing workers interleaved.
+func (s StuckAtStudy) DegradedFaults() []DegradedFault {
+	var out []DegradedFault
+	for i, r := range s.Records {
+		if r.Approximate {
+			out = append(out, DegradedFault{Index: i, Fault: r.Fault.String(), Detectability: r.Detectability, Vectors: r.EstimateVectors})
+		}
+	}
+	return out
+}
+
+// DegradedFaults lists the budget-degraded bridging faults sorted by
+// fault index (see StuckAtStudy.DegradedFaults).
+func (s BridgingStudy) DegradedFaults() []DegradedFault {
+	var out []DegradedFault
+	for i, r := range s.Records {
+		if r.Approximate {
+			out = append(out, DegradedFault{Index: i, Fault: r.Fault.String(), Detectability: r.Detectability, Vectors: r.EstimateVectors})
+		}
+	}
+	return out
+}
+
 // Detectabilities extracts the detectability of every fault in the study.
 func (s StuckAtStudy) Detectabilities() []float64 {
 	out := make([]float64, len(s.Records))

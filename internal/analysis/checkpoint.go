@@ -18,11 +18,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // CheckpointVersion is the schema version written to (and required from)
@@ -94,9 +96,28 @@ type Checkpointer struct {
 	// package, 0 disables periodic fsync — Close still syncs).
 	FsyncEvery int
 
+	// Log, Appends and Fsyncs are optional observability hooks, wired by
+	// Instrument (or by hand) before the campaign starts. All nil-safe.
+	Log     *slog.Logger
+	Appends *obs.Counter
+	Fsyncs  *obs.Counter
+
 	mu       sync.Mutex
 	f        *os.File
 	appended int
+}
+
+// Instrument wires the checkpointer into an observer: checkpoint I/O
+// counters and a structured logger. Safe to call more than once; a nil
+// observer is a no-op.
+func (cp *Checkpointer) Instrument(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	cm := o.CampaignMetrics()
+	cp.Appends = cm.CheckpointAppends
+	cp.Fsyncs = cm.CheckpointFsyncs
+	cp.Log = o.Log
 }
 
 // CreateCheckpoint starts a fresh checkpoint file (truncating any existing
@@ -138,9 +159,14 @@ func (cp *Checkpointer) Append(index int, record any) error {
 		return fmt.Errorf("analysis: append checkpoint record %d: %w", index, err)
 	}
 	cp.appended++
+	cp.Appends.Inc()
 	if cp.FsyncEvery > 0 && cp.appended%cp.FsyncEvery == 0 {
 		if err := cp.f.Sync(); err != nil {
 			return fmt.Errorf("analysis: sync checkpoint: %w", err)
+		}
+		cp.Fsyncs.Inc()
+		if cp.Log != nil {
+			cp.Log.Debug("checkpoint fsync", "appended", cp.appended)
 		}
 	}
 	return nil
@@ -159,6 +185,7 @@ func (cp *Checkpointer) Close() error {
 		f.Close()
 		return fmt.Errorf("analysis: sync checkpoint: %w", err)
 	}
+	cp.Fsyncs.Inc()
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("analysis: close checkpoint: %w", err)
 	}

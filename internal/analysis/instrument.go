@@ -1,0 +1,183 @@
+// Observability wiring for the campaign runners.
+//
+// A campaignInstr translates runner events (worker lifecycle, per-fault
+// completions, campaign finish) into the obs layer: heartbeat updates,
+// metric increments, structured log records, and trace spans. A nil
+// *campaignInstr — the default when CampaignConfig.Obs is unset — makes
+// every hook return immediately without reading the clock or allocating,
+// so the per-fault hot path is untouched when observability is off (a
+// test pins it at zero allocations).
+package analysis
+
+import (
+	"log/slog"
+	"time"
+
+	"repro/internal/diffprop"
+	"repro/internal/obs"
+)
+
+// campaignInstr carries the observability handles of one campaign run.
+type campaignInstr struct {
+	o         *obs.Observer
+	camp      *obs.Campaign
+	cm        *obs.CampaignMetrics
+	log       *slog.Logger
+	faultName func(i int) string
+}
+
+// newCampaignInstr builds the instrumentation for one campaign, or nil
+// when observability is off. name labels the heartbeat and log records
+// (cfg.Name overrides); faultName renders fault i for logs and traces.
+func newCampaignInstr(cfg CampaignConfig, name string, total int, faultName func(i int) string) *campaignInstr {
+	if cfg.Obs == nil {
+		return nil
+	}
+	if cfg.Name != "" {
+		name = cfg.Name
+	}
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.Instrument(cfg.Obs)
+	}
+	return &campaignInstr{
+		o:         cfg.Obs,
+		camp:      cfg.Obs.StartCampaign(name, total),
+		cm:        cfg.Obs.CampaignMetrics(),
+		log:       cfg.Obs.Logger().With("campaign", name),
+		faultName: faultName,
+	}
+}
+
+// setup arms per-engine observability before workers start: a structured
+// logger per worker engine and phase timing when the tracer wants span
+// breakdowns.
+func (in *campaignInstr) setup(engines []*diffprop.Engine) {
+	if in == nil {
+		return
+	}
+	trace := in.o.Tracer.Enabled()
+	for w, e := range engines {
+		if in.o.Log != nil {
+			e.SetLogger(in.o.Log.With("worker", w))
+		}
+		if trace {
+			e.EnablePhaseTiming(true)
+		}
+	}
+}
+
+// resumed records n checkpoint-restored faults.
+func (in *campaignInstr) resumed(n int) {
+	if in == nil || n == 0 {
+		return
+	}
+	in.camp.AddResumed(n)
+	in.cm.FaultsDone.Add(int64(n))
+	in.cm.FaultsResumed.Add(int64(n))
+	in.log.Info("checkpoint resume", "records", n)
+}
+
+func (in *campaignInstr) workerStart(w int) {
+	if in == nil {
+		return
+	}
+	in.log.Debug("worker start", "worker", w)
+}
+
+// workerClaim records one work-stealing block claim.
+func (in *campaignInstr) workerClaim(w, lo, size int) {
+	if in == nil {
+		return
+	}
+	in.log.Debug("worker claim", "worker", w, "lo", lo, "size", size)
+}
+
+func (in *campaignInstr) workerDrain(w int) {
+	if in == nil {
+		return
+	}
+	in.log.Debug("worker drain", "worker", w)
+}
+
+// faultStart opens one fault's latency measurement. The zero time (and no
+// clock read) when instrumentation is off.
+func (in *campaignInstr) faultStart() time.Time {
+	if in == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// faultDone records one finished fault: heartbeat, outcome counters,
+// latency histogram, live node gauge, budget-blowout log, trace span.
+// Called from the worker that owns e, so reading the engine is safe.
+func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome faultOutcome, start time.Time) {
+	if in == nil {
+		return
+	}
+	dur := time.Since(start)
+	oc := obs.OutcomeExact
+	switch outcome {
+	case outcomeDegraded:
+		oc = obs.OutcomeApproximate
+	case outcomeErrored:
+		oc = obs.OutcomeError
+	}
+	in.camp.FaultDone(oc)
+	in.cm.FaultsDone.Inc()
+	switch oc {
+	case obs.OutcomeApproximate:
+		in.cm.FaultsDegraded.Inc()
+	case obs.OutcomeError:
+		in.cm.FaultsErrored.Inc()
+	default:
+		in.cm.FaultsExact.Inc()
+	}
+	in.cm.FaultLatency.Observe(dur.Seconds())
+	in.cm.BDDNodes.Set(int64(e.Manager().NodeCount()))
+	switch outcome {
+	case outcomeDegraded:
+		in.log.Warn("fault budget blown, degraded to simulation estimate",
+			"index", i, "fault", in.faultName(i), "ops_charged", e.LastAbortOps(), "elapsed", dur)
+	case outcomeErrored:
+		in.log.Warn("fault analysis panicked, recorded as per-fault error",
+			"index", i, "fault", in.faultName(i), "elapsed", dur)
+	}
+	if t := in.o.Tracer; t.Enabled() {
+		ph := e.LastPhases()
+		t.Emit(obs.FaultSpan{ //nolint:errcheck // tracing is best-effort
+			Index:     i,
+			Fault:     in.faultName(i),
+			Worker:    worker,
+			Outcome:   oc.String(),
+			Start:     start,
+			Dur:       dur,
+			Build:     ph.Build,
+			Propagate: ph.Propagate,
+			SatCount:  ph.SatCount,
+		})
+	}
+}
+
+// finish seals the heartbeat and folds the campaign totals into the
+// registry-level metrics.
+func (in *campaignInstr) finish(stats CampaignStats) {
+	if in == nil {
+		return
+	}
+	in.camp.Finish(stats.Canceled)
+	in.cm.CampaignsRunning.Add(-1)
+	in.cm.GateEvaluations.Add(stats.GateEvaluations)
+	in.cm.BDDRebuilds.Add(int64(stats.Rebuilds))
+	in.cm.BDDPeakNodes.SetMax(int64(stats.PeakNodes))
+	in.cm.CacheHits.Add(stats.Cache.ApplyHits + stats.Cache.IteHits + stats.Cache.NotHits)
+	in.cm.CacheMisses.Add(stats.Cache.ApplyMisses + stats.Cache.IteMisses + stats.Cache.NotMisses)
+	snap := in.camp.Snapshot()
+	in.cm.FaultsSkipped.Add(snap.Skipped)
+	in.log.Info("campaign finished",
+		"faults", stats.Faults, "degraded", stats.Degraded, "errored", stats.Errored,
+		"resumed", stats.Resumed, "skipped", snap.Skipped, "canceled", stats.Canceled,
+		"elapsed", stats.Elapsed, "gate_evals", stats.GateEvaluations,
+		"rebuilds", stats.Rebuilds, "peak_nodes", stats.PeakNodes,
+		"cache_hit_rate", stats.Cache.HitRate())
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/diffprop"
 	"repro/internal/faults"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Workers picks a worker count: n if positive, otherwise one per CPU.
@@ -76,6 +77,15 @@ type CampaignConfig struct {
 	// (from LoadCheckpoint/ResumeCheckpoint); those indices are decoded
 	// instead of re-analyzed and counted in CampaignStats.Resumed.
 	Resume map[int]json.RawMessage
+	// Obs, when non-nil, attaches the observability layer: a live
+	// /progress heartbeat, per-fault latency and outcome metrics,
+	// structured worker logs, and (when Obs.Tracer is set) one trace span
+	// per fault. Nil — the default — keeps the per-fault hot path free of
+	// clock reads and allocations.
+	Obs *obs.Observer
+	// Name labels the campaign in heartbeats and logs. Empty selects a
+	// default derived from the fault model and circuit name.
+	Name string
 }
 
 // budget extracts the per-fault resource budget.
@@ -148,14 +158,30 @@ func (s CampaignStats) String() string {
 	return out
 }
 
-// add folds one worker engine's counters into the campaign totals.
-func (s *CampaignStats) add(es diffprop.Stats) {
-	s.GateEvaluations += es.GateEvaluations
-	s.Rebuilds += es.Rebuilds
-	if es.PeakNodes > s.PeakNodes {
-		s.PeakNodes = es.PeakNodes
+// EngineStats views the engine-level portion of the campaign totals as a
+// diffprop.Stats — the type whose Merge method defines the one aggregation
+// rule for combining per-engine counters (sum the additive counters, max
+// the PeakNodes high-water mark, accumulate the cache stats). Analyses is
+// left zero: CampaignStats.Faults counts faults, not engine propagations
+// (one fault may run several).
+func (s *CampaignStats) EngineStats() diffprop.Stats {
+	return diffprop.Stats{
+		GateEvaluations: s.GateEvaluations,
+		Rebuilds:        s.Rebuilds,
+		PeakNodes:       s.PeakNodes,
+		Cache:           s.Cache,
 	}
-	s.Cache.Add(es.Cache)
+}
+
+// add folds one worker engine's counters into the campaign totals via the
+// shared diffprop.Stats.Merge rule.
+func (s *CampaignStats) add(es diffprop.Stats) {
+	agg := s.EngineStats()
+	agg.Merge(es)
+	s.GateEvaluations = agg.GateEvaluations
+	s.Rebuilds = agg.Rebuilds
+	s.PeakNodes = agg.PeakNodes
+	s.Cache = agg.Cache
 }
 
 // prepareEngines builds the prototype engine, runs prep on it (nil for
@@ -207,9 +233,10 @@ func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, pre
 // inside a claimed block — and drain out promptly, leaving the remaining
 // indices untouched. A persistence error likewise stops the campaign; the
 // first one is returned.
-func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, analyze func(e *diffprop.Engine, i int) (faultOutcome, error)) (CampaignStats, error) {
+func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, instr *campaignInstr, analyze func(e *diffprop.Engine, i int) (faultOutcome, error)) (CampaignStats, error) {
 	start := time.Now()
 	ctx := cfg.ctx()
+	instr.setup(engines)
 	var (
 		next atomic.Int64
 		stop atomic.Bool
@@ -229,14 +256,17 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 		}
 	}
 	done = resumed
+	instr.resumed(resumed)
 	if cfg.Progress != nil && resumed > 0 {
 		cfg.Progress(done, total)
 	}
 	halted := func() bool { return stop.Load() || ctx.Err() != nil }
-	for _, e := range engines {
+	for w, e := range engines {
 		wg.Add(1)
-		go func(e *diffprop.Engine) {
+		go func(w int, e *diffprop.Engine) {
 			defer wg.Done()
+			defer instr.workerDrain(w)
+			instr.workerStart(w)
 			for {
 				if halted() {
 					return
@@ -256,6 +286,7 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 				if hi > total {
 					hi = total
 				}
+				instr.workerClaim(w, lo, hi-lo)
 				for i := lo; i < hi; i++ {
 					if skip != nil && skip[i] {
 						continue
@@ -263,7 +294,9 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 					if halted() {
 						return
 					}
+					t0 := instr.faultStart()
 					outcome, err := analyze(e, i)
+					instr.faultDone(e, w, i, outcome, t0)
 					mu.Lock()
 					done++
 					analyzed++
@@ -285,7 +318,7 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 					mu.Unlock()
 				}
 			}
-		}(e)
+		}(w, e)
 	}
 	wg.Wait()
 	stats := CampaignStats{
@@ -300,6 +333,7 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 	for _, e := range engines {
 		stats.add(e.Stats())
 	}
+	instr.finish(stats)
 	return stats, firstErr
 }
 
@@ -355,8 +389,14 @@ func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.
 		return StuckAtStudy{}, err
 	}
 	fb := newFallback(cfg.FallbackVectors, cfg.FallbackSeed)
+	if cfg.Obs != nil {
+		fb.log = cfg.Obs.Log
+	}
+	instr := newCampaignInstr(cfg, "stuckat "+work.Name, len(fs), func(i int) string {
+		return fs[i].Describe(work)
+	})
 	analyzed := make([]bool, len(fs))
-	stats, runErr := runCampaign(engines, len(fs), cfg, skip, func(e *diffprop.Engine, i int) (faultOutcome, error) {
+	stats, runErr := runCampaign(engines, len(fs), cfg, skip, instr, func(e *diffprop.Engine, i int) (faultOutcome, error) {
 		rec, outcome := analyzeStuckAt(e, fs[i], toPO, levels, fb)
 		records[i] = rec
 		analyzed[i] = true
@@ -417,8 +457,14 @@ func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults
 		return BridgingStudy{}, err
 	}
 	fb := newFallback(cfg.FallbackVectors, cfg.FallbackSeed)
+	if cfg.Obs != nil {
+		fb.log = cfg.Obs.Log
+	}
+	instr := newCampaignInstr(cfg, "bridging "+work.Name, len(bs), func(i int) string {
+		return bs[i].Describe(work)
+	})
 	analyzed := make([]bool, len(bs))
-	stats, runErr := runCampaign(engines, len(bs), cfg, skip, func(e *diffprop.Engine, i int) (faultOutcome, error) {
+	stats, runErr := runCampaign(engines, len(bs), cfg, skip, instr, func(e *diffprop.Engine, i int) (faultOutcome, error) {
 		rec, outcome := analyzeBridging(e, bs[i], toPO, fb)
 		records[i] = rec
 		analyzed[i] = true

@@ -15,6 +15,7 @@ package analysis
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"repro/internal/bdd"
@@ -45,8 +46,11 @@ const (
 type fallback struct {
 	vectors int
 	seed    int64
-	once    sync.Once
-	est     *simulate.Estimator
+	// log, when set before first use, is attached to the estimator inside
+	// once.Do so the write happens before any concurrent estimate.
+	log  *slog.Logger
+	once sync.Once
+	est  *simulate.Estimator
 }
 
 // newFallback applies the package defaults to zero parameters.
@@ -63,6 +67,10 @@ func newFallback(vectors int, seed int64) *fallback {
 func (fb *fallback) get(e *diffprop.Engine) *simulate.Estimator {
 	fb.once.Do(func() {
 		fb.est = simulate.NewEstimator(e.Circuit, fb.vectors, fb.seed)
+		if fb.log != nil {
+			fb.est.SetLogger(fb.log)
+			fb.log.Info("fallback estimator built", "vectors", fb.vectors, "seed", fb.seed)
+		}
 	})
 	return fb.est
 }

@@ -18,6 +18,7 @@ package bdd
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"sort"
 	"time"
@@ -136,8 +137,15 @@ type Manager struct {
 	budgetOps int64
 	deadline  time.Time
 
+	// log receives structured manager events (table growth); nil = silent.
+	log *slog.Logger
+
 	satC map[Ref]*big.Int
 }
+
+// SetLogger attaches a structured logger for manager events (unique-table
+// growth). A nil logger silences them (the default).
+func (m *Manager) SetLogger(log *slog.Logger) { m.log = log }
 
 // deadlineCheckMask throttles the wall-clock check of an armed budget to
 // one time.Now() call per 1024 charged operations.
@@ -351,6 +359,9 @@ func (m *Manager) grow() {
 	if m.cacheBits < maxCacheBits {
 		// Growing the caches drops their contents, which is harmless.
 		m.setCacheBits(m.cacheBits + 1)
+	}
+	if m.log != nil {
+		m.log.Debug("bdd table grow", "nodes", len(m.level), "buckets", len(m.buckets))
 	}
 }
 

@@ -22,6 +22,7 @@ package diffprop
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/bdd"
@@ -99,12 +100,51 @@ type Engine struct {
 	// faultBudget bounds each analysis when active (see SetFaultBudget).
 	faultBudget FaultBudget
 
+	// log receives structured engine events (rebuilds, budget aborts);
+	// nil is silent. Not shared with clones.
+	log *slog.Logger
+
+	// phaseClock, when set, timestamps the three phases of each analysis
+	// (difference build, propagation, satisfying-set count) into
+	// lastPhases. Off by default: it adds time.Now calls to the hot path.
+	phaseClock bool
+	phaseStart time.Time
+	lastPhases PhaseTimes
+
+	// lastAbortOps records the BDD operations the most recent aborted
+	// analysis had charged when its budget fired (captured by Recover).
+	lastAbortOps int64
+
 	// Runtime counters (see Stats).
 	gateEvals  int64
 	analyses   int
 	peakNodes  int
 	cacheAccum bdd.CacheStats // cache stats of managers retired by compaction
 }
+
+// PhaseTimes breaks one fault analysis into the engine's phases:
+// difference-function construction, selective-trace propagation, and the
+// satisfying-set count that yields the detectability.
+type PhaseTimes struct {
+	Build, Propagate, SatCount time.Duration
+}
+
+// SetLogger attaches a structured logger for engine events (generational
+// rebuilds, budget aborts). A nil logger silences them (the default).
+func (e *Engine) SetLogger(log *slog.Logger) { e.log = log }
+
+// EnablePhaseTiming toggles per-analysis phase timestamps (see
+// LastPhases). Off by default because it adds clock reads to every fault.
+func (e *Engine) EnablePhaseTiming(on bool) { e.phaseClock = on }
+
+// LastPhases returns the phase breakdown of the most recent analysis.
+// Zero unless EnablePhaseTiming(true) was called; partially filled when
+// the analysis aborted mid-phase.
+func (e *Engine) LastPhases() PhaseTimes { return e.lastPhases }
+
+// LastAbortOps reports how many BDD operations the most recently aborted
+// analysis had charged when its budget fired (captured by Recover).
+func (e *Engine) LastAbortOps() int64 { return e.lastAbortOps }
 
 // Stats is a snapshot of an engine's runtime counters: how much work the
 // per-fault analyses actually did, how the BDD substrate behaved, and how
@@ -123,6 +163,21 @@ type Stats struct {
 	// Cache aggregates apply/ite/not cache hits and misses, including
 	// managers retired by compaction.
 	Cache bdd.CacheStats
+}
+
+// Merge folds another engine's counters into s: additive counters sum,
+// PeakNodes takes the maximum (it is a high-water mark, not a total), and
+// the cache stats accumulate. This is THE aggregation rule for combining
+// per-engine stats — campaign-level aggregation must use it so parallel
+// totals equal the sum of their parts.
+func (s *Stats) Merge(other Stats) {
+	s.Analyses += other.Analyses
+	s.GateEvaluations += other.GateEvaluations
+	s.Rebuilds += other.Rebuilds
+	if other.PeakNodes > s.PeakNodes {
+		s.PeakNodes = other.PeakNodes
+	}
+	s.Cache.Add(other.Cache)
 }
 
 // Stats returns the engine's runtime counters accumulated so far.
@@ -341,6 +396,10 @@ func (e *Engine) FaultBudget() FaultBudget { return e.faultBudget }
 // seed construction, propagation, counting — is metered as one unit.
 func (e *Engine) begin() {
 	e.maybeCompact()
+	if e.phaseClock {
+		e.phaseStart = time.Now()
+		e.lastPhases = PhaseTimes{}
+	}
 	if !e.faultBudget.active() {
 		return
 	}
@@ -358,30 +417,42 @@ func (e *Engine) begin() {
 // abort fires only between node-table mutations and the node store is
 // append-only, so the rebuild always starts from a consistent table.
 func (e *Engine) Recover() {
-	if nc := e.m.NodeCount(); nc > e.peakNodes {
-		e.peakNodes = nc
-	}
+	// OpsCharged must be read before ClearBudget resets the meter.
+	e.lastAbortOps = e.m.OpsCharged()
 	e.m.ClearBudget()
-	e.cacheAccum.Add(e.m.CacheStats())
-	m2, roots := e.m.Rebuild(e.good)
-	e.m = m2
-	e.good = roots
-	e.rebuilds++
+	if e.log != nil {
+		e.log.Debug("engine recover", "ops_charged", e.lastAbortOps, "nodes", e.m.NodeCount())
+	}
+	e.compact("recover")
 }
 
 // maybeCompact rebuilds the manager around the good functions when the
 // node table has grown past the limit, dropping all per-fault garbage.
 func (e *Engine) maybeCompact() {
-	if nc := e.m.NodeCount(); nc <= e.rebuildLimit {
+	if e.m.NodeCount() <= e.rebuildLimit {
 		return
-	} else if nc > e.peakNodes {
-		e.peakNodes = nc
+	}
+	e.compact("limit")
+}
+
+// compact rebuilds the manager around the good functions, retiring the
+// old manager's cache stats and node high-water mark into the engine's
+// accumulators. Shared by Recover (after an aborted analysis) and
+// maybeCompact (node-table growth).
+func (e *Engine) compact(cause string) {
+	before := e.m.NodeCount()
+	if before > e.peakNodes {
+		e.peakNodes = before
 	}
 	e.cacheAccum.Add(e.m.CacheStats())
 	m2, roots := e.m.Rebuild(e.good)
 	e.m = m2
 	e.good = roots
 	e.rebuilds++
+	if e.log != nil {
+		e.log.Debug("bdd rebuild", "cause", cause, "nodes_before", before,
+			"nodes_after", e.m.NodeCount(), "rebuilds", e.rebuilds)
+	}
 }
 
 // Result is the outcome of one fault analysis: the complete test set and
@@ -430,6 +501,12 @@ func (e *Engine) propagate(netSeeds map[int]bdd.Ref, pinSeeds map[pinKey]bdd.Ref
 }
 
 func (e *Engine) propagateSeeds(sd seeds) Result {
+	var clk time.Time
+	if e.phaseClock {
+		clk = time.Now()
+		// Everything between begin() and here built the difference seeds.
+		e.lastPhases.Build = clk.Sub(e.phaseStart)
+	}
 	m := e.m
 	c := e.Circuit
 	delta := make(map[int]bdd.Ref, 64)
@@ -527,7 +604,15 @@ func (e *Engine) propagateSeeds(sd seeds) Result {
 			res.Complete = m.Or(res.Complete, d)
 		}
 	}
+	if e.phaseClock {
+		now := time.Now()
+		e.lastPhases.Propagate = now.Sub(clk)
+		clk = now
+	}
 	res.Detectability = m.SatFrac(res.Complete)
+	if e.phaseClock {
+		e.lastPhases.SatCount = time.Since(clk)
+	}
 	e.analyses++
 	e.gateEvals += int64(evaluated)
 	if nc := m.NodeCount(); nc > e.peakNodes {

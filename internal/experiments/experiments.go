@@ -17,6 +17,7 @@ import (
 	"repro/internal/diffprop"
 	"repro/internal/faults"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scoap"
 	"repro/internal/simulate"
@@ -61,6 +62,11 @@ type Config struct {
 	// counts. Callbacks arrive serially per campaign. Used by cmd/figures
 	// -v to stream progress to stderr.
 	Progress func(circuit string, done, total int)
+	// Obs, when non-nil, attaches the observability layer to every
+	// campaign the runner launches: live /progress heartbeats, metrics,
+	// structured logs, and per-fault traces (see
+	// analysis.CampaignConfig.Obs).
+	Obs *obs.Observer
 }
 
 // DefaultConfig reproduces the paper's choices.
@@ -144,6 +150,8 @@ func (r *Runner) campaignConfig(label string) analysis.CampaignConfig {
 		Workers:      r.cfg.Workers,
 		FaultOps:     r.cfg.FaultOps,
 		FaultTimeout: r.cfg.FaultTimeout,
+		Obs:          r.cfg.Obs,
+		Name:         label,
 	}
 	if p := r.cfg.Progress; p != nil {
 		cfg.Progress = func(done, total int) { p(label, done, total) }

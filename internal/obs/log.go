@@ -1,0 +1,51 @@
+// Structured-logging helpers: a no-op logger for the disabled path and a
+// small constructor for the -log command-line flags.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// nopHandler rejects every record before it is built, so a Nop logger
+// costs one interface call per log site and never allocates.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nopLogger = slog.New(nopHandler{})
+
+// Nop returns a logger that discards everything (shared instance; safe
+// for concurrent use).
+func Nop() *slog.Logger { return nopLogger }
+
+// ParseLevel maps a -log flag value to a slog level. The empty string is
+// rejected — callers treat it as "logging off" before getting here.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger builds a structured logger writing to w at the given level,
+// as logfmt-style text or JSON.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

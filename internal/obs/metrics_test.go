@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeHistogramConcurrency hammers every metric type from many
+// goroutines; run under -race (the CI obs job does) this doubles as the
+// data-race check, and the final totals prove no increment was lost.
+func TestCounterGaugeHistogramConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	g := r.Gauge("g", "test gauge")
+	h := r.Histogram("h_seconds", "test histogram", 0.001, 0.01, 0.1, 1)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(0.005)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per-1 {
+		t.Fatalf("gauge max = %d, want %d", g.Value(), workers*per-1)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Counts[1] != workers*per {
+		t.Fatalf("0.005 observations landed in buckets %v, want all in le=0.01", s.Counts)
+	}
+	if math.Abs(s.Sum-workers*per*0.005) > 1e-6 {
+		t.Fatalf("histogram sum = %f, want %f", s.Sum, workers*per*0.005)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1} // le=1: {0.5, 1}; le=2: {1.5}; le=4: {3}; +Inf: {100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+		}
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faults_done_total", "done").Add(7)
+	r.Gauge("nodes", "nodes").Set(42)
+	r.GaugeFunc("ratio", "ratio", func() float64 { return 0.5 })
+	h := r.Histogram("lat_seconds", "latency", 1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE faults_done_total counter",
+		"faults_done_total 7",
+		"# TYPE nodes gauge",
+		"nodes 42",
+		"ratio 0.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="10"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 55.5",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryIdempotent pins that re-registering a name returns the same
+// metric: two packages asking for the same counter share it.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registration built a second counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter lost an increment")
+	}
+}
+
+// TestNilSafety drives every metric operation through nil receivers — the
+// default-off path of instrumented code.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Counter("a", "") != nil || r.Gauge("b", "") != nil || r.Histogram("c", "") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.GaugeFunc("d", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// TestNilMetricsAllocFree pins the disabled metric path at zero
+// allocations — the same guarantee the analysis hot loop relies on.
+func TestNilMetricsAllocFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.SetMax(9)
+		h.Observe(1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil metric ops allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestPublishExpvarRebind(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("a_total", "a").Add(1)
+	r1.PublishExpvar("obs_test_registry")
+	// Publishing the same name again must rebind, not panic.
+	r2 := NewRegistry()
+	r2.Counter("a_total", "a").Add(2)
+	r2.PublishExpvar("obs_test_registry")
+	if got := r2.Snapshot()["a_total"]; got != int64(2) {
+		t.Fatalf("snapshot a_total = %v, want 2", got)
+	}
+}

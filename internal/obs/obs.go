@@ -1,0 +1,288 @@
+// Package obs is the repository's unified observability layer: a
+// zero-dependency (standard library only) metrics registry, structured
+// logging helpers, a per-fault event tracer, live campaign heartbeats, and
+// a debug HTTP server tying them together.
+//
+// Everything here is default-off and nil-safe. A nil *Observer, *Campaign,
+// *Tracer, *Counter, *Gauge or *Histogram accepts every method call as a
+// no-op, so instrumented code never branches into allocation or
+// synchronization when observability is disabled — the serial==parallel
+// bit-identical guarantees of the analysis layer and its hot-path
+// benchmarks are untouched (a CI guard pins the disabled per-fault path at
+// zero allocations).
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome classifies how one fault's record was produced, mirroring the
+// analysis layer's exact / degraded / errored trichotomy.
+type Outcome int
+
+const (
+	// OutcomeExact marks a fault whose analysis completed exactly.
+	OutcomeExact Outcome = iota
+	// OutcomeApproximate marks a fault that blew its resource budget and
+	// degraded to a random-vector simulation estimate.
+	OutcomeApproximate
+	// OutcomeError marks a fault whose analysis panicked.
+	OutcomeError
+)
+
+// String returns the outcome's wire label (used in trace events).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeExact:
+		return "exact"
+	case OutcomeApproximate:
+		return "approximate"
+	default:
+		return "error"
+	}
+}
+
+// Observer is the umbrella handle threaded through campaign runners: an
+// optional structured logger, an optional metrics registry, an optional
+// per-fault tracer, and the set of live campaign heartbeats served at
+// /progress. The zero value (and nil) disable everything.
+type Observer struct {
+	// Log receives structured events (nil = silent; use Logger for a
+	// never-nil view).
+	Log *slog.Logger
+	// Metrics, when non-nil, accumulates counters/gauges/histograms for
+	// the /metrics and /debug/vars endpoints.
+	Metrics *Registry
+	// Tracer, when non-nil, streams one span event per analyzed fault.
+	Tracer *Tracer
+
+	mu        sync.Mutex
+	campaigns []*Campaign
+	cm        *CampaignMetrics
+}
+
+// Logger returns the observer's logger, or a no-op logger when the
+// observer (or its Log field) is nil. The result is never nil.
+func (o *Observer) Logger() *slog.Logger {
+	if o == nil || o.Log == nil {
+		return Nop()
+	}
+	return o.Log
+}
+
+// StartCampaign registers a new live campaign heartbeat. A nil observer
+// returns a nil (no-op) campaign.
+func (o *Observer) StartCampaign(name string, total int) *Campaign {
+	if o == nil {
+		return nil
+	}
+	c := &Campaign{name: name, total: int64(total), start: time.Now()}
+	o.mu.Lock()
+	o.campaigns = append(o.campaigns, c)
+	o.mu.Unlock()
+	if o.Metrics != nil {
+		o.CampaignMetrics().CampaignsRunning.Add(1)
+	}
+	return c
+}
+
+// Campaigns lists every campaign started under this observer, in start
+// order (nil-safe).
+func (o *Observer) Campaigns() []*Campaign {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Campaign(nil), o.campaigns...)
+}
+
+// ProgressSnapshot is the JSON body of the /progress heartbeat endpoint.
+type ProgressSnapshot struct {
+	Campaigns []CampaignSnapshot `json:"campaigns"`
+}
+
+// Progress snapshots every campaign (nil-safe).
+func (o *Observer) Progress() ProgressSnapshot {
+	snap := ProgressSnapshot{Campaigns: []CampaignSnapshot{}}
+	for _, c := range o.Campaigns() {
+		snap.Campaigns = append(snap.Campaigns, c.Snapshot())
+	}
+	return snap
+}
+
+// CampaignMetrics is the standard metric set of the campaign runners,
+// registered once per observer under stable Prometheus names. All fields
+// are nil (no-op) when the observer has no registry.
+type CampaignMetrics struct {
+	// campaign_faults_done_total etc.: per-fault outcome counters.
+	FaultsDone, FaultsExact, FaultsDegraded, FaultsErrored, FaultsResumed, FaultsSkipped *Counter
+	// campaign_fault_latency_seconds: per-fault wall-clock latency.
+	FaultLatency *Histogram
+	// campaign_gate_evaluations_total: selective-trace work actually done.
+	GateEvaluations *Counter
+	// campaigns_running: currently active campaign count.
+	CampaignsRunning *Gauge
+	// bdd_nodes / bdd_peak_nodes: live and high-water node-table sizes.
+	BDDNodes, BDDPeakNodes *Gauge
+	// bdd_rebuilds_total: generational GC passes over all engines.
+	BDDRebuilds *Counter
+	// bdd_cache_hits_total / bdd_cache_misses_total: operation caches.
+	CacheHits, CacheMisses *Counter
+	// checkpoint_appends_total / checkpoint_fsyncs_total: persistence I/O.
+	CheckpointAppends, CheckpointFsyncs *Counter
+}
+
+// CampaignMetrics lazily registers (once) and returns the standard
+// campaign metric set. A nil observer — or one without a registry —
+// returns a *CampaignMetrics whose fields are all nil and therefore
+// no-ops.
+func (o *Observer) CampaignMetrics() *CampaignMetrics {
+	if o == nil || o.Metrics == nil {
+		return &CampaignMetrics{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.cm != nil {
+		return o.cm
+	}
+	r := o.Metrics
+	cm := &CampaignMetrics{
+		FaultsDone:        r.Counter("campaign_faults_done_total", "Faults finished (analyzed or restored from checkpoint)."),
+		FaultsExact:       r.Counter("campaign_faults_exact_total", "Faults analyzed exactly."),
+		FaultsDegraded:    r.Counter("campaign_faults_degraded_total", "Faults that blew their budget and degraded to simulation estimates."),
+		FaultsErrored:     r.Counter("campaign_faults_errored_total", "Faults whose analysis panicked (isolated per-fault errors)."),
+		FaultsResumed:     r.Counter("campaign_faults_resumed_total", "Faults restored from a checkpoint instead of re-analyzed."),
+		FaultsSkipped:     r.Counter("campaign_faults_skipped_total", "Faults never reached because the campaign was cancelled."),
+		FaultLatency:      r.Histogram("campaign_fault_latency_seconds", "Per-fault analysis wall-clock latency."),
+		GateEvaluations:   r.Counter("campaign_gate_evaluations_total", "Gates whose difference function was computed (selective trace skipped the rest)."),
+		CampaignsRunning:  r.Gauge("campaigns_running", "Campaigns currently running."),
+		BDDNodes:          r.Gauge("bdd_nodes", "Most recently observed BDD node-table size of any worker engine."),
+		BDDPeakNodes:      r.Gauge("bdd_peak_nodes", "Largest BDD node table any single engine reached."),
+		BDDRebuilds:       r.Counter("bdd_rebuilds_total", "Generational BDD-manager GC passes over all engines."),
+		CacheHits:         r.Counter("bdd_cache_hits_total", "BDD apply/ite/not operation-cache hits."),
+		CacheMisses:       r.Counter("bdd_cache_misses_total", "BDD apply/ite/not operation-cache misses."),
+		CheckpointAppends: r.Counter("checkpoint_appends_total", "Fault records appended to the checkpoint file."),
+		CheckpointFsyncs:  r.Counter("checkpoint_fsyncs_total", "fsync calls issued by the checkpointer."),
+	}
+	r.GaugeFunc("bdd_cache_hit_ratio", "Overall BDD operation-cache hit fraction.", func() float64 {
+		hits, misses := cm.CacheHits.Value(), cm.CacheMisses.Value()
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	})
+	o.cm = cm
+	return cm
+}
+
+// Campaign is the live heartbeat of one running campaign. All counters
+// are atomics so the /progress endpoint can read them while workers
+// update them; every method is nil-safe.
+type Campaign struct {
+	name  string
+	total int64
+	start time.Time
+
+	done, exact, degraded, errored, resumed, skipped atomic.Int64
+	canceled, finished                               atomic.Bool
+	elapsedNS                                        atomic.Int64
+}
+
+// FaultDone records one finished fault with its outcome.
+func (c *Campaign) FaultDone(o Outcome) {
+	if c == nil {
+		return
+	}
+	c.done.Add(1)
+	switch o {
+	case OutcomeExact:
+		c.exact.Add(1)
+	case OutcomeApproximate:
+		c.degraded.Add(1)
+	case OutcomeError:
+		c.errored.Add(1)
+	}
+}
+
+// AddResumed records n faults restored from a checkpoint (they count as
+// done without being analyzed).
+func (c *Campaign) AddResumed(n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.resumed.Add(int64(n))
+	c.done.Add(int64(n))
+}
+
+// Finish seals the heartbeat: cancellation state, unreached (skipped)
+// fault count, and final elapsed time. After Finish the snapshot's counts
+// are immutable and reconcile exactly with the campaign's final
+// CampaignStats.
+func (c *Campaign) Finish(canceled bool) {
+	if c == nil {
+		return
+	}
+	c.canceled.Store(canceled)
+	c.skipped.Store(c.total - c.done.Load())
+	c.elapsedNS.Store(int64(time.Since(c.start)))
+	c.finished.Store(true)
+}
+
+// CampaignSnapshot is the JSON view of one campaign heartbeat.
+type CampaignSnapshot struct {
+	Name  string `json:"name"`
+	Total int64  `json:"total"`
+	// Done = Analyzed + Resumed.
+	Done     int64 `json:"done"`
+	Analyzed int64 `json:"analyzed"`
+	Exact    int64 `json:"exact"`
+	Degraded int64 `json:"degraded"`
+	Errored  int64 `json:"errored"`
+	Resumed  int64 `json:"resumed"`
+	Skipped  int64 `json:"skipped"`
+	Canceled bool  `json:"canceled"`
+	Finished bool  `json:"finished"`
+	// ElapsedSec is wall-clock time since campaign start (frozen at
+	// Finish); FaultsPerSec the analysis throughput over it; ETASec the
+	// projected remaining time from the work-stealing dispatch counter
+	// (zero when finished or no fault has completed yet).
+	ElapsedSec   float64 `json:"elapsed_s"`
+	FaultsPerSec float64 `json:"faults_per_s"`
+	ETASec       float64 `json:"eta_s"`
+}
+
+// Snapshot captures the heartbeat's current state (zero value on nil).
+func (c *Campaign) Snapshot() CampaignSnapshot {
+	if c == nil {
+		return CampaignSnapshot{}
+	}
+	s := CampaignSnapshot{
+		Name:     c.name,
+		Total:    c.total,
+		Done:     c.done.Load(),
+		Exact:    c.exact.Load(),
+		Degraded: c.degraded.Load(),
+		Errored:  c.errored.Load(),
+		Resumed:  c.resumed.Load(),
+		Skipped:  c.skipped.Load(),
+		Canceled: c.canceled.Load(),
+		Finished: c.finished.Load(),
+	}
+	s.Analyzed = s.Exact + s.Degraded + s.Errored
+	elapsed := time.Duration(c.elapsedNS.Load())
+	if !s.Finished {
+		elapsed = time.Since(c.start)
+	}
+	s.ElapsedSec = elapsed.Seconds()
+	if s.ElapsedSec > 0 && s.Analyzed > 0 {
+		s.FaultsPerSec = float64(s.Analyzed) / s.ElapsedSec
+		if !s.Finished {
+			s.ETASec = float64(c.total-s.Done) / s.FaultsPerSec
+		}
+	}
+	return s
+}

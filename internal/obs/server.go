@@ -1,0 +1,77 @@
+// The opt-in debug HTTP server behind the -http flag: Prometheus /metrics,
+// a /progress JSON heartbeat, expvar at /debug/vars, and the full
+// net/http/pprof suite at /debug/pprof/ for live CPU/heap profiling of a
+// running campaign.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the debug server's routing table over an observer. The
+// observer may be nil: every endpoint still answers (with empty bodies),
+// so the server's shape does not depend on which subsystems are enabled.
+func NewMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metricsHandler(o))
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Progress()) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "diffprop debug server\n\n/metrics\n/progress\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+func metricsHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o != nil {
+			o.Metrics.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
+		}
+	})
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug server on addr (e.g. ":6060" or "127.0.0.1:0")
+// and serves it on a background goroutine until Close.
+func Serve(addr string, o *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(o), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (resolves ":0" to the actual
+// port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(i, worker int, outcome string) FaultSpan {
+	return FaultSpan{
+		Index:     i,
+		Fault:     "n23/SA1",
+		Worker:    worker,
+		Outcome:   outcome,
+		Start:     time.Now(),
+		Dur:       3 * time.Millisecond,
+		Build:     time.Millisecond,
+		Propagate: time.Millisecond,
+		SatCount:  time.Millisecond,
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, FormatJSONL)
+	for i := 0; i < 3; i++ {
+		if err := tr.Emit(span(i, i%2, "exact")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Events())
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	lines := 0
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		for _, key := range []string{"ts_us", "dur_us", "i", "fault", "worker", "outcome", "build_us", "propagate_us", "satcount_us"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		if ev["outcome"] != "exact" {
+			t.Fatalf("outcome = %v", ev["outcome"])
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("%d JSONL lines, want 3", lines)
+	}
+}
+
+// TestTracerChrome verifies the Chrome trace_event output is one valid
+// JSON array of complete ("X") events, as chrome://tracing expects.
+func TestTracerChrome(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, FormatChrome)
+	for i := 0; i < 2; i++ {
+		if err := tr.Emit(span(i, i, "approximate")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, b.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Cat != "fault" || ev.Name != "n23/SA1" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		if ev.Args["outcome"] != "approximate" {
+			t.Fatalf("args = %v", ev.Args)
+		}
+	}
+}
+
+// TestTracerChromeEmpty pins that a trace with no events still closes to
+// valid JSON.
+func TestTracerChromeEmpty(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, FormatChrome)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty chrome trace invalid: %v %q", err, b.String())
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b, FormatJSONL)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Emit(span(i, w, "exact")) //nolint:errcheck
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Close(); tr.Events() != 200 {
+		t.Fatalf("events = %d, want 200", tr.Events())
+	}
+	if strings.Count(b.String(), "\n") != 200 {
+		t.Fatal("interleaved writes corrupted the JSONL stream")
+	}
+}
+
+func TestTracerNilAndClosed(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if err := tr.Emit(FaultSpan{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	real := NewTracer(&strings.Builder{}, FormatJSONL)
+	real.Close() //nolint:errcheck
+	if err := real.Emit(FaultSpan{}); err == nil {
+		t.Fatal("emit after close must error")
+	}
+}
