@@ -10,14 +10,19 @@
 //	diffprop -bench my.bench -model or -max 50
 //	diffprop -circuit c17 -summary            # aggregates only
 //	diffprop -circuit c1355s -budget 2000000 -timeout 5s   # degrade hard faults
+//	diffprop -circuit c1908s -budget 200000 -gcauto -retrybudget 16   # rescue blown faults
+//	diffprop -circuit c1908s -nodelimit 500000 -memlimit 2GiB        # bound memory, park workers
 //	diffprop -circuit c1355s -checkpoint run.jsonl         # persist records
 //	diffprop -circuit c1355s -checkpoint run.jsonl -resume # continue after a crash
+//	diffprop -circuit c1355s -checkpoint run.jsonl -resume -retry-degraded  # re-attempt degraded faults
 //	diffprop -circuit c1355s -http :6060 -log info         # live /metrics, /progress, pprof
 //	diffprop -circuit c1355s -trace run.trace -traceformat chrome   # per-fault trace events
 //
 // An interrupt (Ctrl-C) cancels the campaign between faults: the partial
 // study is reported, finished records stay in the checkpoint, and a later
-// -resume run completes the set with bit-identical results.
+// -resume run completes the set with bit-identical results. A second
+// interrupt forces immediate exit (a wedged fault analysis cannot block
+// the first, graceful cancellation).
 package main
 
 import (
@@ -58,9 +63,14 @@ func main() {
 		verbose    = flag.Bool("v", false, "stream progress and campaign runtime stats to stderr")
 		budget     = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
 		timeout    = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
+		nodeLimit  = flag.Int("nodelimit", 0, "per-fault BDD node-count watermark (0 = unlimited); a tripped analysis enters the recovery ladder")
+		gcAuto     = flag.Bool("gcauto", false, "enable recovery sifting: reorder variables when post-GC node counts still exceed -nodelimit (defaults -nodelimit to 1Mi nodes if unset)")
+		retryMult  = flag.Float64("retrybudget", 0, "retry a blown fault once under its budgets scaled by this multiplier before degrading (<=1 disables)")
+		memLimit   = flag.String("memlimit", "", "campaign heap ceiling, e.g. 2GiB: park workers near it instead of OOMing (empty = GOMEMLIMIT if set; off = never)")
 		estVectors = flag.Int("estvectors", 0, "random vectors behind each degraded estimate (0 = default)")
 		ckptPath   = flag.String("checkpoint", "", "persist finished records to this JSONL file as they complete")
 		resume     = flag.Bool("resume", false, "continue from the -checkpoint file, skipping already-persisted faults")
+		retryDegr  = flag.Bool("retry-degraded", false, "with -resume: re-attempt checkpointed Approximate/error/skipped faults instead of carrying them forward")
 		httpAddr   = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
 		logLevel   = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
 		logJSON    = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
@@ -71,6 +81,13 @@ func main() {
 
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume needs -checkpoint <file>"))
+	}
+	if *retryDegr && !*resume {
+		fatal(fmt.Errorf("-retry-degraded needs -resume (it re-attempts faults restored from the checkpoint)"))
+	}
+	memCeiling, err := analysis.ParseMemLimit(*memLimit)
+	if err != nil {
+		fatal(fmt.Errorf("-memlimit: %w", err))
 	}
 
 	o := setupObs("diffprop", *httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt)
@@ -87,8 +104,33 @@ func main() {
 	fmt.Printf("circuit: %s (analyzed as %d two-input gates, %d PIs, %d POs)\n\n",
 		c, w.NumGates(), len(w.Inputs), len(w.Outputs))
 
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stopSignals()
+	// First SIGINT cancels the campaign gracefully between faults; a second
+	// forces immediate exit so a wedged analysis cannot hold the process
+	// hostage. signal.NotifyContext would swallow the repeat Ctrl-C.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "diffprop: interrupt: finishing in-flight faults, then reporting partial results (interrupt again to exit immediately)")
+		cancel()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "diffprop: second interrupt: exiting now; partial results were not reported, but checkpointed records (if any) remain valid for -resume")
+		shutdownObs()
+		os.Exit(130)
+	}()
+
+	rcfg := diffprop.Recovery{
+		NodeLimit:       *nodeLimit,
+		RetryMultiplier: *retryMult,
+	}
+	if *gcAuto {
+		rcfg.SiftPasses = diffprop.DefaultSiftPasses
+		if rcfg.NodeLimit == 0 {
+			rcfg.NodeLimit = 1 << 20
+		}
+	}
 
 	ccfg := analysis.CampaignConfig{
 		Workers:         *workers,
@@ -96,6 +138,8 @@ func main() {
 		FaultOps:        *budget,
 		FaultTimeout:    *timeout,
 		FallbackVectors: *estVectors,
+		Recovery:        rcfg,
+		MemLimit:        memCeiling,
 		Obs:             o,
 	}
 	if *verbose {
@@ -111,7 +155,7 @@ func main() {
 	case "stuckat", "sa":
 		fs := faults.CheckpointStuckAts(w)
 		fs = truncateFaults(fs, *max)
-		cp := openCheckpoint(*ckptPath, *resume, analysis.StuckAtCheckpointHeader(w, fs), &ccfg)
+		cp := openCheckpoint(*ckptPath, *resume, *retryDegr, analysis.StuckAtCheckpointHeader(w, fs), &ccfg)
 		study, err := analysis.RunStuckAtCampaign(c, nil, fs, ccfg)
 		closeCheckpoint(cp)
 		if err != nil {
@@ -143,7 +187,7 @@ func main() {
 		}
 		set, pop, sampled := analysis.BridgingSet(w, kind, *maxBFs, *theta, *seed)
 		set = truncateFaults(set, *max)
-		cp := openCheckpoint(*ckptPath, *resume, analysis.BridgingCheckpointHeader(w, set), &ccfg)
+		cp := openCheckpoint(*ckptPath, *resume, *retryDegr, analysis.BridgingCheckpointHeader(w, set), &ccfg)
 		study, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, ccfg)
 		closeCheckpoint(cp)
 		if err != nil {
@@ -233,8 +277,11 @@ func truncateFaults[F any](fs []F, max int) []F {
 }
 
 // openCheckpoint wires the checkpoint file (if any) into the campaign
-// config: fresh creation by default, validated resume with -resume.
-func openCheckpoint(path string, resume bool, hdr analysis.CheckpointHeader, ccfg *analysis.CampaignConfig) *analysis.Checkpointer {
+// config: fresh creation by default, validated resume with -resume. With
+// retryDegraded, restored Approximate/error/skipped records are dropped
+// so the campaign re-attempts those faults; the re-run records append
+// after the originals and win on the next load.
+func openCheckpoint(path string, resume, retryDegraded bool, hdr analysis.CheckpointHeader, ccfg *analysis.CampaignConfig) *analysis.Checkpointer {
 	if path == "" {
 		return nil
 	}
@@ -243,12 +290,22 @@ func openCheckpoint(path string, resume bool, hdr analysis.CheckpointHeader, ccf
 		if err != nil {
 			fatal(err)
 		}
+		retrying := 0
+		if retryDegraded {
+			retrying, err = analysis.DropDegradedRecords(records)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			if retrying > 0 {
+				fmt.Fprintf(os.Stderr, "diffprop: re-attempting %d degraded/errored fault(s) from %s\n", retrying, path)
+			}
+		}
 		if len(records) > 0 {
 			fmt.Fprintf(os.Stderr, "diffprop: resuming %s: %d of %d faults already analyzed\n", path, len(records), hdr.Faults)
 		}
 		ccfg.Obs.Logger().Info("checkpoint resumed",
 			"path", path, "fingerprint", hdr.Fingerprint,
-			"restored", len(records), "faults", hdr.Faults)
+			"restored", len(records), "retrying", retrying, "faults", hdr.Faults)
 		ccfg.Checkpoint = cp
 		ccfg.Resume = records
 		return cp
@@ -278,6 +335,9 @@ func closeCheckpoint(cp *analysis.Checkpointer) {
 // regardless of how the workers interleaved.
 func finishCampaign(stats analysis.CampaignStats, errs []analysis.FaultError, degraded []analysis.DegradedFault) {
 	shutdownObs()
+	if stats.Rescued > 0 {
+		fmt.Fprintf(os.Stderr, "diffprop: recovery ladder rescued %d of %d budget-blown fault(s) to exact results\n", stats.Rescued, stats.Retried)
+	}
 	if stats.Degraded > 0 {
 		fmt.Fprintf(os.Stderr, "diffprop: %d fault(s) blew the per-fault budget; their detectabilities are random-vector estimates (marked ~):\n", stats.Degraded)
 		const maxListed = 20

@@ -18,6 +18,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis"
+	"repro/internal/diffprop"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -25,21 +27,25 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "use the small smoke-test configuration")
-		figID    = flag.String("fig", "all", "exhibit to produce: table1, fig1..fig8, x1..x4, or all")
-		csvDir   = flag.String("csv", "", "directory to write per-exhibit CSV files into")
-		maxBFs   = flag.Int("maxbfs", 0, "override the bridging fault sample ceiling")
-		seed     = flag.Int64("seed", 0, "override the sampling seed")
-		theta    = flag.Float64("theta", 0, "override the exponential distance parameter")
-		bins     = flag.Int("bins", 0, "override the histogram bin count")
-		circuits = flag.String("circuits", "", "comma-separated circuit list for the trend figures")
-		workers  = flag.Int("workers", 0, "parallel analysis workers per campaign (0 = one per CPU)")
-		verbose  = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
-		budget   = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
-		timeout  = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
-		httpAddr = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
-		logLevel = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
-		logJSON  = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
+		quick     = flag.Bool("quick", false, "use the small smoke-test configuration")
+		figID     = flag.String("fig", "all", "exhibit to produce: table1, fig1..fig8, x1..x4, or all")
+		csvDir    = flag.String("csv", "", "directory to write per-exhibit CSV files into")
+		maxBFs    = flag.Int("maxbfs", 0, "override the bridging fault sample ceiling")
+		seed      = flag.Int64("seed", 0, "override the sampling seed")
+		theta     = flag.Float64("theta", 0, "override the exponential distance parameter")
+		bins      = flag.Int("bins", 0, "override the histogram bin count")
+		circuits  = flag.String("circuits", "", "comma-separated circuit list for the trend figures")
+		workers   = flag.Int("workers", 0, "parallel analysis workers per campaign (0 = one per CPU)")
+		verbose   = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
+		budget    = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
+		timeout   = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
+		nodeLimit = flag.Int("nodelimit", 0, "per-fault BDD node-count watermark (0 = unlimited); a tripped analysis enters the recovery ladder")
+		gcAuto    = flag.Bool("gcauto", false, "enable recovery sifting when post-GC node counts still exceed -nodelimit (defaults -nodelimit to 1Mi nodes if unset)")
+		retryMult = flag.Float64("retrybudget", 0, "retry a blown fault once under its budgets scaled by this multiplier before degrading (<=1 disables)")
+		memLimit  = flag.String("memlimit", "", "per-campaign heap ceiling, e.g. 2GiB: park workers near it instead of OOMing (empty = GOMEMLIMIT if set; off = never)")
+		httpAddr  = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
+		logLevel  = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
+		logJSON   = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
 	)
 	flag.Parse()
 
@@ -65,6 +71,21 @@ func main() {
 	cfg.Workers = *workers
 	cfg.FaultOps = *budget
 	cfg.FaultTimeout = *timeout
+	cfg.Recovery = diffprop.Recovery{
+		NodeLimit:       *nodeLimit,
+		RetryMultiplier: *retryMult,
+	}
+	if *gcAuto {
+		cfg.Recovery.SiftPasses = diffprop.DefaultSiftPasses
+		if cfg.Recovery.NodeLimit == 0 {
+			cfg.Recovery.NodeLimit = 1 << 20
+		}
+	}
+	mem, err := analysis.ParseMemLimit(*memLimit)
+	if err != nil {
+		fatal(fmt.Errorf("-memlimit: %w", err))
+	}
+	cfg.MemLimit = mem
 	cfg.Obs = setupObs(*httpAddr, *logLevel, *logJSON)
 	if *verbose {
 		cfg.Progress = func(circuit string, done, total int) {

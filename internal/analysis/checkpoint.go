@@ -273,3 +273,29 @@ func ResumeCheckpoint(path string, want CheckpointHeader) (*Checkpointer, map[in
 	}
 	return &Checkpointer{f: f, FsyncEvery: DefaultFsyncEvery}, records, nil
 }
+
+// DropDegradedRecords removes non-exact records — Approximate (budget
+// blown, simulation estimate), Err (panic isolated) and Skipped (campaign
+// cancelled) — from a loaded checkpoint's record map, so a resumed run
+// re-attempts those faults instead of carrying the degraded results
+// forward (the -retry-degraded flag). The map is mutated in place; the
+// checkpoint file itself is untouched — re-analyzed faults append fresh
+// lines and the later line wins on reload, keeping the fingerprint and
+// format fully compatible. Returns how many records were dropped.
+func DropDegradedRecords(records map[int]json.RawMessage) (dropped int, err error) {
+	for i, raw := range records {
+		var marker struct {
+			Approximate bool
+			Err         string
+			Skipped     bool
+		}
+		if err := json.Unmarshal(raw, &marker); err != nil {
+			return dropped, fmt.Errorf("analysis: checkpoint record %d: %w", i, err)
+		}
+		if marker.Approximate || marker.Err != "" || marker.Skipped {
+			delete(records, i)
+			dropped++
+		}
+	}
+	return dropped, nil
+}

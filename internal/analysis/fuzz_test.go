@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadCheckpoint fuzzes the torn-tail/versioned-header checkpoint
+// parser. Invariants for arbitrary input: no panic; on success the valid
+// end sits inside the file; and reloading exactly the valid prefix is
+// idempotent — same header, same records, same end — which is what the
+// resume path relies on when it truncates a torn tail and appends after
+// it.
+func FuzzLoadCheckpoint(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("\n"))
+	f.Add([]byte(`{"v":1,"kind":"stuckat","circuit":"c17","faults":2,"fp":"ab"}` + "\n"))
+	f.Add([]byte(`{"v":1,"kind":"stuckat","circuit":"c17","faults":2,"fp":"ab"}` + "\n" +
+		`{"i":0,"r":{"Detectability":0.5}}` + "\n" +
+		`{"i":1,"r":{"Approximate":true}}` + "\n"))
+	f.Add([]byte(`{"v":1,"kind":"stuckat","circuit":"c17","faults":2,"fp":"ab"}` + "\n" +
+		`{"i":0,"r":{"Detectability":0.5}}` + "\n" +
+		`{"i":0,"r":{"Detect`)) // torn rewrite of index 0
+	f.Add([]byte(`not json` + "\n" + `{"i":0,"r":{}}` + "\n"))
+	f.Add([]byte("{}\n{\"i\":-5,\"r\":null}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "ckpt.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		hdr, records, validEnd, err := LoadCheckpoint(path)
+		if err != nil {
+			return // malformed header: rejected, nothing more to hold
+		}
+		if validEnd < 0 || validEnd > int64(len(data)) {
+			t.Fatalf("validEnd %d outside file of %d bytes", validEnd, len(data))
+		}
+		// The valid prefix must end on a line boundary.
+		if validEnd > 0 && data[validEnd-1] != '\n' {
+			t.Fatalf("validEnd %d does not end a line", validEnd)
+		}
+		// Reloading the valid prefix alone must reproduce the parse.
+		path2 := filepath.Join(dir, "prefix.jsonl")
+		if err := os.WriteFile(path2, data[:validEnd], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		hdr2, records2, validEnd2, err := LoadCheckpoint(path2)
+		if err != nil {
+			t.Fatalf("valid prefix failed to reload: %v", err)
+		}
+		if hdr2 != hdr {
+			t.Fatalf("header changed on reload: %+v vs %+v", hdr2, hdr)
+		}
+		if validEnd2 != validEnd {
+			t.Fatalf("validEnd changed on reload: %d vs %d", validEnd2, validEnd)
+		}
+		if len(records2) != len(records) {
+			t.Fatalf("record count changed on reload: %d vs %d", len(records2), len(records))
+		}
+		for i, raw := range records {
+			if !bytes.Equal(records2[i], raw) {
+				t.Fatalf("record %d changed on reload", i)
+			}
+		}
+		// DropDegradedRecords must never panic on loaded records either
+		// (each raw line already parsed as JSON).
+		before := make(map[int][]byte, len(records))
+		for i, raw := range records {
+			before[i] = append([]byte(nil), raw...)
+		}
+		if _, err := DropDegradedRecords(records); err != nil {
+			// A record that is valid JSON but not an object (e.g. a bare
+			// array) is rejected: fine, as long as the survivors are
+			// untouched original lines.
+			for i, raw := range records {
+				if !bytes.Equal(before[i], raw) {
+					t.Fatalf("failed drop mutated record %d", i)
+				}
+			}
+		}
+	})
+}

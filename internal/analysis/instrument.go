@@ -118,8 +118,10 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	dur := time.Since(start)
 	oc := obs.OutcomeExact
 	switch outcome {
-	case outcomeDegraded:
+	case outcomeDegraded, outcomeDegradedAfterRetry:
 		oc = obs.OutcomeApproximate
+	case outcomeRescued:
+		oc = obs.OutcomeRescued
 	case outcomeErrored:
 		oc = obs.OutcomeError
 	}
@@ -128,6 +130,9 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	switch oc {
 	case obs.OutcomeApproximate:
 		in.cm.FaultsDegraded.Inc()
+	case obs.OutcomeRescued:
+		in.cm.FaultsExact.Inc()
+		in.cm.FaultsRescued.Inc()
 	case obs.OutcomeError:
 		in.cm.FaultsErrored.Inc()
 	default:
@@ -139,6 +144,12 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	case outcomeDegraded:
 		in.log.Warn("fault budget blown, degraded to simulation estimate",
 			"index", i, "fault", in.faultName(i), "ops_charged", e.LastAbortOps(), "elapsed", dur)
+	case outcomeDegradedAfterRetry:
+		in.log.Warn("fault blew the relaxed retry budget too, degraded to simulation estimate",
+			"index", i, "fault", in.faultName(i), "ops_charged", e.LastAbortOps(), "elapsed", dur)
+	case outcomeRescued:
+		in.log.Info("fault rescued: relaxed-budget retry completed exactly",
+			"index", i, "fault", in.faultName(i), "elapsed", dur)
 	case outcomeErrored:
 		in.log.Warn("fault analysis panicked, recorded as per-fault error",
 			"index", i, "fault", in.faultName(i), "elapsed", dur)
@@ -159,6 +170,35 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	}
 }
 
+// governorParked records one worker parking under heap pressure (called
+// with the governor's lock held; nil-safe).
+func (in *campaignInstr) governorParked(w, parked int, heap int64) {
+	if in == nil {
+		return
+	}
+	in.cm.GovernorParkEvents.Inc()
+	in.cm.GovernorParked.Set(int64(parked))
+	in.log.Info("memory governor parked worker",
+		"worker", w, "parked", parked, "heap_bytes", heap)
+}
+
+// governorUnparked records one worker resuming after pressure receded.
+func (in *campaignInstr) governorUnparked(w, parked int) {
+	if in == nil {
+		return
+	}
+	in.cm.GovernorParked.Set(int64(parked))
+	in.log.Info("memory governor resumed worker", "worker", w, "parked", parked)
+}
+
+// governorHeap publishes the governor's latest heap sample.
+func (in *campaignInstr) governorHeap(heap int64) {
+	if in == nil {
+		return
+	}
+	in.cm.GovernorHeapBytes.Set(heap)
+}
+
 // finish seals the heartbeat and folds the campaign totals into the
 // registry-level metrics.
 func (in *campaignInstr) finish(stats CampaignStats) {
@@ -172,12 +212,18 @@ func (in *campaignInstr) finish(stats CampaignStats) {
 	in.cm.BDDPeakNodes.SetMax(int64(stats.PeakNodes))
 	in.cm.CacheHits.Add(stats.Cache.ApplyHits + stats.Cache.IteHits + stats.Cache.NotHits)
 	in.cm.CacheMisses.Add(stats.Cache.ApplyMisses + stats.Cache.IteMisses + stats.Cache.NotMisses)
+	in.cm.RecoveryRetries.Add(int64(stats.Retried))
+	in.cm.RecoveryNodesReclaimed.Add(stats.NodesReclaimed)
+	in.cm.RecoverySiftRuns.Add(int64(stats.Sifts))
 	snap := in.camp.Snapshot()
 	in.cm.FaultsSkipped.Add(snap.Skipped)
 	in.log.Info("campaign finished",
 		"faults", stats.Faults, "degraded", stats.Degraded, "errored", stats.Errored,
+		"retried", stats.Retried, "rescued", stats.Rescued,
 		"resumed", stats.Resumed, "skipped", snap.Skipped, "canceled", stats.Canceled,
 		"elapsed", stats.Elapsed, "gate_evals", stats.GateEvaluations,
-		"rebuilds", stats.Rebuilds, "peak_nodes", stats.PeakNodes,
+		"rebuilds", stats.Rebuilds, "nodes_reclaimed", stats.NodesReclaimed,
+		"sifts", stats.Sifts, "peak_nodes", stats.PeakNodes,
+		"mem_park_events", stats.MemParkEvents,
 		"cache_hit_rate", stats.Cache.HitRate())
 }

@@ -64,6 +64,23 @@ type CampaignConfig struct {
 	// Approximate and counted in CampaignStats.Degraded.
 	FaultOps     int64
 	FaultTimeout time.Duration
+	// Recovery configures each engine's graceful-recovery ladder between
+	// "budget blown" and "degrade to simulation": a BDD node-count
+	// watermark, capped sift passes, and one relaxed-budget retry (see
+	// diffprop.Recovery). The zero value keeps the historical
+	// degrade-immediately behavior.
+	Recovery diffprop.Recovery
+	// MemLimit is the campaign memory governor's heap ceiling in bytes.
+	// Zero adopts GOMEMLIMIT when one is set (debug.SetMemoryLimit);
+	// negative — or zero without GOMEMLIMIT — disables the governor. Near
+	// the ceiling the governor parks workers (all but one) until the heap
+	// recedes, trading throughput for not OOMing.
+	MemLimit int64
+	// MemPoll is the governor's heap sampling period (zero selects a
+	// default).
+	MemPoll time.Duration
+	// memSample overrides the governor's heap sampler in tests.
+	memSample func() int64
 	// FallbackVectors and FallbackSeed parameterize the degradation
 	// estimate (zero selects DefaultFallbackVectors / DefaultFallbackSeed).
 	// The estimate is a pure function of (circuit, vectors, seed, fault),
@@ -116,6 +133,11 @@ type CampaignStats struct {
 	GateEvaluations int64
 	// Rebuilds counts generational BDD-manager GC passes over all engines.
 	Rebuilds int
+	// NodesReclaimed totals the dead nodes those GC passes dropped.
+	NodesReclaimed int64
+	// Sifts counts recovery-ladder variable-reordering runs over all
+	// engines.
+	Sifts int
 	// PeakNodes is the largest node table any single engine reached.
 	PeakNodes int
 	// Cache aggregates BDD apply/ite/not cache hits and misses over all
@@ -135,6 +157,15 @@ type CampaignStats struct {
 	// Resumed counts records restored from a checkpoint instead of being
 	// re-analyzed.
 	Resumed int
+	// Retried counts faults re-attempted under the ladder's relaxed budget;
+	// Rescued is the subset whose retry completed exactly (rescued faults
+	// are counted in Faults as exact records, not in Degraded).
+	Retried int
+	Rescued int
+	// MemParkEvents counts worker park transitions under heap pressure and
+	// MaxParked the most workers simultaneously parked.
+	MemParkEvents int
+	MaxParked     int
 }
 
 // String renders the stats as a one-line summary for -v style output.
@@ -149,8 +180,17 @@ func (s CampaignStats) String() string {
 	if s.Degraded > 0 {
 		out += fmt.Sprintf(" degraded=%d", s.Degraded)
 	}
+	if s.Retried > 0 {
+		out += fmt.Sprintf(" retried=%d rescued=%d", s.Retried, s.Rescued)
+	}
+	if s.Sifts > 0 {
+		out += fmt.Sprintf(" sifts=%d", s.Sifts)
+	}
 	if s.Errored > 0 {
 		out += fmt.Sprintf(" errored=%d", s.Errored)
+	}
+	if s.MemParkEvents > 0 {
+		out += fmt.Sprintf(" mem-parks=%d max-parked=%d", s.MemParkEvents, s.MaxParked)
 	}
 	if s.Canceled {
 		out += " canceled"
@@ -168,6 +208,8 @@ func (s *CampaignStats) EngineStats() diffprop.Stats {
 	return diffprop.Stats{
 		GateEvaluations: s.GateEvaluations,
 		Rebuilds:        s.Rebuilds,
+		NodesReclaimed:  s.NodesReclaimed,
+		Sifts:           s.Sifts,
 		PeakNodes:       s.PeakNodes,
 		Cache:           s.Cache,
 	}
@@ -180,6 +222,8 @@ func (s *CampaignStats) add(es diffprop.Stats) {
 	agg.Merge(es)
 	s.GateEvaluations = agg.GateEvaluations
 	s.Rebuilds = agg.Rebuilds
+	s.NodesReclaimed = agg.NodesReclaimed
+	s.Sifts = agg.Sifts
 	s.PeakNodes = agg.PeakNodes
 	s.Cache = agg.Cache
 }
@@ -237,6 +281,8 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 	start := time.Now()
 	ctx := cfg.ctx()
 	instr.setup(engines)
+	gov := newGovernor(cfg, len(engines), instr)
+	defer gov.stop()
 	var (
 		next atomic.Int64
 		stop atomic.Bool
@@ -248,6 +294,8 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 		degraded int
 		errored  int
 		resumed  int
+		retried  int
+		rescued  int
 		firstErr error
 	)
 	for i := 0; i < total; i++ {
@@ -266,11 +314,16 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 		go func(w int, e *diffprop.Engine) {
 			defer wg.Done()
 			defer instr.workerDrain(w)
+			// A worker only returns when the fault set is drained or the
+			// campaign is halting; either way any workers the governor still
+			// holds parked must be woken so the campaign can finish.
+			defer gov.release()
 			instr.workerStart(w)
 			for {
 				if halted() {
 					return
 				}
+				gov.admit(w, e, halted)
 				lo := int(next.Load())
 				if lo >= total {
 					return
@@ -303,6 +356,12 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 					switch outcome {
 					case outcomeDegraded:
 						degraded++
+					case outcomeDegradedAfterRetry:
+						degraded++
+						retried++
+					case outcomeRescued:
+						retried++
+						rescued++
 					case outcomeErrored:
 						errored++
 					}
@@ -321,6 +380,7 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 		}(w, e)
 	}
 	wg.Wait()
+	gov.stop()
 	stats := CampaignStats{
 		Workers:  len(engines),
 		Faults:   analyzed,
@@ -329,7 +389,10 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 		Degraded: degraded,
 		Errored:  errored,
 		Resumed:  resumed,
+		Retried:  retried,
+		Rescued:  rescued,
 	}
+	stats.MemParkEvents, stats.MaxParked = gov.counters()
 	for _, e := range engines {
 		stats.add(e.Stats())
 	}
@@ -377,6 +440,7 @@ func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.
 	}
 	for _, e := range engines {
 		e.SetFaultBudget(cfg.budget())
+		e.SetRecovery(cfg.Recovery)
 	}
 	work := engines[0].Circuit
 	toPO := work.MaxLevelsToPO()
@@ -446,6 +510,7 @@ func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults
 	}
 	for _, e := range engines {
 		e.SetFaultBudget(cfg.budget())
+		e.SetRecovery(cfg.Recovery)
 	}
 	work := engines[0].Circuit
 	toPO := work.MaxLevelsToPO()

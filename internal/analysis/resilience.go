@@ -37,6 +37,13 @@ const (
 	outcomeExact faultOutcome = iota
 	outcomeDegraded
 	outcomeErrored
+	// outcomeRescued: the first attempt blew a resource bound but the
+	// recovery ladder's relaxed-budget retry completed exactly. The record
+	// is exact; the distinct outcome only feeds the rescue counters.
+	outcomeRescued
+	// outcomeDegradedAfterRetry: the relaxed retry also blew its bound (or
+	// panicked) and the fault degraded to a simulation estimate after all.
+	outcomeDegradedAfterRetry
 )
 
 // fallback lazily builds the shared simulation estimator used to re-score
@@ -85,8 +92,18 @@ func panicMessage(r any) string {
 	return fmt.Sprint(r)
 }
 
+// budgetAbort reports whether a recovered panic value is one of the
+// resource-bound sentinels — an ops/deadline budget blow or a node-count
+// watermark trip. Both enter the degradation (or retry) path; anything
+// else is a real error.
+func budgetAbort(r any) bool {
+	err, ok := r.(error)
+	return ok && (errors.Is(err, bdd.ErrBudget) || errors.Is(err, bdd.ErrNodeLimit))
+}
+
 // tryStuckAtRecord runs the exact analysis, converting an escaping panic
-// into an error after restoring the engine.
+// into an error after restoring the engine (which runs the ladder's GC and
+// sift rungs).
 func tryStuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int) (rec StuckAtRecord, budget bool, errMsg string) {
 	defer func() {
 		r := recover()
@@ -94,7 +111,7 @@ func tryStuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int) 
 			return
 		}
 		e.Recover()
-		if err, ok := r.(error); ok && errors.Is(err, bdd.ErrBudget) {
+		if budgetAbort(r) {
 			budget = true
 			return
 		}
@@ -111,7 +128,7 @@ func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int) (rec B
 			return
 		}
 		e.Recover()
-		if err, ok := r.(error); ok && errors.Is(err, bdd.ErrBudget) {
+		if budgetAbort(r) {
 			budget = true
 			return
 		}
@@ -131,6 +148,21 @@ func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb
 	}
 	if !budget {
 		return rec, outcomeExact
+	}
+	outcome := outcomeDegraded
+	// Retry rung: the GC and sift rungs already ran inside Recover; when a
+	// relaxed budget is configured, re-attempt the fault once before
+	// surrendering it to the estimator.
+	if restore, ok := e.RelaxBudget(); ok {
+		rec, budget, errMsg = tryStuckAtRecord(e, f, toPO, levels)
+		restore()
+		if errMsg != "" {
+			return StuckAtRecord{Fault: f, Err: errMsg}, outcomeErrored
+		}
+		if !budget {
+			return rec, outcomeRescued
+		}
+		outcome = outcomeDegradedAfterRetry
 	}
 	est := fb.get(e)
 	c := e.Circuit
@@ -153,7 +185,7 @@ func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb
 		IsPOFault:       !f.IsBranch() && c.IsOutput(f.Net),
 		Approximate:     true,
 		EstimateVectors: est.Vectors(),
-	}, outcomeDegraded
+	}, outcome
 }
 
 // analyzeBridging is the bridging counterpart of analyzeStuckAt. A budget
@@ -166,6 +198,18 @@ func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fall
 	}
 	if !budget {
 		return rec, outcomeExact
+	}
+	outcome := outcomeDegraded
+	if restore, ok := e.RelaxBudget(); ok {
+		rec, budget, errMsg = tryBridgingRecord(e, b, toPO)
+		restore()
+		if errMsg != "" {
+			return BridgingRecord{Fault: b, Err: errMsg}, outcomeErrored
+		}
+		if !budget {
+			return rec, outcomeRescued
+		}
+		outcome = outcomeDegradedAfterRetry
 	}
 	est := fb.get(e)
 	c := e.Circuit
@@ -190,5 +234,5 @@ func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fall
 		MaxLevelsToPO:   dist,
 		Approximate:     true,
 		EstimateVectors: est.Vectors(),
-	}, outcomeDegraded
+	}, outcome
 }

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+)
+
+func TestDropDegradedRecords(t *testing.T) {
+	mustRaw := func(v any) json.RawMessage {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	records := map[int]json.RawMessage{
+		0: mustRaw(StuckAtRecord{Detectability: 0.5}),
+		1: mustRaw(StuckAtRecord{Detectability: 0.1, Approximate: true}),
+		2: mustRaw(StuckAtRecord{Err: "boom"}),
+		3: mustRaw(StuckAtRecord{Skipped: true}),
+		4: mustRaw(BridgingRecord{Detectability: 0.25}),
+	}
+	dropped, err := DropDegradedRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped %d records, want 3", dropped)
+	}
+	if _, ok := records[0]; !ok {
+		t.Fatal("exact stuck-at record was dropped")
+	}
+	if _, ok := records[4]; !ok {
+		t.Fatal("exact bridging record was dropped")
+	}
+	for _, i := range []int{1, 2, 3} {
+		if _, ok := records[i]; ok {
+			t.Fatalf("degraded record %d survived", i)
+		}
+	}
+
+	if _, err := DropDegradedRecords(map[int]json.RawMessage{7: json.RawMessage(`{"Err":`)}); err == nil {
+		t.Fatal("undecodable record accepted")
+	}
+}
+
+// TestRetryDegradedResume is the end-to-end -retry-degraded flow: a first
+// campaign under a hopeless budget checkpoints every fault as Approximate;
+// the resume pass drops those records and re-attempts them without the
+// budget, and the final study — and the reloaded checkpoint, where the
+// later line wins — carry exact results. The header fingerprint never
+// changes.
+func TestRetryDegradedResume(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	work := c.Decompose2()
+	fs := faults.CheckpointStuckAts(work)
+	hdr := StuckAtCheckpointHeader(work, fs)
+	path := filepath.Join(t.TempDir(), "sa.jsonl")
+
+	exact, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1: 1-op budget, everything that isn't free degrades.
+	cp, err := CreateCheckpoint(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 3, FaultOps: 1, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Degraded == 0 {
+		t.Fatal("pass 1 degraded nothing; retry-degraded has nothing to do")
+	}
+
+	// Pass 2: resume with the degraded records dropped and no budget.
+	cp2, resume, err := ResumeCheckpoint(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := DropDegradedRecords(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != first.Stats.Degraded {
+		t.Fatalf("dropped %d records, want the %d degraded ones", dropped, first.Stats.Degraded)
+	}
+	retried, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{
+		Workers:    3,
+		Checkpoint: cp2,
+		Resume:     resume,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if retried.Stats.Resumed != len(fs)-dropped {
+		t.Fatalf("Resumed = %d, want %d", retried.Stats.Resumed, len(fs)-dropped)
+	}
+	if retried.Stats.Degraded != 0 {
+		t.Fatalf("unbudgeted retry pass still degraded %d faults", retried.Stats.Degraded)
+	}
+	if !reflect.DeepEqual(stripStatsSA(retried), stripStatsSA(exact)) {
+		t.Fatal("retry-degraded study differs from the all-exact reference")
+	}
+
+	// The checkpoint now holds both generations of each retried fault;
+	// reload must pick the later (exact) line for every index.
+	_, all, _, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(fs) {
+		t.Fatalf("checkpoint holds %d records, want %d", len(all), len(fs))
+	}
+	stillDegraded, err := DropDegradedRecords(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stillDegraded != 0 {
+		t.Fatalf("%d records still degraded after retry pass", stillDegraded)
+	}
+}

@@ -32,6 +32,15 @@ import (
 // node-table mutations, so the unique table stays consistent.
 var ErrBudget = errors.New("bdd: per-analysis operation budget exhausted")
 
+// ErrNodeLimit is the sentinel raised — as a panic value, from mk, at the
+// same consistent points as ErrBudget — when the manager's node table
+// crosses the armed soft watermark (SetNodeLimit). It is distinguishable
+// from ErrBudget so recovery code can tell "too much work" from "too much
+// memory": a node-limit abort is usually garbage- or order-induced and a
+// generational GC plus reordering (Manager.ReduceUnder) often rescues the
+// computation, where an ops-budget abort rarely benefits.
+var ErrNodeLimit = errors.New("bdd: node-count watermark exceeded")
+
 // Ref identifies a BDD node within a Manager. Refs are stable for the
 // lifetime of the manager (there is no in-place mutation; reclamation is
 // done by rebuilding into a fresh manager, see Rebuild).
@@ -132,10 +141,16 @@ type Manager struct {
 
 	// Armed resource budget (SetBudget): ops counts charged cache-miss
 	// operations since arming; budgetOps > 0 caps them, and a non-zero
-	// deadline is checked every deadlineCheckMask+1 charges.
-	ops       int64
-	budgetOps int64
-	deadline  time.Time
+	// deadline is checked every deadlineMask+1 charges (the mask shrinks as
+	// the deadline approaches, bounding the wall-clock overshoot).
+	ops          int64
+	budgetOps    int64
+	deadline     time.Time
+	deadlineMask int64
+
+	// nodeLimit, when positive, is the soft node-count watermark: mk panics
+	// with ErrNodeLimit once the table would grow past it (SetNodeLimit).
+	nodeLimit int
 
 	// log receives structured manager events (table growth); nil = silent.
 	log *slog.Logger
@@ -148,8 +163,16 @@ type Manager struct {
 func (m *Manager) SetLogger(log *slog.Logger) { m.log = log }
 
 // deadlineCheckMask throttles the wall-clock check of an armed budget to
-// one time.Now() call per 1024 charged operations.
-const deadlineCheckMask = 0x3FF
+// one time.Now() call per 1024 charged operations. Once the deadline is
+// within deadlineNear, the throttle tightens to deadlineNearMask (one
+// check per 64 charges): at full throttle a burst of cheap charges can
+// overshoot Wall by the whole inter-check gap, which matters exactly when
+// little time remains.
+const (
+	deadlineCheckMask = 0x3FF
+	deadlineNearMask  = 0x3F
+	deadlineNear      = time.Millisecond
+)
 
 // SetBudget arms a resource budget for the analyses that follow: the
 // manager aborts with a panic(ErrBudget) once it performs more than ops
@@ -161,8 +184,25 @@ const deadlineCheckMask = 0x3FF
 func (m *Manager) SetBudget(ops int64, deadline time.Time) {
 	m.budgetOps = ops
 	m.deadline = deadline
+	m.deadlineMask = deadlineCheckMask
 	m.ops = 0
 }
+
+// SetNodeLimit arms (n > 0) or disarms (n <= 0) the node-count soft
+// watermark: once the node table would grow past n nodes, mk panics with
+// ErrNodeLimit. Like ErrBudget, the panic fires only between node-table
+// mutations, so callers that recover it at their analysis boundary may
+// keep using the manager; Manager.GC or ReduceUnder then reclaims the
+// garbage the aborted computation left behind.
+func (m *Manager) SetNodeLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.nodeLimit = n
+}
+
+// NodeLimit reports the armed node-count watermark (0 = disarmed).
+func (m *Manager) NodeLimit() int { return m.nodeLimit }
 
 // ClearBudget disarms any armed budget.
 func (m *Manager) ClearBudget() { m.SetBudget(0, time.Time{}) }
@@ -179,8 +219,14 @@ func (m *Manager) chargeOp() {
 	if m.budgetOps > 0 && m.ops > m.budgetOps {
 		panic(ErrBudget)
 	}
-	if m.ops&deadlineCheckMask == 0 && !m.deadline.IsZero() && time.Now().After(m.deadline) {
-		panic(ErrBudget)
+	if m.ops&m.deadlineMask == 0 && !m.deadline.IsZero() {
+		now := time.Now()
+		if now.After(m.deadline) {
+			panic(ErrBudget)
+		}
+		if m.deadlineMask != deadlineNearMask && m.deadline.Sub(now) < deadlineNear {
+			m.deadlineMask = deadlineNearMask
+		}
 	}
 }
 
@@ -192,9 +238,10 @@ func (m *Manager) CacheStats() CacheStats { return m.stats }
 // Variable names must be unique and non-empty.
 func New(names ...string) *Manager {
 	m := &Manager{
-		names:   append([]string(nil), names...),
-		nameIdx: make(map[string]int, len(names)),
-		satC:    make(map[Ref]*big.Int),
+		names:        append([]string(nil), names...),
+		nameIdx:      make(map[string]int, len(names)),
+		satC:         make(map[Ref]*big.Int),
+		deadlineMask: deadlineCheckMask,
 	}
 	for i, n := range names {
 		if n == "" {
@@ -327,6 +374,13 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 		if m.level[id] == level && m.low[id] == low && m.high[id] == high {
 			return Ref(id)
 		}
+	}
+	// The watermark is checked here — before the append that would cross it
+	// — rather than in grow: every table and cache growth is driven by this
+	// append, so this single check bounds them all, and the store is still
+	// consistent when the panic unwinds.
+	if m.nodeLimit > 0 && len(m.level) >= m.nodeLimit {
+		panic(ErrNodeLimit)
 	}
 	r := Ref(len(m.level))
 	m.level = append(m.level, level)

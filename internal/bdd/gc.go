@@ -1,0 +1,100 @@
+// In-place generational garbage collection and the memory-pressure ladder
+// primitive built on it.
+//
+// Rebuild already implements generational GC by copying live roots into a
+// fresh manager, but it hands back a *new* Manager — callers must rebind
+// every reference they hold. GC performs the same live-root copy and then
+// adopts the fresh tables into the receiver, so the Manager identity (and
+// its armed budget, logger and cumulative statistics) survives collection.
+// ReduceUnder stacks the auto-sift hook on top: when the live set alone
+// still exceeds the watermark, the blowup is order-induced rather than
+// garbage-induced, and a capped number of reordering passes is spent
+// trying to shrink it.
+package bdd
+
+// GCResult reports what one collection accomplished.
+type GCResult struct {
+	// Before is the node count (live + garbage) when collection started.
+	Before int
+	// AfterGC is the live node count right after the generational copy.
+	AfterGC int
+	// After is the final node count: equal to AfterGC unless the auto-sift
+	// rung fired and found a smaller variable order.
+	After int
+	// Sifted reports that reordering ran (ReduceUnder only). When true the
+	// manager's variable order may have changed: callers holding
+	// order-dependent state (variable→meaning maps) must recompute it.
+	Sifted bool
+}
+
+// Reclaimed is the number of dead nodes the generational copy dropped.
+func (r GCResult) Reclaimed() int { return r.Before - r.AfterGC }
+
+// adopt replaces the receiver's node store, unique table, operation caches
+// and sat-count cache with dst's, merging dst's cache statistics into the
+// receiver's cumulative counters. The armed budget, node watermark and
+// logger are the receiver's own and survive unchanged. dst must not be
+// used afterwards.
+func (m *Manager) adopt(dst *Manager) {
+	stats := m.stats
+	stats.Add(dst.stats)
+	m.names, m.nameIdx = dst.names, dst.nameIdx
+	m.level, m.low, m.high = dst.level, dst.low, dst.high
+	m.buckets, m.next, m.mask = dst.buckets, dst.next, dst.mask
+	m.applyC, m.iteC, m.notC, m.cacheBits = dst.applyC, dst.iteC, dst.notC, dst.cacheBits
+	m.stats = stats
+	m.satC = dst.satC
+}
+
+// GC collects the manager in place: the functions rooted at roots are
+// copied into fresh tables (dropping every node not reachable from them —
+// dead apply/ite garbage from completed or aborted computations) and the
+// manager adopts the result. The returned refs replace roots; all other
+// refs into the manager are invalidated. Unlike Rebuild, the manager
+// identity, cumulative cache statistics, armed budget and node watermark
+// survive, so a caller can collect mid-computation without rebinding its
+// manager handle. The copy runs on the destination, which has no watermark
+// armed, so GC itself can never raise ErrNodeLimit.
+func (m *Manager) GC(roots []Ref) ([]Ref, GCResult) {
+	res := GCResult{Before: m.NodeCount()}
+	dst := New(m.names...)
+	out := m.Transfer(dst, roots...)
+	m.adopt(dst)
+	res.AfterGC = m.NodeCount()
+	res.After = res.AfterGC
+	return out, res
+}
+
+// ReduceUnder is the manager-level memory-pressure ladder: a generational
+// GC of the live roots, then — only when the live set alone still exceeds
+// the watermark, i.e. the blowup is order- rather than garbage-induced —
+// up to siftPasses reordering passes (full Rudell sifting for small
+// variable counts, window-2 permutation above that) trying to pull the
+// live set back under. watermark <= 0 or siftPasses <= 0 disables the
+// sift rung. When the result reports Sifted, the variable order may have
+// changed and order-dependent caller state must be recomputed; the
+// sat-count cache is dropped in that case (counts are order-normalized
+// per node and rebuilt lazily).
+func (m *Manager) ReduceUnder(roots []Ref, watermark, siftPasses int) ([]Ref, GCResult) {
+	out, res := m.GC(roots)
+	if watermark <= 0 || siftPasses <= 0 || res.AfterGC <= watermark {
+		return out, res
+	}
+	// Full sifting tries every variable at every position — affordable for
+	// the variable counts where it shines; window permutation scales to
+	// wide circuits at the cost of a weaker search.
+	const fullSiftVars = 16
+	var (
+		next     *Manager
+		newRoots []Ref
+	)
+	if m.NumVars() <= fullSiftVars {
+		next, newRoots, _ = m.Sift(out, siftPasses)
+	} else {
+		next, newRoots, _ = m.WindowReorder(out, 2, siftPasses)
+	}
+	m.adopt(next)
+	res.Sifted = true
+	res.After = m.NodeCount()
+	return newRoots, res
+}

@@ -1,0 +1,218 @@
+package bdd
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recoverNodeLimit runs fn and reports whether it aborted with ErrNodeLimit.
+func recoverNodeLimit(t *testing.T, fn func()) (aborted bool) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrNodeLimit) {
+			t.Fatalf("panic value %v, want ErrNodeLimit", r)
+		}
+		aborted = true
+	}()
+	fn()
+	return false
+}
+
+func TestNodeLimitAborts(t *testing.T) {
+	m := NewAnon(32)
+	m.SetNodeLimit(200)
+	if !recoverNodeLimit(t, func() { buildHeavy(m, 64) }) {
+		t.Fatal("a 200-node watermark survived a build of thousands of nodes")
+	}
+	if got := m.NodeCount(); got != 200 {
+		t.Fatalf("node count at abort = %d, want exactly the watermark 200", got)
+	}
+	// The manager must stay usable after the abort, like ErrBudget.
+	m.SetNodeLimit(0)
+	f := m.And(m.Var(0), m.Var(1))
+	if !m.Eval(f, evalAssign(m, 0, 1)) {
+		t.Fatal("manager broken after node-limit abort")
+	}
+	if recoverNodeLimit(t, func() { buildHeavy(m, 64) }) {
+		t.Fatal("disarmed watermark still aborts")
+	}
+}
+
+func TestNodeLimitDistinguishableFromBudget(t *testing.T) {
+	if errors.Is(ErrNodeLimit, ErrBudget) || errors.Is(ErrBudget, ErrNodeLimit) {
+		t.Fatal("ErrNodeLimit and ErrBudget must be distinguishable sentinels")
+	}
+}
+
+func TestGCReclaimsGarbageInPlace(t *testing.T) {
+	m := NewAnon(16)
+	live := buildHeavy(m, 8)
+	// Garbage: a heavy intermediate that no root keeps alive.
+	buildHeavy(m, 64)
+	before := m.NodeCount()
+	liveSize := m.TotalSize(live)
+	roots, res := m.GC([]Ref{live})
+	if res.Before != before {
+		t.Fatalf("GCResult.Before = %d, want %d", res.Before, before)
+	}
+	if res.Reclaimed() <= 0 {
+		t.Fatalf("GC reclaimed %d nodes, want > 0 (table had %d, live set %d)",
+			res.Reclaimed(), before, liveSize)
+	}
+	if res.Sifted {
+		t.Fatal("plain GC reported a sift")
+	}
+	if got := m.NodeCount(); got != res.After || got >= before {
+		t.Fatalf("node count after GC = %d (result says %d, before %d)", got, res.After, before)
+	}
+	// The surviving root must be the same function.
+	m2 := NewAnon(16)
+	want := buildHeavy(m2, 8)
+	if !equalFunctions(m, roots[0], m2, want) {
+		t.Fatal("GC changed the live function")
+	}
+}
+
+func TestGCKeepsBudgetAndCumulativeStats(t *testing.T) {
+	m := NewAnon(16)
+	live := buildHeavy(m, 16)
+	preStats := m.CacheStats()
+	if preStats.ApplyMisses == 0 {
+		t.Fatal("heavy build charged no apply misses")
+	}
+	m.SetBudget(1<<40, time.Time{})
+	m.SetNodeLimit(1 << 20)
+	_, _ = m.GC([]Ref{live})
+	post := m.CacheStats()
+	if post.ApplyMisses < preStats.ApplyMisses {
+		t.Fatalf("GC lost cumulative cache stats: %d apply misses, had %d",
+			post.ApplyMisses, preStats.ApplyMisses)
+	}
+	if m.NodeLimit() != 1<<20 {
+		t.Fatalf("GC dropped the armed node watermark: %d", m.NodeLimit())
+	}
+	// The budget must still be armed: a tiny re-arm must abort a new build.
+	m.SetBudget(10, time.Time{})
+	if !recoverBudget(t, func() { buildHeavy(m, 32) }) {
+		t.Fatal("budget no longer fires after GC")
+	}
+}
+
+func TestGCCarriesSatCounts(t *testing.T) {
+	m := NewAnon(12)
+	live := buildHeavy(m, 8)
+	want := m.SatFrac(live)
+	roots, _ := m.GC([]Ref{live})
+	if got := m.SatFrac(roots[0]); got != want {
+		t.Fatalf("SatFrac after GC = %v, want %v", got, want)
+	}
+}
+
+func TestReduceUnderSiftsWhenLiveSetExceedsWatermark(t *testing.T) {
+	// The classic order-sensitive function x0·x1 + x2·x3 + ... built under
+	// the worst interleaved order: sifting must shrink it.
+	const pairs = 6
+	names := make([]string, 2*pairs)
+	for i := range names {
+		names[i] = "v" + string(rune('a'+i))
+	}
+	m := New(names...)
+	f := False
+	for i := 0; i < pairs; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(pairs+i)))
+	}
+	liveBefore := m.TotalSize(f)
+	roots, res := m.ReduceUnder([]Ref{f}, 32, 4)
+	if !res.Sifted {
+		t.Fatalf("live set of %d over watermark 32 did not trigger the sift rung", liveBefore)
+	}
+	if res.After >= liveBefore {
+		t.Fatalf("sift did not shrink the interleaved function: %d -> %d", liveBefore, res.After)
+	}
+	// Same function under the new order.
+	m2 := New(names...)
+	f2 := False
+	for i := 0; i < pairs; i++ {
+		f2 = m2.Or(f2, m2.And(m2.Var(i), m2.Var(pairs+i)))
+	}
+	if !equalFunctions(m, roots[0], m2, f2) {
+		t.Fatal("ReduceUnder changed the function")
+	}
+}
+
+func TestReduceUnderSkipsSiftBelowWatermark(t *testing.T) {
+	m := NewAnon(8)
+	f := m.And(m.Var(0), m.Var(1))
+	buildHeavy(m, 32) // garbage
+	namesBefore := m.Names()
+	_, res := m.ReduceUnder([]Ref{f}, 1<<20, 4)
+	if res.Sifted {
+		t.Fatal("sift rung fired although the live set fits the watermark")
+	}
+	for i, n := range m.Names() {
+		if namesBefore[i] != n {
+			t.Fatal("GC-only ReduceUnder changed the variable order")
+		}
+	}
+}
+
+func TestDeadlineMaskTightensNearDeadline(t *testing.T) {
+	m := NewAnon(4)
+	// A distant deadline keeps the full throttle.
+	m.SetBudget(0, time.Now().Add(time.Hour))
+	if m.deadlineMask != deadlineCheckMask {
+		t.Fatalf("armed mask = %#x, want %#x", m.deadlineMask, deadlineCheckMask)
+	}
+	m.ops = deadlineCheckMask // the next charge performs the clock check
+	m.chargeOp()
+	if m.deadlineMask != deadlineCheckMask {
+		t.Fatalf("mask tightened %v before the deadline", time.Hour)
+	}
+	// A deadline inside the near window tightens the throttle on the next
+	// check. A pathological scheduler pause between arming and checking can
+	// expire the deadline instead (a legal abort), so retry a few times and
+	// require the tightening path to be observed at least once.
+	tightened := false
+	for attempt := 0; attempt < 10 && !tightened; attempt++ {
+		m.SetBudget(0, time.Now().Add(deadlineNear-100*time.Microsecond))
+		m.ops = deadlineCheckMask
+		expired := recoverBudget(t, func() { m.chargeOp() })
+		tightened = !expired && m.deadlineMask == deadlineNearMask
+	}
+	if !tightened {
+		t.Fatalf("mask never tightened inside the near window (mask %#x)", m.deadlineMask)
+	}
+	// Once tightened, checks run every deadlineNearMask+1 charges (push the
+	// deadline out directly so the still-armed near deadline cannot expire
+	// under us; SetBudget would reset the mask).
+	m.deadline = time.Now().Add(time.Hour)
+	m.ops = deadlineNearMask
+	if recoverBudget(t, func() { m.chargeOp() }) {
+		t.Fatal("tightened check aborted before the deadline")
+	}
+	if m.deadlineMask != deadlineNearMask {
+		t.Fatalf("tightened mask changed to %#x without re-arming", m.deadlineMask)
+	}
+	// Re-arming restores the full-throttle mask.
+	m.SetBudget(0, time.Now().Add(time.Hour))
+	if m.deadlineMask != deadlineCheckMask {
+		t.Fatalf("re-armed mask = %#x, want %#x", m.deadlineMask, deadlineCheckMask)
+	}
+	m.ClearBudget()
+}
+
+// equalFunctions compares two functions living in different managers (and
+// possibly under different variable orders) by transfer into a common
+// fresh manager with a canonical order.
+func equalFunctions(ma *Manager, fa Ref, mb *Manager, fb Ref) bool {
+	ref := New(ma.Names()...)
+	ra := ma.Transfer(ref, fa)[0]
+	rb := mb.Transfer(ref, fb)[0]
+	return ra == rb
+}

@@ -43,6 +43,40 @@ type FaultBudget struct {
 
 func (b FaultBudget) active() bool { return b.Ops > 0 || b.Wall > 0 }
 
+// DefaultSiftPasses is the sift-pass cap used when recovery sifting is
+// enabled without an explicit budget.
+const DefaultSiftPasses = 2
+
+// Recovery configures the engine's graceful-recovery ladder — what happens
+// between "a fault analysis blew a resource bound" and "degrade it to a
+// simulation estimate":
+//
+//  1. the manager is garbage-collected in place around the good functions
+//     (always, it is what Recover has always done);
+//  2. when NodeLimit is set and the live good functions alone still exceed
+//     it, up to SiftPasses variable-reordering passes try to shrink them
+//     (the blowup was order-induced);
+//  3. when RetryMultiplier > 1, the caller may re-attempt the fault once
+//     under budgets scaled by the multiplier (see RelaxBudget).
+//
+// The zero value disables the watermark, the sift rung and the retry rung,
+// leaving the engine's historical behavior unchanged.
+type Recovery struct {
+	// NodeLimit arms a per-analysis BDD node-count soft watermark: an
+	// analysis that would grow the table past it aborts with
+	// bdd.ErrNodeLimit and enters the ladder. The armed limit is raised to
+	// 1.5x the live node count when the configured value leaves no
+	// headroom, so the good functions alone can never trip it. 0 disarms.
+	NodeLimit int
+	// SiftPasses caps the reordering passes of the sift rung (0 disables
+	// sifting).
+	SiftPasses int
+	// RetryMultiplier scales FaultBudget.Ops, FaultBudget.Wall and
+	// NodeLimit for a single relaxed re-attempt of a blown fault
+	// (values <= 1 disable the retry rung).
+	RetryMultiplier float64
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Order lists the primary input names in BDD variable order. Empty
@@ -97,8 +131,17 @@ type Engine struct {
 	// feedback bridges in O(1) per fault instead of re-tracing two cones.
 	reach *faults.Reachability
 
-	// faultBudget bounds each analysis when active (see SetFaultBudget).
+	// faultBudget bounds each analysis when active (see SetFaultBudget);
+	// recovery configures the ladder run when a bound fires (SetRecovery).
 	faultBudget FaultBudget
+	recovery    Recovery
+
+	// lastSiftSize is the live node count the most recent recovery sift
+	// settled at (0 = never sifted). The good functions are fixed for the
+	// engine's lifetime, so a sift that could not pull them under the
+	// watermark will not do better on the next recovery; this gates the
+	// sift rung to run once per engine.
+	lastSiftSize int
 
 	// log receives structured engine events (rebuilds, budget aborts);
 	// nil is silent. Not shared with clones.
@@ -115,11 +158,14 @@ type Engine struct {
 	// analysis had charged when its budget fired (captured by Recover).
 	lastAbortOps int64
 
-	// Runtime counters (see Stats).
-	gateEvals  int64
-	analyses   int
-	peakNodes  int
-	cacheAccum bdd.CacheStats // cache stats of managers retired by compaction
+	// Runtime counters (see Stats). Cache statistics live on the manager:
+	// the in-place GC merges retired tables' counters into it, so
+	// m.CacheStats() is cumulative across compactions.
+	gateEvals      int64
+	analyses       int
+	peakNodes      int
+	nodesReclaimed int64
+	sifts          int
 }
 
 // PhaseTimes breaks one fault analysis into the engine's phases:
@@ -158,6 +204,10 @@ type Stats struct {
 	GateEvaluations int64
 	// Rebuilds counts generational GC passes of the BDD manager.
 	Rebuilds int
+	// NodesReclaimed totals the dead nodes those GC passes dropped.
+	NodesReclaimed int64
+	// Sifts counts recovery-ladder variable-reordering runs.
+	Sifts int
 	// PeakNodes is the largest node count the manager reached.
 	PeakNodes int
 	// Cache aggregates apply/ite/not cache hits and misses, including
@@ -174,6 +224,8 @@ func (s *Stats) Merge(other Stats) {
 	s.Analyses += other.Analyses
 	s.GateEvaluations += other.GateEvaluations
 	s.Rebuilds += other.Rebuilds
+	s.NodesReclaimed += other.NodesReclaimed
+	s.Sifts += other.Sifts
 	if other.PeakNodes > s.PeakNodes {
 		s.PeakNodes = other.PeakNodes
 	}
@@ -182,8 +234,6 @@ func (s *Stats) Merge(other Stats) {
 
 // Stats returns the engine's runtime counters accumulated so far.
 func (e *Engine) Stats() Stats {
-	cache := e.cacheAccum
-	cache.Add(e.m.CacheStats())
 	peak := e.peakNodes
 	if nc := e.m.NodeCount(); nc > peak {
 		peak = nc
@@ -192,8 +242,10 @@ func (e *Engine) Stats() Stats {
 		Analyses:        e.analyses,
 		GateEvaluations: e.gateEvals,
 		Rebuilds:        e.rebuilds,
+		NodesReclaimed:  e.nodesReclaimed,
+		Sifts:           e.sifts,
 		PeakNodes:       peak,
-		Cache:           cache,
+		Cache:           e.m.CacheStats(),
 	}
 }
 
@@ -326,6 +378,8 @@ func (e *Engine) Clone() *Engine {
 		varToInput:   e.varToInput,
 		reach:        e.reach,
 		faultBudget:  e.faultBudget,
+		recovery:     e.recovery,
+		lastSiftSize: e.lastSiftSize,
 		peakNodes:    m2.NodeCount(),
 	}
 }
@@ -391,15 +445,65 @@ func (e *Engine) SetFaultBudget(budget FaultBudget) { e.faultBudget = budget }
 // FaultBudget returns the currently armed per-analysis budget.
 func (e *Engine) FaultBudget() FaultBudget { return e.faultBudget }
 
+// SetRecovery configures the graceful-recovery ladder (see Recovery). The
+// zero value restores the historical GC-only behavior.
+func (e *Engine) SetRecovery(r Recovery) { e.recovery = r }
+
+// Recovery returns the configured recovery ladder.
+func (e *Engine) Recovery() Recovery { return e.recovery }
+
+// RelaxBudget arms the ladder's retry rung: the per-fault budget (ops and
+// wall) and the node watermark are scaled by Recovery.RetryMultiplier so
+// the caller can re-attempt a blown fault once with more headroom. It
+// returns a restore function that reinstates the original bounds, and
+// ok=false — arming nothing — when the retry rung is disabled
+// (RetryMultiplier <= 1) or there is no bound to relax.
+func (e *Engine) RelaxBudget() (restore func(), ok bool) {
+	mult := e.recovery.RetryMultiplier
+	if mult <= 1 || (!e.faultBudget.active() && e.recovery.NodeLimit <= 0) {
+		return nil, false
+	}
+	savedBudget, savedRecovery := e.faultBudget, e.recovery
+	e.faultBudget.Ops = scaleBound(savedBudget.Ops, mult)
+	e.faultBudget.Wall = time.Duration(scaleBound(int64(savedBudget.Wall), mult))
+	e.recovery.NodeLimit = int(scaleBound(int64(savedRecovery.NodeLimit), mult))
+	return func() {
+		e.faultBudget, e.recovery = savedBudget, savedRecovery
+	}, true
+}
+
+// scaleBound multiplies a resource bound, keeping zero (= unlimited) at
+// zero and saturating instead of overflowing.
+func scaleBound(v int64, mult float64) int64 {
+	if v <= 0 {
+		return v
+	}
+	f := float64(v) * mult
+	if f >= float64(1<<62) {
+		return 1 << 62
+	}
+	return int64(f)
+}
+
 // begin opens a fault analysis: compacts the manager if it outgrew the
-// limit, then arms the per-analysis budget (if any) so the whole query —
-// seed construction, propagation, counting — is metered as one unit.
+// limit, then arms the per-analysis budget and node watermark (if any) so
+// the whole query — seed construction, propagation, counting — is metered
+// as one unit.
 func (e *Engine) begin() {
 	e.maybeCompact()
 	if e.phaseClock {
 		e.phaseStart = time.Now()
 		e.lastPhases = PhaseTimes{}
 	}
+	lim := e.recovery.NodeLimit
+	if lim > 0 {
+		// Headroom guarantee: the live good functions plus half again can
+		// never trip the watermark, however small it was configured.
+		if floor := e.m.NodeCount() + e.m.NodeCount()/2; lim < floor {
+			lim = floor
+		}
+	}
+	e.m.SetNodeLimit(lim)
 	if !e.faultBudget.active() {
 		return
 	}
@@ -411,23 +515,51 @@ func (e *Engine) begin() {
 }
 
 // Recover restores the engine after an aborted analysis (a bdd.ErrBudget
-// panic, or any panic that escaped a fault query): the manager is rebuilt
-// around the good functions, dropping every node the aborted query left
-// behind, and the budget is disarmed until the next query re-arms it. The
-// abort fires only between node-table mutations and the node store is
-// append-only, so the rebuild always starts from a consistent table.
+// or bdd.ErrNodeLimit panic, or any panic that escaped a fault query) by
+// running the recovery ladder's engine-side rungs: the manager is
+// garbage-collected in place around the good functions, dropping every
+// node the aborted query left behind, and — when a node watermark is
+// configured, the live set still exceeds it, and the sift rung is enabled
+// — a capped number of variable-reordering passes tries to shrink the
+// good functions themselves. The budget and watermark are disarmed until
+// the next query re-arms them. The abort fires only between node-table
+// mutations and the node store is append-only, so recovery always starts
+// from a consistent table.
 func (e *Engine) Recover() {
 	// OpsCharged must be read before ClearBudget resets the meter.
 	e.lastAbortOps = e.m.OpsCharged()
 	e.m.ClearBudget()
-	if e.log != nil {
-		e.log.Debug("engine recover", "ops_charged", e.lastAbortOps, "nodes", e.m.NodeCount())
+	e.m.SetNodeLimit(0)
+	before := e.m.NodeCount()
+	if before > e.peakNodes {
+		e.peakNodes = before
 	}
-	e.compact("recover")
+	passes := e.recovery.SiftPasses
+	if e.lastSiftSize > 0 {
+		// The good functions cannot change, so one sift per engine is all
+		// that can ever help (clones inherit the sifted order).
+		passes = 0
+	}
+	roots, res := e.m.ReduceUnder(e.good, e.recovery.NodeLimit, passes)
+	e.good = roots
+	e.rebuilds++
+	e.nodesReclaimed += int64(res.Reclaimed())
+	if res.Sifted {
+		e.sifts++
+		e.lastSiftSize = res.After
+		// Reordering moved the variables: the position→input map must be
+		// recomputed. Syndromes are per-net fractions and stay valid.
+		e.varToInput = buildVarToInput(e.Circuit, e.m)
+	}
+	if e.log != nil {
+		e.log.Debug("engine recover", "ops_charged", e.lastAbortOps,
+			"nodes_before", before, "nodes_after", e.m.NodeCount(),
+			"reclaimed", res.Reclaimed(), "sifted", res.Sifted, "rebuilds", e.rebuilds)
+	}
 }
 
-// maybeCompact rebuilds the manager around the good functions when the
-// node table has grown past the limit, dropping all per-fault garbage.
+// maybeCompact garbage-collects the manager around the good functions when
+// the node table has grown past the limit, dropping all per-fault garbage.
 func (e *Engine) maybeCompact() {
 	if e.m.NodeCount() <= e.rebuildLimit {
 		return
@@ -435,25 +567,32 @@ func (e *Engine) maybeCompact() {
 	e.compact("limit")
 }
 
-// compact rebuilds the manager around the good functions, retiring the
-// old manager's cache stats and node high-water mark into the engine's
-// accumulators. Shared by Recover (after an aborted analysis) and
-// maybeCompact (node-table growth).
+// compact garbage-collects the manager in place around the good functions.
+// The manager keeps its identity, so cumulative cache statistics and the
+// node high-water mark survive without engine-side accumulators. Shared by
+// maybeCompact (node-table growth) and GCNow (the campaign memory
+// governor).
 func (e *Engine) compact(cause string) {
 	before := e.m.NodeCount()
 	if before > e.peakNodes {
 		e.peakNodes = before
 	}
-	e.cacheAccum.Add(e.m.CacheStats())
-	m2, roots := e.m.Rebuild(e.good)
-	e.m = m2
+	roots, res := e.m.GC(e.good)
 	e.good = roots
 	e.rebuilds++
+	e.nodesReclaimed += int64(res.Reclaimed())
 	if e.log != nil {
 		e.log.Debug("bdd rebuild", "cause", cause, "nodes_before", before,
 			"nodes_after", e.m.NodeCount(), "rebuilds", e.rebuilds)
 	}
 }
+
+// GCNow immediately garbage-collects the manager around the good
+// functions, dropping per-fault garbage between analyses. The campaign
+// memory governor calls it when parking a worker under heap pressure; any
+// caller may use it to return an idle engine to its minimal footprint.
+// Results of previous queries are invalidated.
+func (e *Engine) GCNow() { e.compact("governor") }
 
 // Result is the outcome of one fault analysis: the complete test set and
 // the figures derived from it. The BDD references are valid until the

@@ -57,6 +57,13 @@ type Config struct {
 	// analysis.CampaignConfig).
 	FaultOps     int64
 	FaultTimeout time.Duration
+	// Recovery configures the per-engine recovery ladder (GC, sifting, one
+	// relaxed-budget retry) applied before any fault degrades; the zero
+	// value disables it (see diffprop.Recovery).
+	Recovery diffprop.Recovery
+	// MemLimit is the campaign heap ceiling in bytes: workers park near it
+	// instead of growing the heap further (see analysis.CampaignConfig).
+	MemLimit int64
 	// Progress, when non-nil, observes every fault-analysis campaign the
 	// runner launches: the circuit being studied plus done/total fault
 	// counts. Callbacks arrive serially per campaign. Used by cmd/figures
@@ -150,6 +157,8 @@ func (r *Runner) campaignConfig(label string) analysis.CampaignConfig {
 		Workers:      r.cfg.Workers,
 		FaultOps:     r.cfg.FaultOps,
 		FaultTimeout: r.cfg.FaultTimeout,
+		Recovery:     r.cfg.Recovery,
+		MemLimit:     r.cfg.MemLimit,
 		Obs:          r.cfg.Obs,
 		Name:         label,
 	}

@@ -31,6 +31,11 @@ const (
 	OutcomeApproximate
 	// OutcomeError marks a fault whose analysis panicked.
 	OutcomeError
+	// OutcomeRescued marks a fault whose first attempt blew a resource
+	// bound but whose recovery-ladder retry completed exactly. Rescued is a
+	// sub-classification of exact: heartbeats count it under both, so
+	// Analyzed = Exact + Degraded + Errored keeps reconciling.
+	OutcomeRescued
 )
 
 // String returns the outcome's wire label (used in trace events).
@@ -40,6 +45,8 @@ func (o Outcome) String() string {
 		return "exact"
 	case OutcomeApproximate:
 		return "approximate"
+	case OutcomeRescued:
+		return "rescued"
 	default:
 		return "error"
 	}
@@ -134,6 +141,19 @@ type CampaignMetrics struct {
 	CacheHits, CacheMisses *Counter
 	// checkpoint_appends_total / checkpoint_fsyncs_total: persistence I/O.
 	CheckpointAppends, CheckpointFsyncs *Counter
+	// campaign_faults_rescued_total: faults the recovery-ladder retry
+	// converted from a blown budget back to an exact result (a sub-count of
+	// campaign_faults_exact_total).
+	FaultsRescued *Counter
+	// recovery_retries_total: relaxed-budget re-attempts the ladder made.
+	RecoveryRetries *Counter
+	// recovery_nodes_reclaimed_total / recovery_sift_runs_total: work done
+	// by the GC and sift rungs across all engines.
+	RecoveryNodesReclaimed, RecoverySiftRuns *Counter
+	// governor_parked_workers / governor_heap_bytes: memory-governor state.
+	GovernorParked, GovernorHeapBytes *Gauge
+	// governor_park_events_total: worker park transitions under pressure.
+	GovernorParkEvents *Counter
 }
 
 // CampaignMetrics lazily registers (once) and returns the standard
@@ -167,6 +187,14 @@ func (o *Observer) CampaignMetrics() *CampaignMetrics {
 		CacheMisses:       r.Counter("bdd_cache_misses_total", "BDD apply/ite/not operation-cache misses."),
 		CheckpointAppends: r.Counter("checkpoint_appends_total", "Fault records appended to the checkpoint file."),
 		CheckpointFsyncs:  r.Counter("checkpoint_fsyncs_total", "fsync calls issued by the checkpointer."),
+
+		FaultsRescued:          r.Counter("campaign_faults_rescued_total", "Faults whose relaxed-budget retry completed exactly (sub-count of exact)."),
+		RecoveryRetries:        r.Counter("recovery_retries_total", "Relaxed-budget re-attempts made by the recovery ladder."),
+		RecoveryNodesReclaimed: r.Counter("recovery_nodes_reclaimed_total", "Dead BDD nodes dropped by generational GC passes."),
+		RecoverySiftRuns:       r.Counter("recovery_sift_runs_total", "Variable-reordering runs fired by the recovery ladder."),
+		GovernorParked:         r.Gauge("governor_parked_workers", "Workers currently parked by the memory governor."),
+		GovernorHeapBytes:      r.Gauge("governor_heap_bytes", "Heap size at the governor's last sample."),
+		GovernorParkEvents:     r.Counter("governor_park_events_total", "Worker park transitions under heap pressure."),
 	}
 	r.GaugeFunc("bdd_cache_hit_ratio", "Overall BDD operation-cache hit fraction.", func() float64 {
 		hits, misses := cm.CacheHits.Value(), cm.CacheMisses.Value()
@@ -188,11 +216,14 @@ type Campaign struct {
 	start time.Time
 
 	done, exact, degraded, errored, resumed, skipped atomic.Int64
+	rescued                                          atomic.Int64
 	canceled, finished                               atomic.Bool
 	elapsedNS                                        atomic.Int64
 }
 
-// FaultDone records one finished fault with its outcome.
+// FaultDone records one finished fault with its outcome. OutcomeRescued
+// increments both the exact and the rescued counters: rescued faults ARE
+// exact results, just ones the recovery ladder had to fight for.
 func (c *Campaign) FaultDone(o Outcome) {
 	if c == nil {
 		return
@@ -201,6 +232,9 @@ func (c *Campaign) FaultDone(o Outcome) {
 	switch o {
 	case OutcomeExact:
 		c.exact.Add(1)
+	case OutcomeRescued:
+		c.exact.Add(1)
+		c.rescued.Add(1)
 	case OutcomeApproximate:
 		c.degraded.Add(1)
 	case OutcomeError:
@@ -240,6 +274,9 @@ type CampaignSnapshot struct {
 	Done     int64 `json:"done"`
 	Analyzed int64 `json:"analyzed"`
 	Exact    int64 `json:"exact"`
+	// Rescued is the sub-count of Exact that needed the recovery ladder's
+	// relaxed-budget retry.
+	Rescued  int64 `json:"rescued"`
 	Degraded int64 `json:"degraded"`
 	Errored  int64 `json:"errored"`
 	Resumed  int64 `json:"resumed"`
@@ -265,6 +302,7 @@ func (c *Campaign) Snapshot() CampaignSnapshot {
 		Total:    c.total,
 		Done:     c.done.Load(),
 		Exact:    c.exact.Load(),
+		Rescued:  c.rescued.Load(),
 		Degraded: c.degraded.Load(),
 		Errored:  c.errored.Load(),
 		Resumed:  c.resumed.Load(),
