@@ -64,6 +64,9 @@ func (in *campaignInstr) setup(engines []*diffprop.Engine) {
 			e.EnablePhaseTiming(true)
 		}
 	}
+	if len(engines) > 0 {
+		in.cm.BDDTableViews.Set(int64(engines[0].Manager().Views()))
+	}
 }
 
 // resumed records n checkpoint-restored faults.
@@ -140,6 +143,7 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	}
 	in.cm.FaultLatency.Observe(dur.Seconds())
 	in.cm.BDDNodes.Set(int64(e.Manager().NodeCount()))
+	in.cm.BDDTableEpoch.Set(int64(e.Manager().TableEpoch()))
 	switch outcome {
 	case outcomeDegraded:
 		in.log.Warn("fault budget blown, degraded to simulation estimate",

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/diffprop"
+	"repro/internal/faults"
+)
+
+// TestIsolateMatchesShared pins the A/B contract of the shared BDD
+// backend: a campaign over cloned per-worker managers (Isolate) and one
+// over shared views of the prototype's table must produce bit-identical
+// studies for both fault models. Records depend only on canonical
+// function semantics, never on node ids, so the backend choice is pure
+// mechanism.
+func TestIsolateMatchesShared(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	fs := faults.CheckpointStuckAts(c.Decompose2())
+	shared, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolated, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 4, Isolate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStatsSA(shared), stripStatsSA(isolated)) {
+		t.Fatal("isolated stuck-at study differs from shared-backend study")
+	}
+
+	bs, pop, sampled := BridgingSet(c.Decompose2(), faults.WiredOR, 60, 0.3, 7)
+	bShared, err := RunBridgingCampaign(c, nil, bs, faults.WiredOR, pop, sampled, CampaignConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bIsolated, err := RunBridgingCampaign(c, nil, bs, faults.WiredOR, pop, sampled, CampaignConfig{Workers: 4, Isolate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStatsBF(bShared), stripStatsBF(bIsolated)) {
+		t.Fatal("isolated bridging study differs from shared-backend study")
+	}
+}
+
+// TestSharedCampaignUnderGovernorPressure forces the memory governor to
+// park workers for the whole campaign, so every parked worker runs GCNow
+// against the one shared table while siblings are mid-fault under the
+// analysis read lock. The write-locked collection must wait for them and
+// the results must still be exact and bit-identical to an unpressured
+// run.
+func TestSharedCampaignUnderGovernorPressure(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	fs := faults.CheckpointStuckAts(c.Decompose2())
+	calm, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	pressured, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{
+		Workers:  4,
+		MemLimit: 1 << 30,
+		MemPoll:  time.Millisecond,
+		memSample: func() int64 {
+			// Alternate over/under the ceiling so workers park (running
+			// GCNow on the shared table), wake, and repeat.
+			n++
+			if n%2 == 0 {
+				return 1 << 40
+			}
+			return 1
+		},
+		Recovery: diffprop.Recovery{NodeLimit: 1 << 22, SiftPasses: diffprop.DefaultSiftPasses},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStatsSA(pressured), stripStatsSA(calm)) {
+		t.Fatal("governor pressure changed shared-backend results")
+	}
+}

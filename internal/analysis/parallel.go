@@ -11,10 +11,14 @@
 // index-aligned and bit-identical to the serial runners (each fault is
 // analyzed exactly, by the same record builder).
 //
-// Workers no longer pay full BDD re-synthesis either: one prototype engine
-// is built with diffprop.New and every other worker receives a
-// diffprop.Engine.Clone — a structural manager-to-manager copy, linear in
-// the node count of the good functions.
+// Workers no longer pay full BDD re-synthesis or even per-worker node
+// stores: one prototype engine is built with diffprop.New and every other
+// worker receives a diffprop.Engine.Share — a view onto the same
+// complement-edge manager, whose sharded unique table and lossy operation
+// caches are safe for concurrent use. Every canonical function is built
+// once, campaign-wide. CampaignConfig.Isolate restores the historical
+// diffprop.Engine.Clone path (a structural manager-to-manager copy per
+// worker) for isolation or A/B measurement.
 package analysis
 
 import (
@@ -81,6 +85,14 @@ type CampaignConfig struct {
 	MemPoll time.Duration
 	// memSample overrides the governor's heap sampler in tests.
 	memSample func() int64
+	// Isolate gives every worker its own cloned BDD manager (the historical
+	// pre-shared-table behavior) instead of a shared view onto the
+	// prototype's node store. Sharing is the default: it builds every
+	// canonical function once and keeps peak heap flat as workers are
+	// added. Isolation trades that for complete independence between
+	// workers — useful as an A/B baseline and when a workload's recovery
+	// ladders thrash the shared table.
+	Isolate bool
 	// FallbackVectors and FallbackSeed parameterize the degradation
 	// estimate (zero selects DefaultFallbackVectors / DefaultFallbackSeed).
 	// The estimate is a pure function of (circuit, vectors, seed, fault),
@@ -229,12 +241,15 @@ func (s *CampaignStats) add(es diffprop.Stats) {
 }
 
 // prepareEngines builds the prototype engine, runs prep on it (nil for
-// none), and clones it into one engine per worker. Clones are taken
-// concurrently — Transfer only reads the source — but strictly before any
-// worker starts analyzing (analysis mutates the prototype's manager). The
+// none), and derives one engine per worker. By default workers get
+// diffprop.Engine.Share views onto the prototype's manager — one shared
+// node store for the whole campaign. With isolate set, each worker
+// instead receives a diffprop.Engine.Clone (a structural
+// manager-to-manager copy); clones are taken concurrently — Transfer only
+// reads the source — but strictly before any worker starts analyzing. The
 // shared working circuit's lazy topology caches are warmed here so workers
 // only ever read them.
-func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, prep func(*diffprop.Engine)) ([]*diffprop.Engine, error) {
+func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, isolate bool, prep func(*diffprop.Engine)) ([]*diffprop.Engine, error) {
 	proto, err := diffprop.New(c, opts)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: parallel run failed: %w", err)
@@ -248,6 +263,12 @@ func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, pre
 	}
 	engines := make([]*diffprop.Engine, workers)
 	engines[0] = proto
+	if !isolate {
+		for w := 1; w < workers; w++ {
+			engines[w] = proto.Share()
+		}
+		return engines, nil
+	}
 	var wg sync.WaitGroup
 	for w := 1; w < workers; w++ {
 		wg.Add(1)
@@ -348,7 +369,13 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 						return
 					}
 					t0 := instr.faultStart()
+					// Shared engines analyze under the table's read lock so
+					// recovery ladders and governor GCs on sibling views
+					// cannot re-root the good functions mid-fault. Unshared
+					// engines get a no-op unlock.
+					unlock := e.AnalysisLock()
 					outcome, err := analyze(e, i)
+					unlock()
 					instr.faultDone(e, w, i, outcome, t0)
 					mu.Lock()
 					done++
@@ -434,7 +461,7 @@ func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.
 	if workers < 1 {
 		workers = 1
 	}
-	engines, err := prepareEngines(c, opts, workers, nil)
+	engines, err := prepareEngines(c, opts, workers, cfg.Isolate, nil)
 	if err != nil {
 		return StuckAtStudy{}, err
 	}
@@ -502,7 +529,7 @@ func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults
 	// The feedback-reachability table is built on the prototype before
 	// cloning so all workers share one immutable copy instead of each
 	// building its own.
-	engines, err := prepareEngines(c, opts, workers, func(e *diffprop.Engine) {
+	engines, err := prepareEngines(c, opts, workers, cfg.Isolate, func(e *diffprop.Engine) {
 		e.FeedbackChecker()
 	})
 	if err != nil {

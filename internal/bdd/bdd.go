@@ -1,18 +1,23 @@
 // Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
-// in the style of Bryant (IEEE Trans. Computers, 1986): hash-consed nodes,
-// memoized apply/ITE, quantification, composition, exact satisfying-set
-// counting, and manager-to-manager transfer used for generational garbage
-// collection and static variable reordering.
+// in the style of Bryant (IEEE Trans. Computers, 1986) with the
+// complement-edge representation of Brace, Rudell and Bryant (DAC 1990):
+// negation is a tagged bit on the Ref, so Not is free, a function and its
+// complement share one node set, and the unique table stores roughly half
+// the nodes of the plain representation. All binary operations are
+// normalized ITE standard triples served by one computed cache.
 //
-// The node store is a struct-of-arrays with a chained hash unique table and
-// direct-mapped operation caches (in the manner of CUDD's computed table),
-// which keeps the engine fast enough for the exhaustive per-fault analyses
-// this repository runs on thousand-gate circuits.
+// The node store is shared: a Manager is a lightweight view (budget,
+// statistics, sat-count cache, logger) over a lock-striped concurrent
+// table, and Share hands out additional views so many workers can build
+// on one node set at once — see table.go for the concurrency protocol.
+// Quantification, composition, exact satisfying-set counting and
+// manager-to-manager transfer (used for generational garbage collection
+// and static variable reordering) ride on the same core.
 //
-// A Manager owns a set of ordered variables and a node table. Functions are
-// referred to by Ref values that are only meaningful within their manager.
-// The two terminals are the package-level constants False and True and are
-// shared by every manager.
+// A Manager owns a set of ordered variables and (a view of) a node table.
+// Functions are referred to by Ref values that are only meaningful within
+// their table. The two terminals are the package-level constants False
+// and True and are shared by every manager.
 package bdd
 
 import (
@@ -25,7 +30,7 @@ import (
 )
 
 // ErrBudget is the sentinel raised — as a panic value, from arbitrarily
-// deep inside the apply/ite/not recursions — when the manager's armed
+// deep inside the apply/ite recursions — when the manager's armed
 // operation budget (SetBudget) is exhausted. Callers that arm a budget
 // must recover it at their analysis boundary (see diffprop.Engine) and
 // may keep using the manager afterwards: the panic is only raised between
@@ -41,12 +46,15 @@ var ErrBudget = errors.New("bdd: per-analysis operation budget exhausted")
 // computation, where an ops-budget abort rarely benefits.
 var ErrNodeLimit = errors.New("bdd: node-count watermark exceeded")
 
-// Ref identifies a BDD node within a Manager. Refs are stable for the
-// lifetime of the manager (there is no in-place mutation; reclamation is
-// done by rebuilding into a fresh manager, see Rebuild).
+// Ref identifies a BDD function within a Manager's table: a node id in
+// the upper bits and the complement tag in bit 0. Refs are stable for the
+// lifetime of the table (there is no in-place mutation; reclamation is
+// done by rebuilding into a fresh manager, see Rebuild, or in place, see
+// GC). Complementing a function is Ref^1 and allocates nothing.
 type Ref int32
 
-// Terminal nodes, shared across managers.
+// Terminal functions, shared across managers: one terminal node (id 0)
+// represents False, and True is its complement edge.
 const (
 	False Ref = 0
 	True  Ref = 1
@@ -54,40 +62,18 @@ const (
 
 const terminalLevel = int32(1) << 30
 
-// opcode identifies a binary apply operation in the cache.
-type opcode uint32
-
-const (
-	opAnd opcode = iota
-	opOr
-	opXor
-)
-
-type applyEntry struct {
-	op   opcode
-	f, g Ref
-	res  Ref
-}
-
-type iteEntry struct {
-	f, g, h Ref
-	res     Ref
-}
-
-type notEntry struct {
-	f   Ref
-	res Ref
-}
-
 const (
 	minCacheBits = 12
 	maxCacheBits = 21
 )
 
-// CacheStats counts hits and misses of the three operation caches. The
-// counters are plain (non-atomic) because managers are single-threaded;
-// reading them costs nothing on the hot path beyond one increment per
-// cache probe.
+// CacheStats counts hits and misses of the computed cache, attributed to
+// the operation family that issued them: And/Or/Xor feed the Apply
+// counters, Ite/Compose/VectorCompose the Ite counters. Not is free under
+// complement edges and never probes a cache, so its counters stay zero
+// (kept for layout compatibility with aggregated historical stats). The
+// counters are per-view and unsynchronized; each worker reads only its
+// own.
 type CacheStats struct {
 	ApplyHits, ApplyMisses int64
 	IteHits, IteMisses     int64
@@ -115,51 +101,43 @@ func (s CacheStats) HitRate() float64 {
 	return float64(hits) / float64(total)
 }
 
-// Manager owns a BDD node table over a fixed, ordered variable set.
-// Managers are not safe for concurrent use.
+// Manager is a view over a (possibly shared) BDD node table: the armed
+// resource budget, node watermark, cache statistics, sat-count cache and
+// logger are per-view, while nodes, the unique table and the computed
+// cache live in the shared table. A single view is not safe for
+// concurrent use; distinct views over one table are (Share).
 type Manager struct {
-	names   []string
-	nameIdx map[string]int
+	t *table
 
-	// Node store (struct of arrays); slots 0 and 1 are the terminals.
-	level []int32
-	low   []Ref
-	high  []Ref
+	stats CacheStats
 
-	// Unique table: chained hashing over the node store.
-	buckets []int32
-	next    []int32
-	mask    uint32
-
-	// Direct-mapped operation caches; an entry with f < 2 is empty since
-	// terminal operands never reach the caches.
-	applyC    []applyEntry
-	iteC      []iteEntry
-	notC      []notEntry
-	cacheBits uint
-	stats     CacheStats
-
-	// Armed resource budget (SetBudget): ops counts charged cache-miss
-	// operations since arming; budgetOps > 0 caps them, and a non-zero
-	// deadline is checked every deadlineMask+1 charges (the mask shrinks as
-	// the deadline approaches, bounding the wall-clock overshoot).
+	// Armed resource budget (SetBudget): ops counts charged operations
+	// since arming; budgetOps > 0 caps them, and a non-zero deadline is
+	// checked every deadlineMask+1 charges (the mask shrinks as the
+	// deadline approaches, bounding the wall-clock overshoot).
 	ops          int64
 	budgetOps    int64
 	deadline     time.Time
 	deadlineMask int64
 
 	// nodeLimit, when positive, is the soft node-count watermark: mk panics
-	// with ErrNodeLimit once the table would grow past it (SetNodeLimit).
+	// with ErrNodeLimit once the shared table would grow past it
+	// (SetNodeLimit).
 	nodeLimit int
 
-	// log receives structured manager events (table growth); nil = silent.
+	// log receives structured manager events; nil = silent.
 	log *slog.Logger
 
-	satC map[Ref]*big.Int
+	// satC caches satisfying-set counts keyed by regular (uncomplemented)
+	// ref, normalized to each node's own level. satEpoch tracks the table
+	// epoch the cache was filled under; an in-place adoption (GC/sift)
+	// bumps the table epoch and invalidates the cache lazily.
+	satC     map[Ref]*big.Int
+	satEpoch uint64
 }
 
-// SetLogger attaches a structured logger for manager events (unique-table
-// growth). A nil logger silences them (the default).
+// SetLogger attaches a structured logger for manager events. A nil logger
+// silences them (the default).
 func (m *Manager) SetLogger(log *slog.Logger) { m.log = log }
 
 // deadlineCheckMask throttles the wall-clock check of an armed budget to
@@ -175,12 +153,13 @@ const (
 )
 
 // SetBudget arms a resource budget for the analyses that follow: the
-// manager aborts with a panic(ErrBudget) once it performs more than ops
-// cache-miss operations (ops <= 0 leaves the count unlimited) or passes
-// the deadline (zero time disables the clock). Arming resets the charged
-// operation counter, so callers arm once per unit of work (per fault).
-// Cache-miss operations are a machine-independent proxy for the nodes an
-// analysis builds and visits.
+// manager aborts with a panic(ErrBudget) once it charges more than ops
+// operations (ops <= 0 leaves the count unlimited) or passes the deadline
+// (zero time disables the clock). Arming resets the charged operation
+// counter, so callers arm once per unit of work (per fault). One
+// operation is charged per ITE step — a machine-independent proxy for the
+// nodes an analysis builds and visits that stays meaningful when the
+// computed cache is shared and warm.
 func (m *Manager) SetBudget(ops int64, deadline time.Time) {
 	m.budgetOps = ops
 	m.deadline = deadline
@@ -193,7 +172,8 @@ func (m *Manager) SetBudget(ops int64, deadline time.Time) {
 // ErrNodeLimit. Like ErrBudget, the panic fires only between node-table
 // mutations, so callers that recover it at their analysis boundary may
 // keep using the manager; Manager.GC or ReduceUnder then reclaims the
-// garbage the aborted computation left behind.
+// garbage the aborted computation left behind. The watermark is per-view:
+// other views sharing the table keep their own.
 func (m *Manager) SetNodeLimit(n int) {
 	if n < 0 {
 		n = 0
@@ -207,13 +187,13 @@ func (m *Manager) NodeLimit() int { return m.nodeLimit }
 // ClearBudget disarms any armed budget.
 func (m *Manager) ClearBudget() { m.SetBudget(0, time.Time{}) }
 
-// OpsCharged reports the cache-miss operations charged since the last
-// SetBudget (or manager creation).
+// OpsCharged reports the operations charged since the last SetBudget (or
+// manager creation).
 func (m *Manager) OpsCharged() int64 { return m.ops }
 
-// chargeOp records one cache-miss operation against the armed budget,
-// aborting with panic(ErrBudget) when the budget is blown. It is called
-// only at points where the node store is consistent.
+// chargeOp records one operation against the armed budget, aborting with
+// panic(ErrBudget) when the budget is blown. It is called only at points
+// where the node store is consistent.
 func (m *Manager) chargeOp() {
 	m.ops++
 	if m.budgetOps > 0 && m.ops > m.budgetOps {
@@ -230,39 +210,29 @@ func (m *Manager) chargeOp() {
 	}
 }
 
-// CacheStats reports the operation-cache hit/miss counters accumulated
-// since the manager was created.
+// CacheStats reports this view's computed-cache hit/miss counters
+// accumulated since the view was created.
 func (m *Manager) CacheStats() CacheStats { return m.stats }
 
 // New creates a manager over the named variables, ordered as given.
 // Variable names must be unique and non-empty.
 func New(names ...string) *Manager {
-	m := &Manager{
-		names:        append([]string(nil), names...),
-		nameIdx:      make(map[string]int, len(names)),
-		satC:         make(map[Ref]*big.Int),
-		deadlineMask: deadlineCheckMask,
-	}
+	nameIdx := make(map[string]int, len(names))
 	for i, n := range names {
 		if n == "" {
 			panic("bdd: empty variable name")
 		}
-		if _, dup := m.nameIdx[n]; dup {
+		if _, dup := nameIdx[n]; dup {
 			panic(fmt.Sprintf("bdd: duplicate variable name %q", n))
 		}
-		m.nameIdx[n] = i
+		nameIdx[n] = i
 	}
-	m.level = append(m.level, terminalLevel, terminalLevel)
-	m.low = append(m.low, False, True)
-	m.high = append(m.high, False, True)
-	m.next = append(m.next, -1, -1)
-	m.buckets = make([]int32, 1<<minCacheBits)
-	for i := range m.buckets {
-		m.buckets[i] = -1
+	t := newTable(append([]string(nil), names...), nameIdx)
+	return &Manager{
+		t:            t,
+		deadlineMask: deadlineCheckMask,
+		satC:         make(map[Ref]*big.Int),
 	}
-	m.mask = uint32(len(m.buckets) - 1)
-	m.setCacheBits(minCacheBits)
-	return m
 }
 
 // NewAnon creates a manager with n anonymous variables named x0..x(n-1).
@@ -274,48 +244,74 @@ func NewAnon(n int) *Manager {
 	return New(names...)
 }
 
+// Share returns a fresh view over the manager's table: same nodes, same
+// variable order, same computed cache, but independent budget, node
+// watermark, statistics and sat-count cache. Views may be used from
+// different goroutines concurrently; handing the new view to another
+// goroutine is itself the synchronizing edge for every Ref created so
+// far.
+func (m *Manager) Share() *Manager {
+	m.t.views.Add(1)
+	return &Manager{
+		t:            m.t,
+		deadlineMask: deadlineCheckMask,
+		satC:         make(map[Ref]*big.Int),
+		satEpoch:     m.t.epoch.Load(),
+	}
+}
+
+// Views reports how many Manager views were handed out over this
+// manager's table (including the original).
+func (m *Manager) Views() int { return int(m.t.views.Load()) }
+
+// TableEpoch reports the table's adoption epoch: the number of in-place
+// GC/sift generations the shared store has gone through.
+func (m *Manager) TableEpoch() uint64 { return m.t.epoch.Load() }
+
+// setCacheBits pins the computed cache to 1<<bits entries and disables
+// automatic growth (test hook: tiny caches force collision evictions).
 func (m *Manager) setCacheBits(bits uint) {
-	m.cacheBits = bits
-	m.applyC = make([]applyEntry, 1<<bits)
-	m.iteC = make([]iteEntry, 1<<bits)
-	m.notC = make([]notEntry, 1<<bits)
+	m.t.growMu.Lock()
+	m.t.noGrow = true
+	m.t.cache.Store(newOpCache(bits))
+	m.t.growMu.Unlock()
 }
 
 // NumVars reports the number of variables in the manager.
-func (m *Manager) NumVars() int { return len(m.names) }
+func (m *Manager) NumVars() int { return len(m.t.names) }
 
 // VarName returns the name of the variable at order position i.
-func (m *Manager) VarName(i int) string { return m.names[i] }
+func (m *Manager) VarName(i int) string { return m.t.names[i] }
 
 // VarIndex returns the order position of the named variable, or -1.
 func (m *Manager) VarIndex(name string) int {
-	if i, ok := m.nameIdx[name]; ok {
+	if i, ok := m.t.nameIdx[name]; ok {
 		return i
 	}
 	return -1
 }
 
 // Names returns a copy of the variable order.
-func (m *Manager) Names() []string { return append([]string(nil), m.names...) }
+func (m *Manager) Names() []string { return append([]string(nil), m.t.names...) }
 
-// NodeCount reports the total number of live nodes in the manager's table,
-// including the two terminals.
-func (m *Manager) NodeCount() int { return len(m.level) }
+// NodeCount reports the total number of live nodes in the shared table,
+// including the terminal.
+func (m *Manager) NodeCount() int { return int(m.t.count.Load()) }
 
 // Var returns the function of the single variable at order position i.
 func (m *Manager) Var(i int) Ref {
-	if i < 0 || i >= len(m.names) {
-		panic(fmt.Sprintf("bdd: variable index %d out of range [0,%d)", i, len(m.names)))
+	if i < 0 || i >= len(m.t.names) {
+		panic(fmt.Sprintf("bdd: variable index %d out of range [0,%d)", i, len(m.t.names)))
 	}
-	return m.mk(int32(i), False, True)
+	return m.t.vars[i] ^ 1
 }
 
 // NVar returns the complemented single-variable function ¬x_i.
 func (m *Manager) NVar(i int) Ref {
-	if i < 0 || i >= len(m.names) {
-		panic(fmt.Sprintf("bdd: variable index %d out of range [0,%d)", i, len(m.names)))
+	if i < 0 || i >= len(m.t.names) {
+		panic(fmt.Sprintf("bdd: variable index %d out of range [0,%d)", i, len(m.t.names)))
 	}
-	return m.mk(int32(i), True, False)
+	return m.t.vars[i]
 }
 
 // VarNamed returns the function of the named variable.
@@ -336,100 +332,65 @@ func Const(b bool) Ref {
 }
 
 // IsConst reports whether f is a terminal.
-func IsConst(f Ref) bool { return f == False || f == True }
+func IsConst(f Ref) bool { return f&^1 == 0 }
+
+// nodeOf returns the payload of f's node (complement bit ignored).
+func (m *Manager) nodeOf(f Ref) *node { return m.t.node(int32(f) >> 1) }
 
 // levelOf returns the decision level of f (terminalLevel for terminals).
-func (m *Manager) levelOf(f Ref) int32 { return m.level[f] }
+func (m *Manager) levelOf(f Ref) int32 { return m.nodeOf(f).level }
 
 // Level exposes the variable order position tested at the root of f,
 // or -1 for terminals.
 func (m *Manager) Level(f Ref) int {
-	l := m.level[f]
+	l := m.levelOf(f)
 	if l == terminalLevel {
 		return -1
 	}
 	return int(l)
 }
 
-// Low returns the else-cofactor edge of a non-terminal node.
-func (m *Manager) Low(f Ref) Ref { return m.low[f] }
+// Low returns the else-cofactor of f as a function (complement edges
+// resolved). For a terminal it returns f itself.
+func (m *Manager) Low(f Ref) Ref { return m.nodeOf(f).low ^ (f & 1) }
 
-// High returns the then-cofactor edge of a non-terminal node.
-func (m *Manager) High(f Ref) Ref { return m.high[f] }
+// High returns the then-cofactor of f as a function (complement edges
+// resolved). For a terminal it returns f itself.
+func (m *Manager) High(f Ref) Ref { return m.nodeOf(f).high ^ (f & 1) }
 
-func nodeHash(level int32, low, high Ref) uint32 {
-	h := uint32(level)*0x9e3779b1 ^ uint32(low)*0x85ebca6b ^ uint32(high)*0xc2b2ae35
-	h ^= h >> 15
-	return h
-}
-
-// mk returns the canonical node (level, low, high), applying the reduction
-// rules: redundant tests collapse, identical nodes are shared.
+// mk returns the canonical ref for the node (level, low, high), applying
+// the reduction rules (redundant tests collapse, identical nodes are
+// shared) and the complement-edge normalization: the then edge must be
+// regular, so a complemented high is pushed through the node and onto the
+// returned ref.
 func (m *Manager) mk(level int32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
-	slot := nodeHash(level, low, high) & m.mask
-	for id := m.buckets[slot]; id >= 0; id = m.next[id] {
-		if m.level[id] == level && m.low[id] == low && m.high[id] == high {
-			return Ref(id)
-		}
+	if high&1 != 0 {
+		return m.t.mkRaw(m.nodeLimit, level, low^1, high^1) ^ 1
 	}
-	// The watermark is checked here — before the append that would cross it
-	// — rather than in grow: every table and cache growth is driven by this
-	// append, so this single check bounds them all, and the store is still
-	// consistent when the panic unwinds.
-	if m.nodeLimit > 0 && len(m.level) >= m.nodeLimit {
-		panic(ErrNodeLimit)
-	}
-	r := Ref(len(m.level))
-	m.level = append(m.level, level)
-	m.low = append(m.low, low)
-	m.high = append(m.high, high)
-	m.next = append(m.next, m.buckets[slot])
-	m.buckets[slot] = int32(r)
-	if len(m.level) > len(m.buckets) {
-		m.grow()
-	}
-	return r
-}
-
-// grow doubles the unique table and (up to a limit) the operation caches.
-func (m *Manager) grow() {
-	nb := make([]int32, len(m.buckets)*2)
-	for i := range nb {
-		nb[i] = -1
-	}
-	m.mask = uint32(len(nb) - 1)
-	for id := range m.level {
-		if id < 2 {
-			continue
-		}
-		slot := nodeHash(m.level[id], m.low[id], m.high[id]) & m.mask
-		m.next[id] = nb[slot]
-		nb[slot] = int32(id)
-	}
-	m.buckets = nb
-	if m.cacheBits < maxCacheBits {
-		// Growing the caches drops their contents, which is harmless.
-		m.setCacheBits(m.cacheBits + 1)
-	}
-	if m.log != nil {
-		m.log.Debug("bdd table grow", "nodes", len(m.level), "buckets", len(m.buckets))
-	}
+	return m.t.mkRaw(m.nodeLimit, level, low, high)
 }
 
 // And returns f ∧ g.
-func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+func (m *Manager) And(f, g Ref) Ref {
+	return m.ite(f, g, False, &m.stats.ApplyHits, &m.stats.ApplyMisses)
+}
 
 // Or returns f ∨ g.
-func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+func (m *Manager) Or(f, g Ref) Ref {
+	return m.ite(f, True, g, &m.stats.ApplyHits, &m.stats.ApplyMisses)
+}
 
 // Xor returns f ⊕ g.
-func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+func (m *Manager) Xor(f, g Ref) Ref {
+	return m.ite(f, g^1, g, &m.stats.ApplyHits, &m.stats.ApplyMisses)
+}
 
-// Not returns ¬f.
-func (m *Manager) Not(f Ref) Ref { return m.not(f) }
+// Not returns ¬f. Under complement edges this is a bit flip: no node is
+// built, no cache is probed, and no budget is charged.
+func (m *Manager) Not(f Ref) Ref { return f ^ 1 }
 
 // Nand returns ¬(f ∧ g).
 func (m *Manager) Nand(f, g Ref) Ref { return m.Not(m.And(f, g)) }
@@ -473,205 +434,166 @@ func (m *Manager) XorN(fs ...Ref) Ref {
 	return acc
 }
 
-func (m *Manager) not(f Ref) Ref {
-	switch f {
-	case False:
-		return True
-	case True:
-		return False
-	}
-	slot := (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
-	if e := &m.notC[slot]; e.f == f {
-		m.stats.NotHits++
-		return e.res
-	}
-	m.stats.NotMisses++
-	m.chargeOp()
-	r := m.mk(m.level[f], m.not(m.low[f]), m.not(m.high[f]))
-	slot = (uint32(f) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
-	m.notC[slot] = notEntry{f: f, res: r}
-	slot = (uint32(r) * 0x9e3779b1 >> 10) & (uint32(len(m.notC)) - 1)
-	m.notC[slot] = notEntry{f: r, res: f}
-	return r
-}
-
-func applyHash(op opcode, f, g Ref, size uint32) uint32 {
-	h := uint32(f)*0x85ebca6b ^ uint32(g)*0xc2b2ae35 ^ uint32(op)*0x27d4eb2f
-	h ^= h >> 13
-	return h & (size - 1)
-}
-
-// apply implements the memoized Shannon-expansion product construction.
-func (m *Manager) apply(op opcode, f, g Ref) Ref {
-	// Terminal rules.
-	switch op {
-	case opAnd:
-		if f == False || g == False {
-			return False
-		}
-		if f == True {
-			return g
-		}
-		if g == True {
-			return f
-		}
-		if f == g {
-			return f
-		}
-	case opOr:
-		if f == True || g == True {
-			return True
-		}
-		if f == False {
-			return g
-		}
-		if g == False {
-			return f
-		}
-		if f == g {
-			return f
-		}
-	case opXor:
-		if f == g {
-			return False
-		}
-		if f == False {
-			return g
-		}
-		if g == False {
-			return f
-		}
-		if f == True {
-			return m.not(g)
-		}
-		if g == True {
-			return m.not(f)
-		}
-	}
-	// Commutative: normalize operand order for cache hits.
-	if f > g {
-		f, g = g, f
-	}
-	slot := applyHash(op, f, g, uint32(len(m.applyC)))
-	if e := &m.applyC[slot]; e.f == f && e.g == g && e.op == op {
-		m.stats.ApplyHits++
-		return e.res
-	}
-	m.stats.ApplyMisses++
-	m.chargeOp()
-	fl, gl := m.level[f], m.level[g]
-	var level int32
-	var f0, f1, g0, g1 Ref
-	switch {
-	case fl == gl:
-		level = fl
-		f0, f1 = m.low[f], m.high[f]
-		g0, g1 = m.low[g], m.high[g]
-	case fl < gl:
-		level = fl
-		f0, f1 = m.low[f], m.high[f]
-		g0, g1 = g, g
-	default:
-		level = gl
-		f0, f1 = f, f
-		g0, g1 = m.low[g], m.high[g]
-	}
-	r := m.mk(level, m.apply(op, f0, g0), m.apply(op, f1, g1))
-	// The caches may have been resized by mk; recompute the slot.
-	slot = applyHash(op, f, g, uint32(len(m.applyC)))
-	m.applyC[slot] = applyEntry{op: op, f: f, g: g, res: r}
-	return r
-}
-
 // Ite returns if-then-else: (f ∧ g) ∨ (¬f ∧ h).
-func (m *Manager) Ite(f, g, h Ref) Ref { return m.ite(f, g, h) }
-
-func iteHash(f, g, h Ref, size uint32) uint32 {
-	x := uint32(f)*0x9e3779b1 ^ uint32(g)*0x85ebca6b ^ uint32(h)*0xc2b2ae35
-	x ^= x >> 14
-	return x & (size - 1)
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	return m.ite(f, g, h, &m.stats.IteHits, &m.stats.IteMisses)
 }
 
-func (m *Manager) ite(f, g, h Ref) Ref {
+// iteLess orders two refs for the commutativity normalizations: first by
+// level, then by node id (ignoring complement bits, which the rewrite
+// rules account for separately).
+func (m *Manager) iteLess(a, b Ref) bool {
+	la, lb := m.levelOf(a), m.levelOf(b)
+	if la != lb {
+		return la < lb
+	}
+	return a&^1 < b&^1
+}
+
+// ite computes ITE(f, g, h) with standard-triple normalization: terminal
+// rules first, then equivalent-triple rewrites that canonicalize argument
+// order (so e.g. f∧g and g∧f share one cache line), then the
+// complement-edge normalization that makes the first argument and the
+// then argument regular. One operation is charged per entry — including
+// cache hits — so an armed budget bounds work deterministically even when
+// the shared cache is warm. hits/misses point at the issuing operation
+// family's counters.
+func (m *Manager) ite(f, g, h Ref, hits, misses *int64) Ref {
+	m.chargeOp()
+	// Terminal rules.
 	switch {
 	case f == True:
 		return g
 	case f == False:
 		return h
+	}
+	// Arguments that repeat f collapse to constants along f's branch.
+	if g == f {
+		g = True
+	} else if g == f^1 {
+		g = False
+	}
+	if h == f {
+		h = False
+	} else if h == f^1 {
+		h = True
+	}
+	switch {
 	case g == h:
 		return g
 	case g == True && h == False:
 		return f
 	case g == False && h == True:
-		return m.not(f)
+		return f ^ 1
 	}
-	slot := iteHash(f, g, h, uint32(len(m.iteC)))
-	if e := &m.iteC[slot]; e.f == f && e.g == g && e.h == h {
-		m.stats.IteHits++
-		return e.res
+	// Equivalent-triple rewrites: pull the smallest operand into the first
+	// position wherever the operation commutes.
+	switch {
+	case h == False: // f ∧ g
+		if m.iteLess(g, f) {
+			f, g = g, f
+		}
+	case g == True: // f ∨ h
+		if m.iteLess(h, f) {
+			f, h = h, f
+		}
+	case h == True: // ¬f ∨ g == ¬g ∨ ¬(¬f)... ITE(f,g,1) == ITE(¬g,¬f,1)
+		if m.iteLess(g, f) {
+			f, g = g^1, f^1
+		}
+	case g == False: // ¬f ∧ h; ITE(f,0,h) == ITE(¬h,0,¬f)
+		if m.iteLess(h, f) {
+			f, h = h^1, f^1
+		}
+	case h == g^1: // f XNOR g; ITE(f,g,¬g) == ITE(g,f,¬f)
+		if m.iteLess(g, f) {
+			f, g, h = g, f, f^1
+		}
 	}
-	m.stats.IteMisses++
-	m.chargeOp()
-	level := m.level[f]
-	if l := m.level[g]; l < level {
+	// Complement normalization: a complemented first argument swaps the
+	// branches; a complemented then argument complements the result.
+	if f&1 != 0 {
+		f ^= 1
+		g, h = h, g
+	}
+	var neg Ref
+	if g&1 != 0 {
+		neg = 1
+		g ^= 1
+		h ^= 1
+	}
+	cache := m.t.cache.Load()
+	if r, ok := cache.get(f, g, h); ok {
+		*hits++
+		return r ^ neg
+	}
+	*misses++
+	level := m.levelOf(f)
+	if l := m.levelOf(g); l < level {
 		level = l
 	}
-	if l := m.level[h]; l < level {
+	if l := m.levelOf(h); l < level {
 		level = l
 	}
 	f0, f1 := m.cofactors(f, level)
 	g0, g1 := m.cofactors(g, level)
 	h0, h1 := m.cofactors(h, level)
-	r := m.mk(level, m.ite(f0, g0, h0), m.ite(f1, g1, h1))
-	slot = iteHash(f, g, h, uint32(len(m.iteC)))
-	m.iteC[slot] = iteEntry{f: f, g: g, h: h, res: r}
-	return r
+	r := m.mk(level, m.ite(f0, g0, h0, hits, misses), m.ite(f1, g1, h1, hits, misses))
+	cache.put(f, g, h, r)
+	return r ^ neg
 }
 
 // cofactors returns the (low, high) cofactors of f with respect to the
 // variable at 'level'; if f does not test that variable both are f.
 func (m *Manager) cofactors(f Ref, level int32) (Ref, Ref) {
-	if m.level[f] == level {
-		return m.low[f], m.high[f]
+	n := m.nodeOf(f)
+	if n.level == level {
+		c := f & 1
+		return n.low ^ c, n.high ^ c
 	}
 	return f, f
 }
 
 // Eval evaluates f under the assignment (one bool per variable, in order).
 func (m *Manager) Eval(f Ref, assignment []bool) bool {
-	if len(assignment) != len(m.names) {
-		panic(fmt.Sprintf("bdd: assignment has %d values, want %d", len(assignment), len(m.names)))
+	if len(assignment) != len(m.t.names) {
+		panic(fmt.Sprintf("bdd: assignment has %d values, want %d", len(assignment), len(m.t.names)))
 	}
 	for !IsConst(f) {
-		if assignment[m.level[f]] {
-			f = m.high[f]
+		n := m.nodeOf(f)
+		c := f & 1
+		if assignment[n.level] {
+			f = n.high ^ c
 		} else {
-			f = m.low[f]
+			f = n.low ^ c
 		}
 	}
 	return f == True
 }
 
 // Size reports the number of distinct nodes reachable from f, including
-// terminals.
+// the terminal. A function and its complement share every node, so
+// Size(f) == Size(Not(f)).
 func (m *Manager) Size(f Ref) int { return m.TotalSize(f) }
 
 // Support returns the sorted order positions of the variables f depends on.
 func (m *Manager) Support(f Ref) []int {
-	seen := map[Ref]struct{}{}
+	seen := map[int32]struct{}{}
 	vars := map[int32]struct{}{}
 	var walk func(Ref)
 	walk = func(r Ref) {
-		if IsConst(r) {
+		id := int32(r) >> 1
+		if id == 0 {
 			return
 		}
-		if _, ok := seen[r]; ok {
+		if _, ok := seen[id]; ok {
 			return
 		}
-		seen[r] = struct{}{}
-		vars[m.level[r]] = struct{}{}
-		walk(m.low[r])
-		walk(m.high[r])
+		seen[id] = struct{}{}
+		n := m.t.node(id)
+		vars[n.level] = struct{}{}
+		walk(n.low)
+		walk(n.high)
 	}
 	walk(f)
 	out := make([]int, 0, len(vars))
@@ -695,5 +617,5 @@ func (m *Manager) String(f Ref) string {
 	case True:
 		return "true"
 	}
-	return fmt.Sprintf("bdd(%s; %d nodes)", m.names[m.level[f]], m.Size(f))
+	return fmt.Sprintf("bdd(%s; %d nodes)", m.t.names[m.levelOf(f)], m.Size(f))
 }

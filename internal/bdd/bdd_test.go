@@ -388,15 +388,15 @@ func TestSize(t *testing.T) {
 	if m.Size(True) != 1 || m.Size(False) != 1 {
 		t.Fatal("terminal size must be 1")
 	}
-	// x0 has one decision node + two terminals.
-	if m.Size(m.Var(0)) != 3 {
-		t.Fatalf("Size(x0) = %d, want 3", m.Size(m.Var(0)))
+	// x0 has one decision node + the shared terminal.
+	if m.Size(m.Var(0)) != 2 {
+		t.Fatalf("Size(x0) = %d, want 2", m.Size(m.Var(0)))
 	}
-	// Odd parity over 3 vars: 3 + 2 + 2 decision levels... canonical parity
-	// BDD has 2n-1 decision nodes plus both terminals reachable.
+	// Odd parity over 3 vars: with complement edges both polarities of each
+	// level share one node, so parity needs n decision nodes + the terminal.
 	f := m.XorN(m.Var(0), m.Var(1), m.Var(2))
-	if m.Size(f) != 2*3-1+2 {
-		t.Fatalf("parity size = %d, want %d", m.Size(f), 2*3-1+2)
+	if m.Size(f) != 3+1 {
+		t.Fatalf("parity size = %d, want %d", m.Size(f), 3+1)
 	}
 }
 
@@ -624,7 +624,7 @@ func TestCacheGrowthDuringApply(t *testing.T) {
 	if odd != odd2 {
 		t.Fatal("parity built in two directions must be identical")
 	}
-	if m.Size(odd) != 2*16-1+2 {
+	if m.Size(odd) != 16+1 {
 		t.Fatalf("parity BDD size %d", m.Size(odd))
 	}
 }

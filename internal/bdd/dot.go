@@ -8,7 +8,9 @@ import (
 
 // DOT renders the BDDs rooted at the given functions as a Graphviz
 // digraph: solid edges for the then-cofactor, dashed for else, boxed
-// terminals, one rank per variable level. Useful for debugging and for
+// terminals, one rank per variable level. Complement edges are resolved
+// before rendering — each polarity of a node draws as its own vertex — so
+// the picture shows plain cofactors. Useful for debugging and for
 // documentation figures.
 func (m *Manager) DOT(name string, roots ...Ref) string {
 	var sb strings.Builder
@@ -26,9 +28,10 @@ func (m *Manager) DOT(name string, roots ...Ref) string {
 			return
 		}
 		seen[r] = true
-		byLevel[m.level[r]] = append(byLevel[m.level[r]], r)
-		walk(m.low[r])
-		walk(m.high[r])
+		lv := m.levelOf(r)
+		byLevel[lv] = append(byLevel[lv], r)
+		walk(m.Low(r))
+		walk(m.High(r))
 	}
 	for _, r := range roots {
 		walk(r)
@@ -57,9 +60,9 @@ func (m *Manager) DOT(name string, roots ...Ref) string {
 		}
 		sb.WriteString(" }\n")
 		for _, r := range nodes {
-			fmt.Fprintf(&sb, "  %s [label=%q];\n", nodeName(r), m.names[l])
-			fmt.Fprintf(&sb, "  %s -> %s [style=dashed];\n", nodeName(r), nodeName(m.low[r]))
-			fmt.Fprintf(&sb, "  %s -> %s;\n", nodeName(r), nodeName(m.high[r]))
+			fmt.Fprintf(&sb, "  %s [label=%q];\n", nodeName(r), m.t.names[l])
+			fmt.Fprintf(&sb, "  %s -> %s [style=dashed];\n", nodeName(r), nodeName(m.Low(r)))
+			fmt.Fprintf(&sb, "  %s -> %s;\n", nodeName(r), nodeName(m.High(r)))
 		}
 	}
 	for i, r := range roots {

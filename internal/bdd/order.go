@@ -44,7 +44,7 @@ func (m *Manager) Sift(roots []Ref, maxPasses int) (*Manager, []Ref, int) {
 	}
 	cur, curRoots := m.Rebuild(roots)
 	best := cur.TotalSize(curRoots...)
-	n := len(m.names)
+	n := len(m.t.names)
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		vars := cur.Names()
@@ -110,7 +110,7 @@ func (m *Manager) WindowReorder(roots []Ref, window, maxPasses int) (*Manager, [
 	curRoots := append([]Ref(nil), roots...)
 	best := cur.TotalSize(curRoots...)
 	perms := permutations(window)
-	n := len(m.names)
+	n := len(m.t.names)
 	for pass := 0; pass < maxPasses; pass++ {
 		improvedPass := false
 		for start := 0; start+window <= n; start++ {

@@ -119,11 +119,11 @@ func TestSiftReachesInterleavedOptimum(t *testing.T) {
 	before := m.Size(f)
 	m2, roots, size := m.Sift([]Ref{f}, 10)
 	// The optimum for the comparator is the interleaved order: one a-node
-	// and one b-node per pair plus the terminals, 2k+2 in all.
+	// and one b-node per pair plus the shared terminal, 2k+1 in all.
 	// Exhaustive-position sifting must find it from the worst-case
 	// blocked order.
-	if size != 2*k+2 {
-		t.Fatalf("sift reached %d nodes from %d, want optimum %d", size, before, 2*k+2)
+	if size != 2*k+1 {
+		t.Fatalf("sift reached %d nodes from %d, want optimum %d", size, before, 2*k+1)
 	}
 	rng := rand.New(rand.NewSource(19))
 	for trial := 0; trial < 200; trial++ {

@@ -5,34 +5,39 @@ import "fmt"
 // Restrict returns f with the variable at order position v fixed to val
 // (the cofactor f|v=val).
 func (m *Manager) Restrict(f Ref, v int, val bool) Ref {
-	if v < 0 || v >= len(m.names) {
+	if v < 0 || v >= len(m.t.names) {
 		panic(fmt.Sprintf("bdd: restrict variable %d out of range", v))
 	}
-	memo := map[Ref]Ref{}
+	memo := map[int32]Ref{}
 	return m.restrict(f, int32(v), val, memo)
 }
 
-func (m *Manager) restrict(f Ref, v int32, val bool, memo map[Ref]Ref) Ref {
-	lv := m.level[f]
-	if lv > v {
+// restrict memoizes per node id: restriction commutes with complement, so
+// one entry serves both polarities (the caller's complement bit is
+// re-applied on the way out).
+func (m *Manager) restrict(f Ref, v int32, val bool, memo map[int32]Ref) Ref {
+	id := int32(f) >> 1
+	n := m.t.node(id)
+	if n.level > v {
 		// Terminals have terminalLevel, so this also covers constants.
 		return f
 	}
-	if r, ok := memo[f]; ok {
-		return r
+	c := f & 1
+	if r, ok := memo[id]; ok {
+		return r ^ c
 	}
 	var r Ref
-	if lv == v {
+	if n.level == v {
 		if val {
-			r = m.high[f]
+			r = n.high
 		} else {
-			r = m.low[f]
+			r = n.low
 		}
 	} else {
-		r = m.mk(lv, m.restrict(m.low[f], v, val, memo), m.restrict(m.high[f], v, val, memo))
+		r = m.mk(n.level, m.restrict(n.low, v, val, memo), m.restrict(n.high, v, val, memo))
 	}
-	memo[f] = r
-	return r
+	memo[id] = r
+	return r ^ c
 }
 
 // Exists existentially quantifies the listed variables out of f.
@@ -54,59 +59,59 @@ func (m *Manager) ForAll(f Ref, vars ...int) Ref {
 // Compose substitutes the function g for the variable at order position v
 // inside f: f[v := g].
 func (m *Manager) Compose(f Ref, v int, g Ref) Ref {
-	if v < 0 || v >= len(m.names) {
+	if v < 0 || v >= len(m.t.names) {
 		panic(fmt.Sprintf("bdd: compose variable %d out of range", v))
 	}
-	memo := map[Ref]Ref{}
+	memo := map[int32]Ref{}
 	return m.compose(f, int32(v), g, memo)
 }
 
-func (m *Manager) compose(f Ref, v int32, g Ref, memo map[Ref]Ref) Ref {
-	lv := m.level[f]
-	if lv > v {
+func (m *Manager) compose(f Ref, v int32, g Ref, memo map[int32]Ref) Ref {
+	id := int32(f) >> 1
+	n := m.t.node(id)
+	if n.level > v {
 		return f
 	}
-	if r, ok := memo[f]; ok {
-		return r
+	c := f & 1
+	if r, ok := memo[id]; ok {
+		return r ^ c
 	}
 	var r Ref
-	if lv == v {
-		r = m.Ite(g, m.high[f], m.low[f])
+	if n.level == v {
+		r = m.Ite(g, n.high, n.low)
 	} else {
-		lo := m.compose(m.low[f], v, g, memo)
-		hi := m.compose(m.high[f], v, g, memo)
-		top := m.mk(lv, False, True) // the variable itself
-		r = m.Ite(top, hi, lo)
+		lo := m.compose(n.low, v, g, memo)
+		hi := m.compose(n.high, v, g, memo)
+		r = m.Ite(m.Var(int(n.level)), hi, lo)
 	}
-	memo[f] = r
-	return r
+	memo[id] = r
+	return r ^ c
 }
 
 // VectorCompose simultaneously substitutes subst[v] (when present) for each
 // variable v in f. Substitutions see the original variables, not each other.
 func (m *Manager) VectorCompose(f Ref, subst map[int]Ref) Ref {
-	memo := map[Ref]Ref{}
+	memo := map[int32]Ref{}
 	var rec func(Ref) Ref
 	rec = func(r Ref) Ref {
 		if IsConst(r) {
 			return r
 		}
-		if out, ok := memo[r]; ok {
-			return out
+		id := int32(r) >> 1
+		c := r & 1
+		if out, ok := memo[id]; ok {
+			return out ^ c
 		}
-		lv := m.level[r]
-		lo := rec(m.low[r])
-		hi := rec(m.high[r])
-		v := int(lv)
-		var top Ref
-		if g, ok := subst[v]; ok {
-			top = g
-		} else {
-			top = m.mk(lv, False, True)
+		n := m.t.node(id)
+		lo := rec(n.low)
+		hi := rec(n.high)
+		top, ok := subst[int(n.level)]
+		if !ok {
+			top = m.Var(int(n.level))
 		}
 		out := m.Ite(top, hi, lo)
-		memo[r] = out
-		return out
+		memo[id] = out
+		return out ^ c
 	}
 	return rec(f)
 }

@@ -5,45 +5,67 @@ import (
 	"math/big"
 )
 
+// syncSatEpoch drops the view's sat-count cache when the shared table has
+// been adopted in place (GC/sift) since the cache was filled: node ids
+// were reassigned, so the cached counts name the wrong functions.
+func (m *Manager) syncSatEpoch() {
+	if e := m.t.epoch.Load(); e != m.satEpoch {
+		m.satEpoch = e
+		if len(m.satC) > 0 {
+			m.satC = make(map[Ref]*big.Int)
+		}
+	}
+}
+
 // SatCount returns the exact number of satisfying assignments of f over all
 // variables declared in the manager.
+//
+// Counts are cached per regular (uncomplemented) ref, normalized to the
+// node's own level; a complement edge is resolved arithmetically as
+// 2^(n-level) − count, so both polarities of a function are served by one
+// cached value. Cached *big.Int values are immutable and may be aliased
+// across views and managers (Transfer carries them).
 func (m *Manager) SatCount(f Ref) *big.Int {
-	n := int32(len(m.names))
-	// count(f) counts assignments over variables at levels >= level(f)
-	// capped at n; cache stores counts normalized to the node's own level.
+	m.syncSatEpoch()
+	n := int32(len(m.t.names))
 	counts := m.satC
-	var rec func(Ref) *big.Int
-	rec = func(r Ref) *big.Int {
+	// cntAt(r) counts assignments over the variables at levels >= level(r)
+	// (capped at n); cnt(r, from) widens that to levels >= from.
+	var cntAt func(Ref) *big.Int
+	cnt := func(r Ref, from int32) *big.Int {
+		lv := m.levelOf(r)
+		if lv > n {
+			lv = n
+		}
+		return new(big.Int).Lsh(cntAt(r), uint(lv-from))
+	}
+	cntAt = func(r Ref) *big.Int {
 		if r == False {
 			return big.NewInt(0)
 		}
 		if r == True {
 			return big.NewInt(1)
 		}
+		if r&1 != 0 {
+			// ¬x over the vars from level(r): full space minus x's count.
+			reg := r ^ 1
+			full := new(big.Int).Lsh(big.NewInt(1), uint(n-m.levelOf(r)))
+			return full.Sub(full, cntAt(reg))
+		}
 		if c, ok := counts[r]; ok {
 			return c
 		}
-		lo := rec(m.low[r])
-		hi := rec(m.high[r])
-		lol := m.level[m.low[r]]
-		hil := m.level[m.high[r]]
-		if lol > n {
-			lol = n
-		}
-		if hil > n {
-			hil = n
-		}
-		c := new(big.Int).Lsh(lo, uint(lol-m.level[r]-1))
-		c.Add(c, new(big.Int).Lsh(hi, uint(hil-m.level[r]-1)))
+		nd := m.nodeOf(r)
+		c := cnt(nd.low, nd.level+1)
+		c.Add(c, cnt(nd.high, nd.level+1))
 		counts[r] = c
 		return c
 	}
-	c := rec(f)
-	top := m.level[f]
+	top := m.levelOf(f)
 	if top > n {
 		top = n
 	}
-	return new(big.Int).Lsh(c, uint(top))
+	return new(big.Int).Lsh(cntAt(f), uint(top))
 }
 
 // SatFrac returns the fraction of the 2^n input space satisfying f:
@@ -52,7 +74,7 @@ func (m *Manager) SatCount(f Ref) *big.Int {
 func (m *Manager) SatFrac(f Ref) float64 {
 	c := m.SatCount(f)
 	num := new(big.Float).SetInt(c)
-	den := new(big.Float).SetMantExp(big.NewFloat(1), len(m.names))
+	den := new(big.Float).SetMantExp(big.NewFloat(1), len(m.t.names))
 	frac, _ := new(big.Float).Quo(num, den).Float64()
 	if math.IsNaN(frac) {
 		return 0
@@ -62,21 +84,26 @@ func (m *Manager) SatFrac(f Ref) float64 {
 
 // AnySat returns one satisfying assignment of f as a slice with one entry
 // per variable: 0, 1, or -1 for don't-care. Returns nil when f is False.
+// The walk prefers the then branch, so the result depends only on the
+// function, not on node ids — shared and serial runs pick the same
+// witness.
 func (m *Manager) AnySat(f Ref) []int8 {
 	if f == False {
 		return nil
 	}
-	a := make([]int8, len(m.names))
+	a := make([]int8, len(m.t.names))
 	for i := range a {
 		a[i] = -1
 	}
 	for !IsConst(f) {
-		if m.high[f] != False {
-			a[m.level[f]] = 1
-			f = m.high[f]
+		n := m.nodeOf(f)
+		c := f & 1
+		if hi := n.high ^ c; hi != False {
+			a[n.level] = 1
+			f = hi
 		} else {
-			a[m.level[f]] = 0
-			f = m.low[f]
+			a[n.level] = 0
+			f = n.low ^ c
 		}
 	}
 	return a
@@ -87,7 +114,7 @@ func (m *Manager) AnySat(f Ref) []int8 {
 // false. The enumeration is depth-first over the BDD, so the number of
 // cubes equals the number of root-to-True paths.
 func (m *Manager) AllSat(f Ref, fn func(cube []int8) bool) {
-	cube := make([]int8, len(m.names))
+	cube := make([]int8, len(m.t.names))
 	for i := range cube {
 		cube[i] = -1
 	}
@@ -99,13 +126,15 @@ func (m *Manager) AllSat(f Ref, fn func(cube []int8) bool) {
 		if r == True {
 			return fn(cube)
 		}
-		lv := m.level[r]
+		n := m.nodeOf(r)
+		c := r & 1
+		lv := n.level
 		cube[lv] = 0
-		if !rec(m.low[r]) {
+		if !rec(n.low ^ c) {
 			return false
 		}
 		cube[lv] = 1
-		if !rec(m.high[r]) {
+		if !rec(n.high ^ c) {
 			return false
 		}
 		cube[lv] = -1
@@ -114,8 +143,13 @@ func (m *Manager) AllSat(f Ref, fn func(cube []int8) bool) {
 	rec(f)
 }
 
-// CountMinterms64 returns SatCount as a float64 (exact for up to 53 bits of
-// count, which covers every circuit in this repository).
+// CountMinterms64 returns SatCount rounded to the nearest float64. The
+// value is exact only while the count fits in 53 bits of mantissa —
+// circuits with more than 53 inputs (several ISCAS-85 members) routinely
+// exceed that, and their counts round to the nearest representable
+// float64 (relative error ≤ 2⁻⁵³). Callers needing exact wide counts must
+// use SatCount; callers deriving fractions should prefer SatFrac, which
+// divides in extended precision before rounding once.
 func (m *Manager) CountMinterms64(f Ref) float64 {
 	fl, _ := new(big.Float).SetInt(m.SatCount(f)).Float64()
 	return fl

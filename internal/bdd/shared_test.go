@@ -1,0 +1,203 @@
+package bdd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShareViewsOneTable checks the basic sharing contract: views created
+// with Share operate on the same node store, so canonical functions built
+// on different views are the very same Ref.
+func TestShareViewsOneTable(t *testing.T) {
+	m := NewAnon(8)
+	if m.Views() != 1 {
+		t.Fatalf("fresh manager has %d views, want 1", m.Views())
+	}
+	v := m.Share()
+	if m.Views() != 2 || v.Views() != 2 {
+		t.Fatalf("after Share views = %d/%d, want 2/2", m.Views(), v.Views())
+	}
+	f := m.Or(m.And(m.Var(0), m.Var(1)), m.Xor(m.Var(2), m.Var(3)))
+	g := v.Or(v.And(v.Var(0), v.Var(1)), v.Xor(v.Var(2), v.Var(3)))
+	if f != g {
+		t.Fatalf("same function on two views got distinct refs %v vs %v", f, g)
+	}
+	if m.NodeCount() != v.NodeCount() {
+		t.Fatal("views disagree on the shared node count")
+	}
+	// Budgets are per-view: arming one view must not meter the other.
+	v.SetNodeLimit(1)
+	if got := m.NodeLimit(); got != 0 {
+		t.Fatalf("node limit leaked across views: %d", got)
+	}
+	// Stats are per-view too: work on m must not move v's counters.
+	vs := v.CacheStats()
+	m.And(f, m.Var(4))
+	if v.CacheStats() != vs {
+		t.Fatal("cache stats aliased across views")
+	}
+}
+
+// TestConcurrentUniqueTableStress hammers one shared table from many
+// goroutines at once — concurrent mk/ite on overlapping subfunctions —
+// and then checks canonicity survived: every worker must end up with the
+// identical Ref for the common function, and the function must still
+// evaluate correctly. Run under -race this doubles as the memory-model
+// check for the lock-striped unique table and the seqlock op caches.
+func TestConcurrentUniqueTableStress(t *testing.T) {
+	const (
+		workers = 8
+		vars    = 14
+		rounds  = 60
+	)
+	m := NewAnon(vars)
+	// Pin a small cache so growth, eviction, and collision paths all run.
+	m.setCacheBits(minCacheBits)
+	views := make([]*Manager, workers)
+	for w := range views {
+		views[w] = m.Share()
+	}
+	final := make([]Ref, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := views[w]
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			// Private per-worker churn: random minterm ORs, different per
+			// worker, so the table sees disjoint and overlapping inserts.
+			acc := False
+			for r := 0; r < rounds; r++ {
+				cube := True
+				for i := 0; i < vars; i++ {
+					if rng.Intn(2) == 1 {
+						cube = v.And(cube, v.Var(i))
+					} else {
+						cube = v.And(cube, v.NVar(i))
+					}
+				}
+				acc = v.Or(acc, cube)
+			}
+			// The common function every worker must agree on.
+			parity := False
+			for i := 0; i < vars; i++ {
+				parity = v.Xor(parity, v.Var(i))
+			}
+			final[w] = v.And(parity, v.Or(acc, v.Not(acc)))
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if final[w] != final[0] {
+			t.Fatalf("worker %d got ref %v for the common function, worker 0 got %v",
+				w, final[w], final[0])
+		}
+	}
+	// acc ∨ ¬acc is True, so the common function is plain parity.
+	want := False
+	for i := 0; i < vars; i++ {
+		want = m.Xor(want, m.Var(i))
+	}
+	if final[0] != want {
+		t.Fatal("stressed table lost canonicity for parity")
+	}
+	for trial := 0; trial < 64; trial++ {
+		a := make([]bool, vars)
+		odd := false
+		for i := range a {
+			a[i] = trial>>uint(i%6)&1 == 1
+			if a[i] {
+				odd = !odd
+			}
+		}
+		if m.Eval(final[0], a) != odd {
+			t.Fatal("parity evaluates wrong after concurrent stress")
+		}
+	}
+}
+
+// TestGCWithMultipleViewsHoldingRoots runs an in-place GC while several
+// views hold live roots, as campaign workers do between faults. The
+// collection happens at a quiescent point (no concurrent builders — the
+// engine enforces that with its analysis lock); afterwards every view
+// must see the remapped roots as the same canonical functions, and stale
+// per-view sat caches must be dropped, not misread.
+func TestGCWithMultipleViewsHoldingRoots(t *testing.T) {
+	m := NewAnon(10)
+	v1, v2 := m.Share(), m.Share()
+	f := m.Or(m.And(m.Var(0), m.Var(1)), m.And(m.Var(2), m.Var(3)))
+	g := v1.Xor(v1.Var(4), v1.Var(5))
+	h := v2.And(v2.Or(v2.Var(6), v2.Var(7)), v2.Var(8))
+	wantG := v1.SatCount(g) // prime v1's sat cache so adoption must invalidate it
+	// Garbage: a pile of functions nobody keeps.
+	for i := 0; i < 9; i++ {
+		m.And(m.Xor(m.Var(i), m.Var(i+1)), m.Var(0))
+	}
+	before := m.NodeCount()
+	epoch := v1.TableEpoch()
+	roots, res := m.GC([]Ref{f, g, h})
+	if m.NodeCount() >= before || res.Reclaimed() <= 0 {
+		t.Fatalf("GC reclaimed nothing: %d -> %d", before, m.NodeCount())
+	}
+	if v1.TableEpoch() == epoch {
+		t.Fatal("in-place adoption must bump the table epoch")
+	}
+	// All views see the remapped roots as the same functions.
+	if rg := v1.Xor(v1.Var(4), v1.Var(5)); rg != roots[1] {
+		t.Fatalf("view 1 rebuilt g as %v, GC root is %v", rg, roots[1])
+	}
+	if rh := v2.And(v2.Or(v2.Var(6), v2.Var(7)), v2.Var(8)); rh != roots[2] {
+		t.Fatalf("view 2 rebuilt h as %v, GC root is %v", rh, roots[2])
+	}
+	// v1's sat cache predates the adoption; counting again must detect the
+	// epoch change and recompute, not serve a stale id.
+	if got := v1.SatCount(roots[1]); got.Cmp(wantG) != 0 {
+		t.Fatalf("sat count after GC %v, want %v", got, wantG)
+	}
+	if got := v2.SatCount(roots[2]); got.Sign() == 0 {
+		t.Fatal("sat count of live root is zero after GC")
+	}
+}
+
+// TestReduceUnderSiftWithViews checks that a recovery-ladder sift (which
+// rebuilds the shared table under a new variable order and adopts it in
+// place) leaves sibling views consistent: they observe the epoch bump and
+// agree on the remapped roots.
+func TestReduceUnderSiftWithViews(t *testing.T) {
+	const k = 5
+	names := make([]string, 0, 2*k)
+	for i := 0; i < k; i++ {
+		names = append(names, "a"+string(rune('0'+i)))
+	}
+	for i := 0; i < k; i++ {
+		names = append(names, "b"+string(rune('0'+i)))
+	}
+	m := New(names...)
+	v := m.Share()
+	f := False
+	for i := 0; i < k; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(k+i)))
+	}
+	epoch := v.TableEpoch()
+	roots, res := m.ReduceUnder([]Ref{f}, 1, 4)
+	if !res.Sifted {
+		t.Fatal("watermark 1 must force a sift")
+	}
+	if v.TableEpoch() == epoch {
+		t.Fatal("sift adoption must bump the epoch for sibling views")
+	}
+	// The sibling view rebuilds the function under the new order and must
+	// land on the same ref.
+	g := False
+	for i := 0; i < k; i++ {
+		g = v.Or(g, v.And(v.VarNamed("a"+string(rune('0'+i))), v.VarNamed("b"+string(rune('0'+i)))))
+	}
+	if g != roots[0] {
+		t.Fatalf("sibling view rebuilt %v, sift returned %v", g, roots[0])
+	}
+	if got := m.Size(roots[0]); got != 2*k+1 {
+		t.Fatalf("sifted size %d, want optimum %d", got, 2*k+1)
+	}
+}

@@ -25,8 +25,9 @@ func TestCacheStatsCount(t *testing.T) {
 	m.Not(m.And(a, b))
 	m.Ite(a, b, m.Var(4))
 	s := m.CacheStats()
-	if s.NotHits+s.NotMisses == 0 {
-		t.Fatal("not cache counters never moved")
+	// Not is a complement-edge bit flip: free, uncached, uncounted.
+	if s.NotHits+s.NotMisses != 0 {
+		t.Fatalf("not counters moved (%d/%d); complement-edge Not must be free", s.NotHits, s.NotMisses)
 	}
 	if s.IteHits+s.IteMisses == 0 {
 		t.Fatal("ite cache counters never moved")

@@ -23,6 +23,7 @@ package diffprop
 import (
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"repro/internal/bdd"
@@ -101,10 +102,12 @@ type Options struct {
 	MaxCuts int
 }
 
-// Engine analyzes one circuit. It is not safe for concurrent use. Results
-// returned by Engine methods hold BDD references that stay valid only
-// until the next Engine call (the engine may compact its manager between
-// faults).
+// Engine analyzes one circuit. A single Engine is not safe for concurrent
+// use, but Share hands out additional engines over the same shared BDD
+// table that may run on other goroutines (each bracketing its fault
+// queries with AnalysisLock). Results returned by Engine methods hold BDD
+// references that stay valid only until the next Engine call (the engine
+// may compact its manager between faults).
 type Engine struct {
 	// Circuit is the two-input working copy of the analyzed circuit; all
 	// fault sites passed to the engine must refer to ITS net numbering.
@@ -140,8 +143,17 @@ type Engine struct {
 	// settled at (0 = never sifted). The good functions are fixed for the
 	// engine's lifetime, so a sift that could not pull them under the
 	// watermark will not do better on the next recovery; this gates the
-	// sift rung to run once per engine.
+	// sift rung to run once per engine. Engines sharing one table keep the
+	// gate in sharedState instead — one sift serves every view.
 	lastSiftSize int
+
+	// shared is non-nil for engines created by (or used as the source of)
+	// Share: views over one BDD table coordinating through a read/write
+	// lock. Fault analyses run under the read side (concurrent), in-place
+	// GC and sifting under the write side (exclusive). The good and
+	// varToInput slices are aliased across all views and rebound in place,
+	// so a GC by one view re-roots every other view at once.
+	shared *sharedState
 
 	// log receives structured engine events (rebuilds, budget aborts);
 	// nil is silent. Not shared with clones.
@@ -384,6 +396,73 @@ func (e *Engine) Clone() *Engine {
 	}
 }
 
+// sharedState coordinates the engines sharing one BDD table. The lock
+// has reader/writer semantics matching the table's concurrency contract:
+// fault analyses (which only add nodes) run under RLock concurrently,
+// while in-place GC and sifting (which re-root the table) require the
+// exclusive Lock. lastSiftSize moves here from the per-engine field so
+// the one-sift-per-good-set gate spans every view.
+type sharedState struct {
+	mu           sync.RWMutex
+	lastSiftSize int
+}
+
+// Share returns an engine over the same circuit and the same BDD node
+// table: good functions, computed cache and unique table are shared, so
+// the new engine costs a few slice headers instead of a full node-store
+// copy, and warm cache entries built by any view serve all of them. The
+// shared views — including the receiver — must bracket every fault query
+// with AnalysisLock, which coordinates concurrent analyses with in-place
+// compaction. Budgets, recovery settings, statistics and the syndrome
+// cache are per-view; the good and varToInput slices are aliased so
+// recovery by one view re-roots all of them.
+func (e *Engine) Share() *Engine {
+	if e.shared == nil {
+		e.shared = &sharedState{lastSiftSize: e.lastSiftSize}
+	}
+	return &Engine{
+		Circuit:      e.Circuit,
+		m:            e.m.Share(),
+		good:         e.good,
+		rebuildLimit: e.rebuildLimit,
+		cutNets:      e.cutNets,
+		syndromes:    append([]float64(nil), e.syndromes...),
+		synValid:     append([]bool(nil), e.synValid...),
+		varToInput:   e.varToInput,
+		reach:        e.reach,
+		faultBudget:  e.faultBudget,
+		recovery:     e.recovery,
+		shared:       e.shared,
+		peakNodes:    e.m.NodeCount(),
+	}
+}
+
+// AnalysisLock enters one fault analysis on a shared engine and returns
+// the function that leaves it. The returned unlock must be held across
+// the whole analysis — query plus any witness/cube extraction — because
+// the refs a query returns die at the next in-place compaction, which
+// only runs while no analysis holds the lock. When the shared table has
+// outgrown the rebuild limit the entering worker compacts it first (under
+// the exclusive lock) so garbage cannot accumulate unboundedly: begin()
+// skips its own compaction check in shared mode precisely because it runs
+// under the read lock. On an unshared engine both enter and leave are
+// no-ops.
+func (e *Engine) AnalysisLock() func() {
+	sh := e.shared
+	if sh == nil {
+		return func() {}
+	}
+	if e.m.NodeCount() > e.rebuildLimit {
+		sh.mu.Lock()
+		if e.m.NodeCount() > e.rebuildLimit {
+			e.compact("limit")
+		}
+		sh.mu.Unlock()
+	}
+	sh.mu.RLock()
+	return sh.mu.RUnlock
+}
+
 // CutNets returns the nets replaced by cut variables under functional
 // decomposition; an empty slice means the analysis is exact.
 func (e *Engine) CutNets() []int { return append([]int(nil), e.cutNets...) }
@@ -490,7 +569,11 @@ func scaleBound(v int64, mult float64) int64 {
 // the whole query — seed construction, propagation, counting — is metered
 // as one unit.
 func (e *Engine) begin() {
-	e.maybeCompact()
+	if e.shared == nil {
+		// Shared engines compact under the exclusive lock in AnalysisLock;
+		// begin runs under the read side where adoption is off-limits.
+		e.maybeCompact()
+	}
 	if e.phaseClock {
 		e.phaseStart = time.Now()
 		e.lastPhases = PhaseTimes{}
@@ -530,32 +613,70 @@ func (e *Engine) Recover() {
 	e.lastAbortOps = e.m.OpsCharged()
 	e.m.ClearBudget()
 	e.m.SetNodeLimit(0)
+	if sh := e.shared; sh != nil {
+		// Recover is reached inside an analysis, i.e. under the read lock.
+		// The ladder re-roots the shared table, which needs the exclusive
+		// lock, so escalate: drop the read side, collect, re-enter. This
+		// cannot deadlock — every other holder of the read side that needs
+		// the write lock drops its read lock first, exactly like here.
+		sh.mu.RUnlock()
+		sh.mu.Lock()
+		e.recoverLadder()
+		sh.mu.Unlock()
+		sh.mu.RLock()
+		return
+	}
+	e.recoverLadder()
+}
+
+// recoverLadder runs the engine-side recovery rungs. Shared engines call
+// it under the exclusive lock; unshared ones directly.
+func (e *Engine) recoverLadder() {
 	before := e.m.NodeCount()
 	if before > e.peakNodes {
 		e.peakNodes = before
 	}
 	passes := e.recovery.SiftPasses
-	if e.lastSiftSize > 0 {
-		// The good functions cannot change, so one sift per engine is all
-		// that can ever help (clones inherit the sifted order).
+	if e.siftSize() > 0 {
+		// The good functions cannot change, so one sift per good set is all
+		// that can ever help (clones and shared views inherit the order).
 		passes = 0
 	}
 	roots, res := e.m.ReduceUnder(e.good, e.recovery.NodeLimit, passes)
-	e.good = roots
+	// Rebind in place: shared views alias this slice, so the copy re-roots
+	// every one of them at once.
+	copy(e.good, roots)
 	e.rebuilds++
 	e.nodesReclaimed += int64(res.Reclaimed())
 	if res.Sifted {
 		e.sifts++
-		e.lastSiftSize = res.After
+		e.setSiftSize(res.After)
 		// Reordering moved the variables: the position→input map must be
-		// recomputed. Syndromes are per-net fractions and stay valid.
-		e.varToInput = buildVarToInput(e.Circuit, e.m)
+		// recomputed (in place, for the same aliasing reason). Syndromes are
+		// per-net fractions and stay valid.
+		copy(e.varToInput, buildVarToInput(e.Circuit, e.m))
 	}
 	if e.log != nil {
 		e.log.Debug("engine recover", "ops_charged", e.lastAbortOps,
 			"nodes_before", before, "nodes_after", e.m.NodeCount(),
 			"reclaimed", res.Reclaimed(), "sifted", res.Sifted, "rebuilds", e.rebuilds)
 	}
+}
+
+// siftSize reads the one-sift gate from wherever it lives for this engine.
+func (e *Engine) siftSize() int {
+	if e.shared != nil {
+		return e.shared.lastSiftSize
+	}
+	return e.lastSiftSize
+}
+
+func (e *Engine) setSiftSize(n int) {
+	if e.shared != nil {
+		e.shared.lastSiftSize = n
+		return
+	}
+	e.lastSiftSize = n
 }
 
 // maybeCompact garbage-collects the manager around the good functions when
@@ -578,7 +699,7 @@ func (e *Engine) compact(cause string) {
 		e.peakNodes = before
 	}
 	roots, res := e.m.GC(e.good)
-	e.good = roots
+	copy(e.good, roots)
 	e.rebuilds++
 	e.nodesReclaimed += int64(res.Reclaimed())
 	if e.log != nil {
@@ -591,8 +712,18 @@ func (e *Engine) compact(cause string) {
 // functions, dropping per-fault garbage between analyses. The campaign
 // memory governor calls it when parking a worker under heap pressure; any
 // caller may use it to return an idle engine to its minimal footprint.
-// Results of previous queries are invalidated.
-func (e *Engine) GCNow() { e.compact("governor") }
+// Results of previous queries are invalidated. On a shared engine the
+// collection takes the exclusive lock, waiting for in-flight analyses on
+// other views; callers must not hold AnalysisLock when invoking it.
+func (e *Engine) GCNow() {
+	if sh := e.shared; sh != nil {
+		sh.mu.Lock()
+		e.compact("governor")
+		sh.mu.Unlock()
+		return
+	}
+	e.compact("governor")
+}
 
 // Result is the outcome of one fault analysis: the complete test set and
 // the figures derived from it. The BDD references are valid until the

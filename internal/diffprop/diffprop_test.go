@@ -572,8 +572,8 @@ func TestCutDecompositionMasksBridgingClassification(t *testing.T) {
 	b := c.AddInput("b")
 	u := c.AddGate("u", netlist.And, a, b)
 	v := c.AddGate("v", netlist.Nor, a, b)
-	// Consume both so the bridge is meaningful, and pad u's cone so its
-	// BDD (3 nodes + terminals) exceeds a tiny cut threshold.
+	// Consume both so the bridge is meaningful; u's complement-edge BDD
+	// (two decision nodes + the terminal) exceeds a tiny cut threshold.
 	z1 := c.AddGate("z1", netlist.Xor, u, v)
 	c.MarkOutput(z1)
 
@@ -587,12 +587,12 @@ func TestCutDecompositionMasksBridgingClassification(t *testing.T) {
 		t.Fatal("disjoint pair must classify as stuck-at under exact analysis")
 	}
 
-	cut, err := New(c, &Options{CutThreshold: 3, MaxCuts: 4})
+	cut, err := New(c, &Options{CutThreshold: 2, MaxCuts: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cut.CutNets()) == 0 {
-		t.Fatal("cut threshold 3 must cut something")
+		t.Fatal("cut threshold 2 must cut something")
 	}
 	wc := cut.Circuit
 	bfc := faults.Bridging{U: wc.NetByName("u"), V: wc.NetByName("v"), Kind: faults.WiredAND}

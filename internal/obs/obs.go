@@ -137,6 +137,10 @@ type CampaignMetrics struct {
 	BDDNodes, BDDPeakNodes *Gauge
 	// bdd_rebuilds_total: generational GC passes over all engines.
 	BDDRebuilds *Counter
+	// bdd_table_views / bdd_table_epoch: shared-backend shape — manager
+	// views attached to the campaign's node table, and the table's
+	// in-place adoption generation (GC/sift count visible to all views).
+	BDDTableViews, BDDTableEpoch *Gauge
 	// bdd_cache_hits_total / bdd_cache_misses_total: operation caches.
 	CacheHits, CacheMisses *Counter
 	// checkpoint_appends_total / checkpoint_fsyncs_total: persistence I/O.
@@ -183,6 +187,8 @@ func (o *Observer) CampaignMetrics() *CampaignMetrics {
 		BDDNodes:          r.Gauge("bdd_nodes", "Most recently observed BDD node-table size of any worker engine."),
 		BDDPeakNodes:      r.Gauge("bdd_peak_nodes", "Largest BDD node table any single engine reached."),
 		BDDRebuilds:       r.Counter("bdd_rebuilds_total", "Generational BDD-manager GC passes over all engines."),
+		BDDTableViews:     r.Gauge("bdd_table_views", "Manager views sharing the campaign's BDD node table (1 per worker when shared; 1 when isolated)."),
+		BDDTableEpoch:     r.Gauge("bdd_table_epoch", "In-place adoption generation of the shared node table (bumps on GC/sift)."),
 		CacheHits:         r.Counter("bdd_cache_hits_total", "BDD apply/ite/not operation-cache hits."),
 		CacheMisses:       r.Counter("bdd_cache_misses_total", "BDD apply/ite/not operation-cache misses."),
 		CheckpointAppends: r.Counter("checkpoint_appends_total", "Fault records appended to the checkpoint file."),
