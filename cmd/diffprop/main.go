@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/circuits"
 	"repro/internal/diffprop"
 	"repro/internal/faults"
@@ -71,6 +73,9 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "persist finished records to this JSONL file as they complete")
 		resume     = flag.Bool("resume", false, "continue from the -checkpoint file, skipping already-persisted faults")
 		retryDegr  = flag.Bool("retry-degraded", false, "with -resume: re-attempt checkpointed Approximate/error/skipped faults instead of carrying them forward")
+		calibrate  = flag.Bool("calibrate", false, "self-calibrate the per-fault budget and retry ladder from the circuit's measured op-cost distribution (replaces hand-tuned -budget/-retrybudget)")
+		calibJSON  = flag.String("calibjson", "", "write the final calibration state (armed budget, retry multiplier, updates) as JSON to this file")
+		chaosSpec  = flag.String("chaos", "", "deterministic fault-injection spec, e.g. 'seed=7;budget:p=0.35;latency:p=0.2,d=2ms' (see internal/chaos)")
 		httpAddr   = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
 		logLevel   = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
 		logJSON    = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
@@ -88,6 +93,10 @@ func main() {
 	memCeiling, err := analysis.ParseMemLimit(*memLimit)
 	if err != nil {
 		fatal(fmt.Errorf("-memlimit: %w", err))
+	}
+	chaosCfg, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fatal(fmt.Errorf("-chaos: %w", err))
 	}
 
 	o := setupObs("diffprop", *httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt)
@@ -141,6 +150,8 @@ func main() {
 		Recovery:        rcfg,
 		MemLimit:        memCeiling,
 		Obs:             o,
+		Chaos:           chaosCfg,
+		Calibrate:       analysis.Calibration{Enabled: *calibrate},
 	}
 	if *verbose {
 		ccfg.Progress = func(done, total int) {
@@ -179,6 +190,7 @@ func main() {
 			len(study.Records), 100*study.CoverageRate(), study.MeanDetectable(), study.ObservedEqualsFedRate())
 		fmt.Printf("selective trace: %.1f of %d gates evaluated per fault on average\n",
 			study.MeanGatesEvaluated(), w.NumGates())
+		writeCalibJSON(*calibJSON, c.Name, study.Stats)
 		finishCampaign(study.Stats, study.Errors(), study.DegradedFaults())
 	case "and", "or":
 		kind := faults.WiredAND
@@ -202,6 +214,7 @@ func main() {
 		fmt.Printf("faults: %d of %d potentially detectable NFBFs (sampled: %v)\n", len(study.Records), pop, sampled)
 		fmt.Printf("detectable: %.1f%%   mean detectability (detectable): %.4f   stuck-at behavior: %.1f%%\n",
 			100*study.CoverageRate(), study.MeanDetectable(), 100*study.StuckAtProportion())
+		writeCalibJSON(*calibJSON, c.Name, study.Stats)
 		finishCampaign(study.Stats, study.Errors(), study.DegradedFaults())
 	default:
 		fatal(fmt.Errorf("unknown fault model %q (stuckat, and, or)", *model))
@@ -327,6 +340,39 @@ func closeCheckpoint(cp *analysis.Checkpointer) {
 	if err := cp.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// writeCalibJSON persists the campaign's final calibration state (the
+// -calibjson flag) so CI can publish the self-tuned bounds as an artifact
+// next to the benchmark numbers.
+func writeCalibJSON(path, circuit string, stats analysis.CampaignStats) {
+	if path == "" {
+		return
+	}
+	out, err := json.MarshalIndent(struct {
+		Circuit         string  `json:"circuit"`
+		Faults          int     `json:"faults"`
+		Degraded        int     `json:"degraded"`
+		Rescued         int     `json:"rescued"`
+		BudgetOps       int64   `json:"calibration_budget_ops"`
+		RetryMultiplier float64 `json:"calibration_retry_multiplier"`
+		Updates         int     `json:"calibration_updates"`
+	}{
+		Circuit:         circuit,
+		Faults:          stats.Faults,
+		Degraded:        stats.Degraded,
+		Rescued:         stats.Rescued,
+		BudgetOps:       stats.CalibrationBudgetOps,
+		RetryMultiplier: stats.CalibrationRetryMult,
+		Updates:         stats.CalibrationUpdates,
+	}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "diffprop: wrote calibration state to %s\n", path)
 }
 
 // finishCampaign reports degradation/cancellation on stderr and exits

@@ -43,6 +43,7 @@ func main() {
 		gcAuto    = flag.Bool("gcauto", false, "enable recovery sifting when post-GC node counts still exceed -nodelimit (defaults -nodelimit to 1Mi nodes if unset)")
 		retryMult = flag.Float64("retrybudget", 0, "retry a blown fault once under its budgets scaled by this multiplier before degrading (<=1 disables)")
 		memLimit  = flag.String("memlimit", "", "per-campaign heap ceiling, e.g. 2GiB: park workers near it instead of OOMing (empty = GOMEMLIMIT if set; off = never)")
+		calibrate = flag.Bool("calibrate", false, "self-calibrate each campaign's per-fault budget and retry ladder from the circuit's measured op-cost distribution")
 		httpAddr  = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
 		logLevel  = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
 		logJSON   = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
@@ -86,6 +87,7 @@ func main() {
 		fatal(fmt.Errorf("-memlimit: %w", err))
 	}
 	cfg.MemLimit = mem
+	cfg.Calibrate = analysis.Calibration{Enabled: *calibrate}
 	cfg.Obs = setupObs(*httpAddr, *logLevel, *logJSON)
 	if *verbose {
 		cfg.Progress = func(circuit string, done, total int) {

@@ -18,14 +18,41 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/faults"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
+
+// CheckpointError is the typed error a campaign aborts with when
+// persisting a finished record fails: a failed or short write(2), a
+// failed fsync, or an injected chaos failure. The campaign still returns
+// its partial index-aligned study — every record analyzed before the
+// failure is present, unreached ones are marked Skipped — so callers can
+// distinguish "disk died" (inspect with errors.As) from a bad result set.
+type CheckpointError struct {
+	// Op is the failed operation: "append" or "fsync".
+	Op string
+	// Index is the fault index being persisted (-1 when the failure is
+	// not tied to one record).
+	Index int
+	// Err is the underlying I/O (or injected) error.
+	Err error
+}
+
+func (e *CheckpointError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("analysis: checkpoint %s of fault %d failed: %v (campaign aborted with partial results)", e.Op, e.Index, e.Err)
+	}
+	return fmt.Sprintf("analysis: checkpoint %s failed: %v (campaign aborted with partial results)", e.Op, e.Err)
+}
+
+func (e *CheckpointError) Unwrap() error { return e.Err }
 
 // CheckpointVersion is the schema version written to (and required from)
 // checkpoint headers.
@@ -105,6 +132,37 @@ type Checkpointer struct {
 	mu       sync.Mutex
 	f        *os.File
 	appended int
+
+	// err poisons the checkpointer after the first write/fsync failure:
+	// a failed append may have left a torn line, and only the FINAL line
+	// of a checkpoint may be torn (LoadCheckpoint's crash-tolerance
+	// contract), so appending anything after a failure would corrupt the
+	// file. Every later Append returns the original error.
+	err *CheckpointError
+
+	// inj, when non-nil, lets the chaos harness fail or tear individual
+	// writes and fsyncs (SetChaos).
+	inj *chaos.Injector
+}
+
+// SetChaos attaches a chaos injector whose ckptwrite/ckptsync rules fail
+// individual appends and fsyncs. Wired by the campaign runners before
+// workers start; nil detaches.
+func (cp *Checkpointer) SetChaos(inj *chaos.Injector) {
+	cp.mu.Lock()
+	cp.inj = inj
+	cp.mu.Unlock()
+}
+
+// Err returns the persistence failure that poisoned the checkpointer, or
+// nil while it is healthy.
+func (cp *Checkpointer) Err() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.err == nil {
+		return nil
+	}
+	return cp.err
 }
 
 // Instrument wires the checkpointer into an observer: checkpoint I/O
@@ -143,7 +201,12 @@ func CreateCheckpoint(path string, hdr CheckpointHeader) (*Checkpointer, error) 
 	return &Checkpointer{f: f, FsyncEvery: DefaultFsyncEvery}, nil
 }
 
-// Append persists one finished record under its fault index.
+// Append persists one finished record under its fault index. The first
+// write or fsync failure — including a short write, which leaves a torn
+// final line exactly like a crash — poisons the checkpointer: the typed
+// *CheckpointError is returned now and from every later Append, so the
+// campaign aborts cleanly with partial index-aligned results instead of
+// silently dropping records or corrupting the file past the tear.
 func (cp *Checkpointer) Append(index int, record any) error {
 	raw, err := json.Marshal(record)
 	if err != nil {
@@ -153,18 +216,38 @@ func (cp *Checkpointer) Append(index int, record any) error {
 	if err != nil {
 		return fmt.Errorf("analysis: marshal checkpoint line %d: %w", index, err)
 	}
+	buf := append(line, '\n')
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	if _, err := cp.f.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("analysis: append checkpoint record %d: %w", index, err)
+	if cp.err != nil {
+		return cp.err
+	}
+	if cp.inj != nil {
+		if keep, cerr := cp.inj.CheckpointWrite(); cerr != nil {
+			if keep > len(buf) {
+				keep = len(buf)
+			}
+			if keep > 0 {
+				// A torn write: part of the line reaches the disk before the
+				// failure, as a real crash or ENOSPC mid-write would leave it.
+				cp.f.Write(buf[:keep]) //nolint:errcheck // best-effort tear
+			}
+			return cp.poison("append", index, cerr)
+		}
+	}
+	n, werr := cp.f.Write(buf)
+	if werr == nil && n < len(buf) {
+		werr = io.ErrShortWrite
+	}
+	if werr != nil {
+		return cp.poison("append", index, werr)
 	}
 	cp.appended++
 	cp.Appends.Inc()
 	if cp.FsyncEvery > 0 && cp.appended%cp.FsyncEvery == 0 {
-		if err := cp.f.Sync(); err != nil {
-			return fmt.Errorf("analysis: sync checkpoint: %w", err)
+		if err := cp.sync(); err != nil {
+			return cp.poison("fsync", index, err)
 		}
-		cp.Fsyncs.Inc()
 		if cp.Log != nil {
 			cp.Log.Debug("checkpoint fsync", "appended", cp.appended)
 		}
@@ -172,7 +255,33 @@ func (cp *Checkpointer) Append(index int, record any) error {
 	return nil
 }
 
-// Close syncs and closes the checkpoint file.
+// sync runs one fsync (under mu), consulting the chaos injector first.
+func (cp *Checkpointer) sync() error {
+	if cp.inj != nil {
+		if err := cp.inj.CheckpointSync(); err != nil {
+			return err
+		}
+	}
+	if err := cp.f.Sync(); err != nil {
+		return err
+	}
+	cp.Fsyncs.Inc()
+	return nil
+}
+
+// poison records the first persistence failure (under mu) and returns it.
+func (cp *Checkpointer) poison(op string, index int, err error) *CheckpointError {
+	cp.err = &CheckpointError{Op: op, Index: index, Err: err}
+	if cp.Log != nil {
+		cp.Log.Error("checkpoint poisoned", "op", op, "index", index, "err", err)
+	}
+	return cp.err
+}
+
+// Close syncs and closes the checkpoint file. A poisoned checkpointer
+// skips the sync (the failure was already surfaced by Append; the file
+// keeps its valid prefix plus at most one torn final line, which resume
+// truncates) and closes without reporting a second error.
 func (cp *Checkpointer) Close() error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
@@ -180,12 +289,17 @@ func (cp *Checkpointer) Close() error {
 		return nil
 	}
 	f := cp.f
-	cp.f = nil
-	if err := f.Sync(); err != nil {
+	if cp.err != nil {
+		cp.f = nil
 		f.Close()
-		return fmt.Errorf("analysis: sync checkpoint: %w", err)
+		return nil
 	}
-	cp.Fsyncs.Inc()
+	if err := cp.sync(); err != nil {
+		cp.f = nil
+		f.Close()
+		return cp.poison("fsync", -1, err)
+	}
+	cp.f = nil
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("analysis: close checkpoint: %w", err)
 	}

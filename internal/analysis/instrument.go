@@ -174,6 +174,19 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	}
 }
 
+// calibrationUpdate records one published calibration generation: the
+// armed budget gauge, the update counter, and a log line tying the new
+// bounds to the sample population they came from.
+func (in *campaignInstr) calibrationUpdate(budgetOps int64, retryMult float64, samples int) {
+	if in == nil {
+		return
+	}
+	in.cm.CalibrationBudgetOps.Set(budgetOps)
+	in.cm.CalibrationUpdates.Inc()
+	in.log.Info("budget calibration published",
+		"budget_ops", budgetOps, "retry_multiplier", retryMult, "samples", samples)
+}
+
 // governorParked records one worker parking under heap pressure (called
 // with the governor's lock held; nil-safe).
 func (in *campaignInstr) governorParked(w, parked int, heap int64) {
@@ -219,6 +232,7 @@ func (in *campaignInstr) finish(stats CampaignStats) {
 	in.cm.RecoveryRetries.Add(int64(stats.Retried))
 	in.cm.RecoveryNodesReclaimed.Add(stats.NodesReclaimed)
 	in.cm.RecoverySiftRuns.Add(int64(stats.Sifts))
+	in.cm.ChaosInjected.Add(stats.ChaosInjected)
 	snap := in.camp.Snapshot()
 	in.cm.FaultsSkipped.Add(snap.Skipped)
 	in.log.Info("campaign finished",
@@ -229,5 +243,7 @@ func (in *campaignInstr) finish(stats CampaignStats) {
 		"rebuilds", stats.Rebuilds, "nodes_reclaimed", stats.NodesReclaimed,
 		"sifts", stats.Sifts, "peak_nodes", stats.PeakNodes,
 		"mem_park_events", stats.MemParkEvents,
+		"chaos_injected", stats.ChaosInjected,
+		"calibration_updates", stats.CalibrationUpdates,
 		"cache_hit_rate", stats.Cache.HitRate())
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/chaos"
 	"repro/internal/diffprop"
 	"repro/internal/faults"
 	"repro/internal/netlist"
@@ -112,6 +113,18 @@ type CampaignConfig struct {
 	// per fault. Nil — the default — keeps the per-fault hot path free of
 	// clock reads and allocations.
 	Obs *obs.Observer
+	// Chaos, when non-nil, activates the deterministic fault-injection
+	// harness: forced budget/node-limit aborts, worker panics, checkpoint
+	// write/fsync failures, per-fault latency and governor memory-sampler
+	// lies, selected by seeded per-point rules (see chaos.Config). Nil —
+	// the default — compiles to literal no-ops on the per-fault hot path.
+	Chaos *chaos.Config
+	// Calibrate configures budget self-calibration: the per-fault op
+	// budget and the ladder's retry multiplier are learned from the
+	// op-cost distribution of the first Calibration.Warmup exact faults
+	// (and re-derived as the campaign progresses) instead of hand-tuned
+	// FaultOps/Recovery values. The zero value disables calibration.
+	Calibrate Calibration
 	// Name labels the campaign in heartbeats and logs. Empty selects a
 	// default derived from the fault model and circuit name.
 	Name string
@@ -178,6 +191,16 @@ type CampaignStats struct {
 	// MaxParked the most workers simultaneously parked.
 	MemParkEvents int
 	MaxParked     int
+	// ChaosInjected counts chaos-harness injections that fired during the
+	// run (0 without a chaos config).
+	ChaosInjected int64
+	// CalibrationBudgetOps and CalibrationRetryMult are the self-calibrated
+	// per-fault bounds at campaign end (zero when calibration is off or
+	// its warmup window never filled); CalibrationUpdates counts the
+	// published calibration generations.
+	CalibrationBudgetOps int64
+	CalibrationRetryMult float64
+	CalibrationUpdates   int
 }
 
 // String renders the stats as a one-line summary for -v style output.
@@ -203,6 +226,13 @@ func (s CampaignStats) String() string {
 	}
 	if s.MemParkEvents > 0 {
 		out += fmt.Sprintf(" mem-parks=%d max-parked=%d", s.MemParkEvents, s.MaxParked)
+	}
+	if s.ChaosInjected > 0 {
+		out += fmt.Sprintf(" chaos-injected=%d", s.ChaosInjected)
+	}
+	if s.CalibrationUpdates > 0 {
+		out += fmt.Sprintf(" calibrated(ops=%d retry=%.0fx updates=%d)",
+			s.CalibrationBudgetOps, s.CalibrationRetryMult, s.CalibrationUpdates)
 	}
 	if s.Canceled {
 		out += " canceled"
@@ -298,10 +328,20 @@ func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, iso
 // inside a claimed block — and drain out promptly, leaving the remaining
 // indices untouched. A persistence error likewise stops the campaign; the
 // first one is returned.
-func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, instr *campaignInstr, analyze func(e *diffprop.Engine, i int) (faultOutcome, error)) (CampaignStats, error) {
+//
+// inj (nil = chaos off) feeds the governor's sampler lies and the final
+// injection count; the per-fault injections themselves ride in through
+// the analyze closure. cal (nil = calibration off) is consulted by each
+// worker between faults: one atomic generation load on the hot path, a
+// re-arm of the worker's own engine when the calibrator published new
+// bounds — never touching an engine whose fault is in flight.
+func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, instr *campaignInstr, inj *chaos.Injector, cal *calibrator, analyze func(e *diffprop.Engine, i int) (faultOutcome, error)) (CampaignStats, error) {
 	start := time.Now()
 	ctx := cfg.ctx()
 	instr.setup(engines)
+	if inj.Has(chaos.PointMemSample) {
+		cfg.memSample = chaosMemSample(inj, cfg.memSample)
+	}
 	gov := newGovernor(cfg, len(engines), instr)
 	defer gov.stop()
 	var (
@@ -340,6 +380,7 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 			// holds parked must be woken so the campaign can finish.
 			defer gov.release()
 			instr.workerStart(w)
+			var calGen uint64
 			for {
 				if halted() {
 					return
@@ -368,6 +409,9 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 					if halted() {
 						return
 					}
+					if cal != nil {
+						calGen = cal.apply(e, calGen)
+					}
 					t0 := instr.faultStart()
 					// Shared engines analyze under the table's read lock so
 					// recovery ladders and governor GCs on sibling views
@@ -376,6 +420,9 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 					unlock := e.AnalysisLock()
 					outcome, err := analyze(e, i)
 					unlock()
+					if cal != nil {
+						cal.observe(outcome, e.AnalysisOps())
+					}
 					instr.faultDone(e, w, i, outcome, t0)
 					mu.Lock()
 					done++
@@ -420,11 +467,46 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 		Rescued:  rescued,
 	}
 	stats.MemParkEvents, stats.MaxParked = gov.counters()
+	stats.ChaosInjected = inj.Injected()
+	stats.CalibrationBudgetOps, stats.CalibrationRetryMult, stats.CalibrationUpdates = cal.snapshot()
 	for _, e := range engines {
 		stats.add(e.Stats())
 	}
 	instr.finish(stats)
 	return stats, firstErr
+}
+
+// newCampaignInjector builds the chaos injector for one campaign run (nil
+// when cfg.Chaos is unset or rule-less — every injector method is then a
+// nil-receiver no-op) and attaches it to the observability logger and the
+// checkpointer's write/fsync seams.
+func newCampaignInjector(cfg CampaignConfig) *chaos.Injector {
+	inj := chaos.New(cfg.Chaos)
+	if inj == nil {
+		return nil
+	}
+	if cfg.Obs != nil {
+		inj.SetLogger(cfg.Obs.Logger())
+	}
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.SetChaos(inj)
+	}
+	return inj
+}
+
+// chaosMemSample wraps the governor's heap sampler with the injector's
+// memsample rules: a firing sample reports the rule's fake heap value,
+// all others delegate to the real sampler.
+func chaosMemSample(inj *chaos.Injector, next func() int64) func() int64 {
+	if next == nil {
+		next = heapSample
+	}
+	return func() int64 {
+		if heap, ok := inj.MemSample(); ok {
+			return heap
+		}
+		return next()
+	}
 }
 
 // resumeDecode restores checkpointed records into their slots and returns
@@ -486,9 +568,11 @@ func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.
 	instr := newCampaignInstr(cfg, "stuckat "+work.Name, len(fs), func(i int) string {
 		return fs[i].Describe(work)
 	})
+	inj := newCampaignInjector(cfg)
+	cal := newCalibrator(cfg, instr)
 	analyzed := make([]bool, len(fs))
-	stats, runErr := runCampaign(engines, len(fs), cfg, skip, instr, func(e *diffprop.Engine, i int) (faultOutcome, error) {
-		rec, outcome := analyzeStuckAt(e, fs[i], toPO, levels, fb)
+	stats, runErr := runCampaign(engines, len(fs), cfg, skip, instr, inj, cal, func(e *diffprop.Engine, i int) (faultOutcome, error) {
+		rec, outcome := analyzeStuckAt(e, fs[i], toPO, levels, fb, chaosHook(inj, e, i))
 		records[i] = rec
 		analyzed[i] = true
 		if cfg.Checkpoint != nil {
@@ -555,9 +639,11 @@ func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults
 	instr := newCampaignInstr(cfg, "bridging "+work.Name, len(bs), func(i int) string {
 		return bs[i].Describe(work)
 	})
+	inj := newCampaignInjector(cfg)
+	cal := newCalibrator(cfg, instr)
 	analyzed := make([]bool, len(bs))
-	stats, runErr := runCampaign(engines, len(bs), cfg, skip, instr, func(e *diffprop.Engine, i int) (faultOutcome, error) {
-		rec, outcome := analyzeBridging(e, bs[i], toPO, fb)
+	stats, runErr := runCampaign(engines, len(bs), cfg, skip, instr, inj, cal, func(e *diffprop.Engine, i int) (faultOutcome, error) {
+		rec, outcome := analyzeBridging(e, bs[i], toPO, fb, chaosHook(inj, e, i))
 		records[i] = rec
 		analyzed[i] = true
 		if cfg.Checkpoint != nil {

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/chaos"
 	"repro/internal/diffprop"
 	"repro/internal/faults"
 	"repro/internal/simulate"
@@ -103,8 +105,10 @@ func budgetAbort(r any) bool {
 
 // tryStuckAtRecord runs the exact analysis, converting an escaping panic
 // into an error after restoring the engine (which runs the ladder's GC and
-// sift rungs).
-func tryStuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int) (rec StuckAtRecord, budget bool, errMsg string) {
+// sift rungs). hook, when non-nil, runs inside the recover scope before
+// the analysis — the chaos harness's per-fault seam (injected latency,
+// forced aborts, worker panics); nil in normal operation.
+func tryStuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, hook func()) (rec StuckAtRecord, budget bool, errMsg string) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -117,11 +121,14 @@ func tryStuckAtRecord(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int) 
 		}
 		errMsg = panicMessage(r)
 	}()
+	if hook != nil {
+		hook()
+	}
 	return stuckAtRecord(e, f, toPO, levels), false, ""
 }
 
 // tryBridgingRecord is the bridging counterpart of tryStuckAtRecord.
-func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int) (rec BridgingRecord, budget bool, errMsg string) {
+func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int, hook func()) (rec BridgingRecord, budget bool, errMsg string) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -134,6 +141,9 @@ func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int) (rec B
 		}
 		errMsg = panicMessage(r)
 	}()
+	if hook != nil {
+		hook()
+	}
 	return bridgingRecord(e, b, toPO), false, ""
 }
 
@@ -141,8 +151,8 @@ func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int) (rec B
 // the analysis completes, a simulation estimate when it blows its budget,
 // an error record when it panics. Shared by the serial and work-stealing
 // runners.
-func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb *fallback) (StuckAtRecord, faultOutcome) {
-	rec, budget, errMsg := tryStuckAtRecord(e, f, toPO, levels)
+func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb *fallback, hook func()) (StuckAtRecord, faultOutcome) {
+	rec, budget, errMsg := tryStuckAtRecord(e, f, toPO, levels, hook)
 	if errMsg != "" {
 		return StuckAtRecord{Fault: f, Err: errMsg}, outcomeErrored
 	}
@@ -152,9 +162,12 @@ func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb
 	outcome := outcomeDegraded
 	// Retry rung: the GC and sift rungs already ran inside Recover; when a
 	// relaxed budget is configured, re-attempt the fault once before
-	// surrendering it to the estimator.
+	// surrendering it to the estimator. The chaos hook applies to the
+	// first attempt only — its injected abort is one-shot, so the retry
+	// runs clean and a chaos-rescued record is bit-identical to an
+	// uninjected run.
 	if restore, ok := e.RelaxBudget(); ok {
-		rec, budget, errMsg = tryStuckAtRecord(e, f, toPO, levels)
+		rec, budget, errMsg = tryStuckAtRecord(e, f, toPO, levels, nil)
 		restore()
 		if errMsg != "" {
 			return StuckAtRecord{Fault: f, Err: errMsg}, outcomeErrored
@@ -188,11 +201,42 @@ func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb
 	}, outcome
 }
 
+// chaosHook builds the per-fault injection hook for fault i, or nil when
+// the harness is off (no closure is allocated then, preserving the
+// zero-alloc hot path). The hook runs inside the try* recover scope,
+// before the analysis touches the engine:
+//
+//   - injected latency sleeps first (simulating a slow fault),
+//   - a forced budget/node-limit abort is armed on the engine, to fire at
+//     the chosen charged operation of THIS analysis only (one-shot, so
+//     the ladder's retry completes exactly),
+//   - an injected worker panic raises last, with a per-fault-stable error
+//     so serial and parallel error records stay bit-identical.
+func chaosHook(inj *chaos.Injector, e *diffprop.Engine, i int) func() {
+	if inj == nil {
+		return nil
+	}
+	return func() {
+		if d := inj.Latency(i); d > 0 {
+			time.Sleep(d)
+		}
+		if at, ok := inj.BudgetAbort(i); ok {
+			e.ArmChaosAbort(at, bdd.ErrBudget)
+		}
+		if at, ok := inj.NodeLimitAbort(i); ok {
+			e.ArmChaosAbort(at, bdd.ErrNodeLimit)
+		}
+		if inj.Panic(i) {
+			panic(fmt.Errorf("%w (fault %d)", chaos.ErrInjectedPanic, i))
+		}
+	}
+}
+
 // analyzeBridging is the bridging counterpart of analyzeStuckAt. A budget
 // blow implies the bridge already passed the engine's feedback screen, so
 // the estimator's own screen cannot fire.
-func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fallback) (BridgingRecord, faultOutcome) {
-	rec, budget, errMsg := tryBridgingRecord(e, b, toPO)
+func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fallback, hook func()) (BridgingRecord, faultOutcome) {
+	rec, budget, errMsg := tryBridgingRecord(e, b, toPO, hook)
 	if errMsg != "" {
 		return BridgingRecord{Fault: b, Err: errMsg}, outcomeErrored
 	}
@@ -201,7 +245,7 @@ func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fall
 	}
 	outcome := outcomeDegraded
 	if restore, ok := e.RelaxBudget(); ok {
-		rec, budget, errMsg = tryBridgingRecord(e, b, toPO)
+		rec, budget, errMsg = tryBridgingRecord(e, b, toPO, nil)
 		restore()
 		if errMsg != "" {
 			return BridgingRecord{Fault: b, Err: errMsg}, outcomeErrored

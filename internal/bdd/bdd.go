@@ -125,6 +125,13 @@ type Manager struct {
 	// (SetNodeLimit).
 	nodeLimit int
 
+	// chaosAt/chaosErr are the chaos-injection seam (SetChaosAbort): when
+	// chaosAt > 0, chargeOp panics with chaosErr once ops reaches chaosAt,
+	// then disarms itself. Zero when the harness is off, leaving one
+	// predictable branch on the charge path.
+	chaosAt  int64
+	chaosErr error
+
 	// log receives structured manager events; nil = silent.
 	log *slog.Logger
 
@@ -165,6 +172,26 @@ func (m *Manager) SetBudget(ops int64, deadline time.Time) {
 	m.deadline = deadline
 	m.deadlineMask = deadlineCheckMask
 	m.ops = 0
+	// A chaos abort is armed relative to the charge meter this reset just
+	// zeroed; a stale threshold would fire against the wrong analysis.
+	m.chaosAt, m.chaosErr = 0, nil
+}
+
+// SetChaosAbort arms a one-shot forced abort for the chaos-injection
+// harness: once the charge meter reaches at (counting from the last
+// SetBudget), chargeOp panics with err — ErrBudget or ErrNodeLimit, so
+// the abort is indistinguishable from a genuine resource blow — and the
+// trigger disarms itself. at <= 0 disarms. SetBudget also disarms, since
+// it resets the meter the threshold is relative to.
+func (m *Manager) SetChaosAbort(at int64, err error) {
+	if at <= 0 {
+		m.chaosAt, m.chaosErr = 0, nil
+		return
+	}
+	if err == nil {
+		err = ErrBudget
+	}
+	m.chaosAt, m.chaosErr = at, err
 }
 
 // SetNodeLimit arms (n > 0) or disarms (n <= 0) the node-count soft
@@ -198,6 +225,11 @@ func (m *Manager) chargeOp() {
 	m.ops++
 	if m.budgetOps > 0 && m.ops > m.budgetOps {
 		panic(ErrBudget)
+	}
+	if m.chaosAt > 0 && m.ops >= m.chaosAt {
+		err := m.chaosErr
+		m.chaosAt, m.chaosErr = 0, nil
+		panic(err)
 	}
 	if m.ops&m.deadlineMask == 0 && !m.deadline.IsZero() {
 		now := time.Now()

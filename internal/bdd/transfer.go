@@ -33,11 +33,14 @@ func (m *Manager) Transfer(dst *Manager, refs ...Ref) []Ref {
 	savedOps, savedBudget := dst.ops, dst.budgetOps
 	savedDeadline, savedMask := dst.deadline, dst.deadlineMask
 	savedLimit := dst.nodeLimit
+	savedChaosAt, savedChaosErr := dst.chaosAt, dst.chaosErr
 	dst.budgetOps, dst.deadline, dst.nodeLimit = 0, time.Time{}, 0
+	dst.chaosAt, dst.chaosErr = 0, nil
 	defer func() {
 		dst.ops, dst.budgetOps = savedOps, savedBudget
 		dst.deadline, dst.deadlineMask = savedDeadline, savedMask
 		dst.nodeLimit = savedLimit
+		dst.chaosAt, dst.chaosErr = savedChaosAt, savedChaosErr
 	}()
 
 	varMap := make([]Ref, len(m.t.names))

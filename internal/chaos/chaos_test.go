@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in != New(nil) {
+		t.Fatal("New(nil) must be nil")
+	}
+	if New(&Config{}) != nil {
+		t.Fatal("New of a rule-less config must be nil")
+	}
+	if at, ok := in.BudgetAbort(0); ok || at != 0 {
+		t.Fatal("nil injector armed a budget abort")
+	}
+	if _, ok := in.NodeLimitAbort(0); ok {
+		t.Fatal("nil injector armed a node-limit abort")
+	}
+	if in.Panic(0) || in.Latency(0) != 0 {
+		t.Fatal("nil injector injected panic/latency")
+	}
+	if _, err := in.CheckpointWrite(); err != nil {
+		t.Fatal("nil injector failed a checkpoint write")
+	}
+	if err := in.CheckpointSync(); err != nil {
+		t.Fatal("nil injector failed a checkpoint sync")
+	}
+	if _, ok := in.MemSample(); ok {
+		t.Fatal("nil injector lied about memory")
+	}
+	if in.Injected() != 0 || in.Has(PointBudget) {
+		t.Fatal("nil injector reported state")
+	}
+	in.SetLogger(nil) // must not crash
+}
+
+func TestIndicesSelectExactly(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointBudget, Indices: []int{3, 17}, AtOp: 5}}})
+	for i := 0; i < 30; i++ {
+		at, ok := in.BudgetAbort(i)
+		want := i == 3 || i == 17
+		if ok != want {
+			t.Fatalf("fault %d: fired=%v, want %v", i, ok, want)
+		}
+		if ok && at != 5 {
+			t.Fatalf("fault %d: atOp=%d, want 5", i, at)
+		}
+	}
+	if got := in.Injected(); got != 2 {
+		t.Fatalf("Injected()=%d, want 2", got)
+	}
+}
+
+// Probabilistic fault-keyed decisions are a pure function of (seed,
+// point, index): independent injector instances agree, evaluation order
+// is irrelevant, and different seeds pick different sets.
+func TestSeededDecisionsDeterministic(t *testing.T) {
+	cfg := &Config{Seed: 42, Rules: []Rule{{Point: PointPanic, Prob: 0.3}}}
+	a, b := New(cfg), New(cfg)
+	var hitsA, hitsB []int
+	for i := 0; i < 200; i++ {
+		if a.Panic(i) {
+			hitsA = append(hitsA, i)
+		}
+	}
+	for i := 199; i >= 0; i-- { // reverse order on purpose
+		if b.Panic(i) {
+			hitsB = append(hitsB, i)
+		}
+	}
+	if len(hitsA) == 0 || len(hitsA) == 200 {
+		t.Fatalf("p=0.3 over 200 faults fired %d times", len(hitsA))
+	}
+	for i, j := 0, len(hitsB)-1; j >= 0; i, j = i+1, j-1 {
+		if hitsA[i] != hitsB[j] {
+			t.Fatalf("same seed disagreed: %v vs reversed %v", hitsA, hitsB)
+		}
+	}
+	other := New(&Config{Seed: 43, Rules: cfg.Rules})
+	same := true
+	for i := 0; i < 200; i++ {
+		if other.Panic(i) != a.Panic(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decisions")
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	in := New(&Config{Seed: 7, Rules: []Rule{
+		{Point: PointBudget, Prob: 0.5},
+		{Point: PointNodeLimit, Prob: 0.5},
+	}})
+	diff := false
+	for i := 0; i < 100; i++ {
+		_, b := in.BudgetAbort(i)
+		_, n := in.NodeLimitAbort(i)
+		if b != n {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("budget and nodelimit points share decisions; they must hash independently")
+	}
+}
+
+func TestCountCapsFirings(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointCheckpointSync, Count: 2}}})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.CheckpointSync() != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("count=2 rule fired %d times", fails)
+	}
+}
+
+func TestCheckpointWriteTornBytes(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointCheckpointWrite, Indices: []int{1}, Bytes: 10}}})
+	if _, err := in.CheckpointWrite(); err != nil {
+		t.Fatal("append 0 should pass")
+	}
+	keep, err := in.CheckpointWrite()
+	if err == nil || keep != 10 {
+		t.Fatalf("append 1: keep=%d err=%v, want torn 10-byte failure", keep, err)
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected write error %v must wrap ErrInjected and ENOSPC", err)
+	}
+}
+
+func TestMemSampleLies(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointMemSample, Indices: []int{0, 1}, MemBytes: 1 << 40}}})
+	for i := 0; i < 2; i++ {
+		heap, ok := in.MemSample()
+		if !ok || heap != 1<<40 {
+			t.Fatalf("sample %d: heap=%d ok=%v", i, heap, ok)
+		}
+	}
+	if _, ok := in.MemSample(); ok {
+		t.Fatal("sample 2 should be truthful")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointLatency, Indices: []int{4}, Latency: 3 * time.Millisecond}}})
+	if d := in.Latency(0); d != 0 {
+		t.Fatalf("fault 0 latency = %v", d)
+	}
+	if d := in.Latency(4); d != 3*time.Millisecond {
+		t.Fatalf("fault 4 latency = %v", d)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("seed=7;budget:p=0.35,at=2;latency:i=3+9,d=2ms;ckptwrite:i=5,bytes=10;memsample:count=3,mem=1073741824")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || len(cfg.Rules) != 4 {
+		t.Fatalf("seed=%d rules=%d", cfg.Seed, len(cfg.Rules))
+	}
+	b := cfg.Rules[0]
+	if b.Point != PointBudget || b.Prob != 0.35 || b.AtOp != 2 {
+		t.Fatalf("budget rule = %+v", b)
+	}
+	l := cfg.Rules[1]
+	if l.Point != PointLatency || len(l.Indices) != 2 || l.Indices[1] != 9 || l.Latency != 2*time.Millisecond {
+		t.Fatalf("latency rule = %+v", l)
+	}
+	w := cfg.Rules[2]
+	if w.Point != PointCheckpointWrite || w.Bytes != 10 {
+		t.Fatalf("ckptwrite rule = %+v", w)
+	}
+	m := cfg.Rules[3]
+	if m.Point != PointMemSample || m.Count != 3 || m.MemBytes != 1<<30 {
+		t.Fatalf("memsample rule = %+v", m)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	cfg, err := Parse("  ")
+	if err != nil || cfg != nil {
+		t.Fatalf("empty spec: cfg=%v err=%v", cfg, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:p=0.5",        // unknown point
+		"budget:q=1",         // unknown key
+		"budget:p=2",         // probability out of range
+		"budget:p=0.5,i=1",   // exclusive selectors
+		"budget:at=0",        // threshold below 1
+		"latency:d=-1s",      // negative duration
+		"seed=x;budget:p=.1", // bad seed
+		"seed=7",             // no rules
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}

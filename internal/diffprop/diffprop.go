@@ -170,6 +170,13 @@ type Engine struct {
 	// analysis had charged when its budget fired (captured by Recover).
 	lastAbortOps int64
 
+	// chaosAt/chaosErr hold a pending one-shot chaos abort armed by
+	// ArmChaosAbort for the NEXT analysis; begin transfers it to the
+	// manager and clears it, so a recovery-ladder retry of the same fault
+	// runs clean.
+	chaosAt  int64
+	chaosErr error
+
 	// Runtime counters (see Stats). Cache statistics live on the manager:
 	// the in-place GC merges retired tables' counters into it, so
 	// m.CacheStats() is cumulative across compactions.
@@ -203,6 +210,29 @@ func (e *Engine) LastPhases() PhaseTimes { return e.lastPhases }
 // LastAbortOps reports how many BDD operations the most recently aborted
 // analysis had charged when its budget fired (captured by Recover).
 func (e *Engine) LastAbortOps() int64 { return e.lastAbortOps }
+
+// AnalysisOps reports the BDD operations charged by the most recent
+// analysis: every query re-arms the charge meter at its start, so after a
+// completed query this is that query's own cost — the sample budget
+// self-calibration learns from. After an aborted query (post-Recover) the
+// meter is reset; use LastAbortOps for the aborted attempt's count.
+func (e *Engine) AnalysisOps() int64 { return e.m.OpsCharged() }
+
+// ArmChaosAbort schedules a one-shot forced abort for the next analysis
+// on this engine: its manager will panic with err (bdd.ErrBudget or
+// bdd.ErrNodeLimit; nil selects bdd.ErrBudget) once the analysis charges
+// atOps operations. The trigger is consumed when the next analysis
+// begins, so a recovery-ladder retry of the aborted fault runs clean —
+// which is exactly what makes chaos-rescued records bit-identical to an
+// uninjected run. atOps <= 0 clears a pending trigger. Chaos-injection
+// seam; no-op in normal operation.
+func (e *Engine) ArmChaosAbort(atOps int64, err error) {
+	if atOps <= 0 {
+		e.chaosAt, e.chaosErr = 0, nil
+		return
+	}
+	e.chaosAt, e.chaosErr = atOps, err
+}
 
 // Stats is a snapshot of an engine's runtime counters: how much work the
 // per-fault analyses actually did, how the BDD substrate behaved, and how
@@ -587,14 +617,19 @@ func (e *Engine) begin() {
 		}
 	}
 	e.m.SetNodeLimit(lim)
-	if !e.faultBudget.active() {
-		return
-	}
 	var deadline time.Time
 	if e.faultBudget.Wall > 0 {
 		deadline = time.Now().Add(e.faultBudget.Wall)
 	}
+	// Always arm, even with a zero (unlimited) budget: SetBudget resets
+	// the manager's charge meter, making AnalysisOps a per-analysis count
+	// — the sample the campaign layer's budget self-calibration learns
+	// from.
 	e.m.SetBudget(e.faultBudget.Ops, deadline)
+	if e.chaosAt > 0 {
+		e.m.SetChaosAbort(e.chaosAt, e.chaosErr)
+		e.chaosAt, e.chaosErr = 0, nil
+	}
 }
 
 // Recover restores the engine after an aborted analysis (a bdd.ErrBudget
@@ -613,6 +648,10 @@ func (e *Engine) Recover() {
 	e.lastAbortOps = e.m.OpsCharged()
 	e.m.ClearBudget()
 	e.m.SetNodeLimit(0)
+	// Drop any chaos trigger still pending on the engine: if the aborted
+	// analysis never reached begin (an injected panic between arming and
+	// the first query), the trigger must not leak into the next fault.
+	e.chaosAt, e.chaosErr = 0, nil
 	if sh := e.shared; sh != nil {
 		// Recover is reached inside an analysis, i.e. under the read lock.
 		// The ladder re-roots the shared table, which needs the exclusive

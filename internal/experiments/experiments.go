@@ -64,6 +64,11 @@ type Config struct {
 	// MemLimit is the campaign heap ceiling in bytes: workers park near it
 	// instead of growing the heap further (see analysis.CampaignConfig).
 	MemLimit int64
+	// Calibrate enables budget self-calibration on every campaign the
+	// runner launches: per-fault budgets and the retry ladder are learned
+	// from each circuit's measured op-cost distribution instead of the
+	// hand-tuned FaultOps/Recovery knobs (see analysis.Calibration).
+	Calibrate analysis.Calibration
 	// Progress, when non-nil, observes every fault-analysis campaign the
 	// runner launches: the circuit being studied plus done/total fault
 	// counts. Callbacks arrive serially per campaign. Used by cmd/figures
@@ -159,6 +164,7 @@ func (r *Runner) campaignConfig(label string) analysis.CampaignConfig {
 		FaultTimeout: r.cfg.FaultTimeout,
 		Recovery:     r.cfg.Recovery,
 		MemLimit:     r.cfg.MemLimit,
+		Calibrate:    r.cfg.Calibrate,
 		Obs:          r.cfg.Obs,
 		Name:         label,
 	}

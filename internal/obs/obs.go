@@ -158,6 +158,15 @@ type CampaignMetrics struct {
 	GovernorParked, GovernorHeapBytes *Gauge
 	// governor_park_events_total: worker park transitions under pressure.
 	GovernorParkEvents *Counter
+	// chaos_injected_total: failures fired by the chaos-injection harness
+	// (0 outside chaos runs).
+	ChaosInjected *Counter
+	// calibration_budget_ops: the per-fault op budget currently armed by
+	// budget self-calibration (0 until the warmup window fills).
+	CalibrationBudgetOps *Gauge
+	// calibration_updates_total: budget re-derivations published by the
+	// calibrator (the first arming and every refresh that raised a bound).
+	CalibrationUpdates *Counter
 }
 
 // CampaignMetrics lazily registers (once) and returns the standard
@@ -201,6 +210,9 @@ func (o *Observer) CampaignMetrics() *CampaignMetrics {
 		GovernorParked:         r.Gauge("governor_parked_workers", "Workers currently parked by the memory governor."),
 		GovernorHeapBytes:      r.Gauge("governor_heap_bytes", "Heap size at the governor's last sample."),
 		GovernorParkEvents:     r.Counter("governor_park_events_total", "Worker park transitions under heap pressure."),
+		ChaosInjected:          r.Counter("chaos_injected_total", "Failures fired by the chaos-injection harness."),
+		CalibrationBudgetOps:   r.Gauge("calibration_budget_ops", "Per-fault op budget currently armed by budget self-calibration."),
+		CalibrationUpdates:     r.Counter("calibration_updates_total", "Budget re-derivations published by the calibrator."),
 	}
 	r.GaugeFunc("bdd_cache_hit_ratio", "Overall BDD operation-cache hit fraction.", func() float64 {
 		hits, misses := cm.CacheHits.Value(), cm.CacheMisses.Value()
