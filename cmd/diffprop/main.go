@@ -45,10 +45,16 @@ import (
 	"repro/internal/report"
 )
 
-// shutdownObs flushes the trace file and stops the debug server. main exits
-// through os.Exit on several paths, so fatal and finishCampaign call it
-// explicitly; it is idempotent.
+// shutdownObs flushes the trace file, stops the timeline sampler and the
+// debug server. main exits through os.Exit on several paths, so fatal and
+// finishCampaign call it explicitly; it is idempotent.
 var shutdownObs = func() {}
+
+// dumpFlight writes the flight recorder's post-mortem dump (the -flight
+// flag). Armed by setupObs; idempotent — the first reason wins, so a
+// panic's dump is not overwritten by the exit path's. A no-op when
+// -flight is unset.
+var dumpFlight = func(reason string) {}
 
 func main() {
 	var (
@@ -81,6 +87,7 @@ func main() {
 		logJSON    = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
 		tracePath  = flag.String("trace", "", "stream one trace event per analyzed fault to this file")
 		traceFmt   = flag.String("traceformat", "jsonl", "trace file format: jsonl, chrome (chrome://tracing)")
+		flightPath = flag.String("flight", "", "record campaign events in a flight ring and dump them as JSON to this file on exit, panic, checkpoint failure or interrupt (convention: <checkpoint>.flight.json; analyze with cmd/obsreport)")
 	)
 	flag.Parse()
 
@@ -99,7 +106,16 @@ func main() {
 		fatal(fmt.Errorf("-chaos: %w", err))
 	}
 
-	o := setupObs("diffprop", *httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt)
+	o := setupObs("diffprop", *httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt, *flightPath)
+	// A panic anywhere below still produces the flight dump — the whole
+	// point of a flight recorder — before the panic propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight("panic")
+			shutdownObs()
+			panic(r)
+		}
+	}()
 
 	c, err := loadCircuit(*circuit, *bench)
 	if err != nil {
@@ -126,6 +142,7 @@ func main() {
 		cancel()
 		<-sigCh
 		fmt.Fprintln(os.Stderr, "diffprop: second interrupt: exiting now; partial results were not reported, but checkpointed records (if any) remain valid for -resume")
+		dumpFlight("interrupt")
 		shutdownObs()
 		os.Exit(130)
 	}()
@@ -222,13 +239,22 @@ func main() {
 }
 
 // setupObs builds the campaign observer from the -http/-log/-logjson/
-// -trace/-traceformat flags and arms shutdownObs. Returns nil — the
-// zero-overhead off state — when no observability flag is set.
-func setupObs(prog, httpAddr, logLevel string, logJSON bool, tracePath, traceFmt string) *obs.Observer {
-	if httpAddr == "" && logLevel == "" && tracePath == "" {
+// -trace/-traceformat/-flight flags and arms shutdownObs plus dumpFlight.
+// Returns nil — the zero-overhead off state — when no observability flag
+// is set. The timeline sampler runs whenever the flight recorder or the
+// debug server wants it (the /timeline endpoint and the dump embed it).
+func setupObs(prog, httpAddr, logLevel string, logJSON bool, tracePath, traceFmt, flightPath string) *obs.Observer {
+	if httpAddr == "" && logLevel == "" && tracePath == "" && flightPath == "" {
 		return nil
 	}
 	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	if flightPath != "" {
+		o.Flight = obs.NewFlightRecorder(0)
+	}
+	var timeline *obs.Timeline
+	if flightPath != "" || httpAddr != "" {
+		timeline = o.StartTimeline(0, 0)
+	}
 	if logLevel != "" {
 		lv, err := obs.ParseLevel(logLevel)
 		if err != nil {
@@ -262,6 +288,7 @@ func setupObs(prog, httpAddr, logLevel string, logJSON bool, tracePath, traceFmt
 	var once sync.Once
 	shutdownObs = func() {
 		once.Do(func() {
+			timeline.Stop()
 			if o.Tracer != nil {
 				if err := o.Tracer.Close(); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: closing trace: %v\n", prog, err)
@@ -274,6 +301,21 @@ func setupObs(prog, httpAddr, logLevel string, logJSON bool, tracePath, traceFmt
 				srv.Close()
 			}
 		})
+	}
+	if flightPath != "" {
+		var dumpOnce sync.Once
+		dumpFlight = func(reason string) {
+			dumpOnce.Do(func() {
+				// Freeze the timeline first so the dump's final sample covers
+				// the run's tail.
+				timeline.Stop()
+				if ok, err := o.WriteFlightDump(flightPath, prog, reason); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: writing flight dump: %v\n", prog, err)
+				} else if ok {
+					fmt.Fprintf(os.Stderr, "%s: wrote flight dump (%s) to %s\n", prog, reason, flightPath)
+				}
+			})
+		}
 	}
 	return o
 }
@@ -380,6 +422,7 @@ func writeCalibJSON(path, circuit string, stats analysis.CampaignStats) {
 // lists come pre-sorted by fault index, so this output is deterministic
 // regardless of how the workers interleaved.
 func finishCampaign(stats analysis.CampaignStats, errs []analysis.FaultError, degraded []analysis.DegradedFault) {
+	dumpFlight("completed")
 	shutdownObs()
 	if stats.Rescued > 0 {
 		fmt.Fprintf(os.Stderr, "diffprop: recovery ladder rescued %d of %d budget-blown fault(s) to exact results\n", stats.Rescued, stats.Retried)
@@ -533,6 +576,9 @@ func vectorString(e *diffprop.Engine, res diffprop.Result) string {
 }
 
 func fatal(err error) {
+	// A CheckpointError (or any campaign abort) still gets its post-mortem:
+	// dump before tearing observability down.
+	dumpFlight("error")
 	shutdownObs()
 	fmt.Fprintln(os.Stderr, "diffprop:", err)
 	os.Exit(1)

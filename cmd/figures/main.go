@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/diffprop"
@@ -25,28 +26,40 @@ import (
 	"repro/internal/report"
 )
 
+// shutdownObs flushes the trace file, stops the timeline sampler and the
+// debug server; dumpFlight writes the -flight post-mortem dump. Both are
+// armed by setupObs, idempotent, and no-ops when their flags are unset
+// (fatal exits through os.Exit, so defers cannot be relied on).
+var (
+	shutdownObs = func() {}
+	dumpFlight  = func(reason string) {}
+)
+
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "use the small smoke-test configuration")
-		figID     = flag.String("fig", "all", "exhibit to produce: table1, fig1..fig8, x1..x4, or all")
-		csvDir    = flag.String("csv", "", "directory to write per-exhibit CSV files into")
-		maxBFs    = flag.Int("maxbfs", 0, "override the bridging fault sample ceiling")
-		seed      = flag.Int64("seed", 0, "override the sampling seed")
-		theta     = flag.Float64("theta", 0, "override the exponential distance parameter")
-		bins      = flag.Int("bins", 0, "override the histogram bin count")
-		circuits  = flag.String("circuits", "", "comma-separated circuit list for the trend figures")
-		workers   = flag.Int("workers", 0, "parallel analysis workers per campaign (0 = one per CPU)")
-		verbose   = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
-		budget    = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
-		timeout   = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
-		nodeLimit = flag.Int("nodelimit", 0, "per-fault BDD node-count watermark (0 = unlimited); a tripped analysis enters the recovery ladder")
-		gcAuto    = flag.Bool("gcauto", false, "enable recovery sifting when post-GC node counts still exceed -nodelimit (defaults -nodelimit to 1Mi nodes if unset)")
-		retryMult = flag.Float64("retrybudget", 0, "retry a blown fault once under its budgets scaled by this multiplier before degrading (<=1 disables)")
-		memLimit  = flag.String("memlimit", "", "per-campaign heap ceiling, e.g. 2GiB: park workers near it instead of OOMing (empty = GOMEMLIMIT if set; off = never)")
-		calibrate = flag.Bool("calibrate", false, "self-calibrate each campaign's per-fault budget and retry ladder from the circuit's measured op-cost distribution")
-		httpAddr  = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
-		logLevel  = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
-		logJSON   = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
+		quick      = flag.Bool("quick", false, "use the small smoke-test configuration")
+		figID      = flag.String("fig", "all", "exhibit to produce: table1, fig1..fig8, x1..x4, or all")
+		csvDir     = flag.String("csv", "", "directory to write per-exhibit CSV files into")
+		maxBFs     = flag.Int("maxbfs", 0, "override the bridging fault sample ceiling")
+		seed       = flag.Int64("seed", 0, "override the sampling seed")
+		theta      = flag.Float64("theta", 0, "override the exponential distance parameter")
+		bins       = flag.Int("bins", 0, "override the histogram bin count")
+		circuits   = flag.String("circuits", "", "comma-separated circuit list for the trend figures")
+		workers    = flag.Int("workers", 0, "parallel analysis workers per campaign (0 = one per CPU)")
+		verbose    = flag.Bool("v", false, "stream per-campaign progress and runtime stats to stderr")
+		budget     = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
+		timeout    = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
+		nodeLimit  = flag.Int("nodelimit", 0, "per-fault BDD node-count watermark (0 = unlimited); a tripped analysis enters the recovery ladder")
+		gcAuto     = flag.Bool("gcauto", false, "enable recovery sifting when post-GC node counts still exceed -nodelimit (defaults -nodelimit to 1Mi nodes if unset)")
+		retryMult  = flag.Float64("retrybudget", 0, "retry a blown fault once under its budgets scaled by this multiplier before degrading (<=1 disables)")
+		memLimit   = flag.String("memlimit", "", "per-campaign heap ceiling, e.g. 2GiB: park workers near it instead of OOMing (empty = GOMEMLIMIT if set; off = never)")
+		calibrate  = flag.Bool("calibrate", false, "self-calibrate each campaign's per-fault budget and retry ladder from the circuit's measured op-cost distribution")
+		httpAddr   = flag.String("http", "", "serve the debug endpoints (/metrics, /progress, /debug/pprof) on this address, e.g. :6060")
+		logLevel   = flag.String("log", "", "structured logging level on stderr: debug, info, warn, error (empty = off)")
+		logJSON    = flag.Bool("logjson", false, "emit structured logs as JSON instead of logfmt text")
+		tracePath  = flag.String("trace", "", "write a per-fault span trace covering every campaign to this file")
+		traceFmt   = flag.String("traceformat", "jsonl", "trace file format: jsonl, chrome (chrome://tracing)")
+		flightPath = flag.String("flight", "", "record campaign events in a flight ring and dump them as JSON to this file on exit or error (analyze with cmd/obsreport)")
 	)
 	flag.Parse()
 
@@ -88,7 +101,7 @@ func main() {
 	}
 	cfg.MemLimit = mem
 	cfg.Calibrate = analysis.Calibration{Enabled: *calibrate}
-	cfg.Obs = setupObs(*httpAddr, *logLevel, *logJSON)
+	cfg.Obs = setupObs(*httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt, *flightPath)
 	if *verbose {
 		cfg.Progress = func(circuit string, done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%s: %d/%d faults", circuit, done, total)
@@ -127,6 +140,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	dumpFlight("completed")
+	shutdownObs()
 }
 
 func one(r *experiments.Runner, id string) (experiments.Exhibit, error) {
@@ -159,14 +174,22 @@ func one(r *experiments.Runner, id string) (experiments.Exhibit, error) {
 }
 
 // setupObs builds the observer shared by every campaign the runner
-// launches. Returns nil (the zero-overhead off state) when no
-// observability flag is set. The debug server lives for the whole run;
-// the process exit tears it down.
-func setupObs(httpAddr, logLevel string, logJSON bool) *obs.Observer {
-	if httpAddr == "" && logLevel == "" {
+// launches and arms shutdownObs plus dumpFlight. Returns nil (the
+// zero-overhead off state) when no observability flag is set. The
+// timeline sampler runs whenever the flight recorder or the debug server
+// wants it (the /timeline endpoint and the dump embed it).
+func setupObs(httpAddr, logLevel string, logJSON bool, tracePath, traceFmt, flightPath string) *obs.Observer {
+	if httpAddr == "" && logLevel == "" && tracePath == "" && flightPath == "" {
 		return nil
 	}
 	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	if flightPath != "" {
+		o.Flight = obs.NewFlightRecorder(0)
+	}
+	var timeline *obs.Timeline
+	if flightPath != "" || httpAddr != "" {
+		timeline = o.StartTimeline(0, 0)
+	}
 	if logLevel != "" {
 		lv, err := obs.ParseLevel(logLevel)
 		if err != nil {
@@ -174,18 +197,67 @@ func setupObs(httpAddr, logLevel string, logJSON bool) *obs.Observer {
 		}
 		o.Log = obs.NewLogger(os.Stderr, lv, logJSON)
 	}
+	var traceFile *os.File
+	if tracePath != "" {
+		format, err := obs.ParseTraceFormat(traceFmt)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		o.Tracer = obs.NewTracer(f, format)
+	}
+	var srv *obs.Server
 	if httpAddr != "" {
 		o.Metrics.PublishExpvar("figures")
 		s, err := obs.Serve(httpAddr, o)
 		if err != nil {
 			fatal(err)
 		}
+		srv = s
 		fmt.Fprintf(os.Stderr, "figures: debug server on http://%s (/metrics /progress /debug/pprof)\n", s.Addr())
+	}
+	var once sync.Once
+	shutdownObs = func() {
+		once.Do(func() {
+			timeline.Stop()
+			if o.Tracer != nil {
+				if err := o.Tracer.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "figures: closing trace: %v\n", err)
+				}
+			}
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			if srv != nil {
+				srv.Close()
+			}
+		})
+	}
+	if flightPath != "" {
+		var dumpOnce sync.Once
+		dumpFlight = func(reason string) {
+			dumpOnce.Do(func() {
+				// Freeze the timeline first so the dump's final sample covers
+				// the run's tail.
+				timeline.Stop()
+				if ok, err := o.WriteFlightDump(flightPath, "figures", reason); err != nil {
+					fmt.Fprintf(os.Stderr, "figures: writing flight dump: %v\n", err)
+				} else if ok {
+					fmt.Fprintf(os.Stderr, "figures: wrote flight dump (%s) to %s\n", reason, flightPath)
+				}
+			})
+		}
 	}
 	return o
 }
 
 func fatal(err error) {
+	dumpFlight("error")
+	shutdownObs()
 	fmt.Fprintln(os.Stderr, "figures:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,150 @@
+// Command obsreport turns flight-recorder dumps (the -flight flag of
+// diffprop and figures) into a markdown post-mortem report: throughput
+// curve, outcome breakdown, per-worker utilization, rescue-ladder
+// effectiveness, the most expensive faults, checkpoint I/O health, a
+// chaos audit correlating every injection with the records it produced,
+// and anomaly flags.
+//
+// Usage:
+//
+//	obsreport run.flight.json                        # report to stdout
+//	obsreport -out report.md run1.flight.json run2.flight.json
+//	obsreport -checkpoint run.jsonl -trace run.trace run.flight.json
+//	obsreport -verify-chaos storm.flight.json        # exit 3 unless every
+//	                                                 # injection correlates
+//
+// Multiple dump files are a kill-and-resume sequence in run order: the
+// report reconstructs the full event history and flags any fault indices
+// lost or analyzed twice across the runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/obs"
+	"repro/internal/postmortem"
+)
+
+func main() {
+	var (
+		ckptPath    = flag.String("checkpoint", "", "checkpoint JSONL file to cross-check record counts against")
+		tracePath   = flag.String("trace", "", "JSONL trace file to resolve fault names from (chrome format is not supported)")
+		outPath     = flag.String("out", "", "write the markdown report here instead of stdout")
+		topN        = flag.Int("top", 10, "size of the most-expensive-faults table")
+		verifyChaos = flag.Bool("verify-chaos", false, "exit 3 unless at least one chaos injection was recorded and every one correlates with the records it produced (skipped if the flight ring wrapped)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "obsreport: no flight dump files given (usage: obsreport [flags] run.flight.json ...)")
+		os.Exit(2)
+	}
+
+	dumps := make([]*obs.FlightDump, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		d, err := obs.ReadFlightDump(path)
+		if err != nil {
+			fatal(err)
+		}
+		dumps = append(dumps, d)
+	}
+
+	opts := postmortem.Options{TopN: *topN}
+	if *tracePath != "" {
+		names, err := loadTraceNames(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.FaultNames = names
+	}
+	if *ckptPath != "" {
+		hdr, records, _, err := analysis.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Checkpoint = &postmortem.CheckpointInfo{
+			Kind:    hdr.Kind,
+			Circuit: hdr.Circuit,
+			Faults:  hdr.Faults,
+			Records: len(records),
+		}
+	}
+
+	rep, err := postmortem.Analyze(dumps, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(rep.Markdown), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "obsreport: wrote %s\n", *outPath)
+	} else {
+		fmt.Print(rep.Markdown)
+	}
+
+	if *verifyChaos {
+		switch {
+		case rep.EventsDropped > 0:
+			fmt.Fprintf(os.Stderr, "obsreport: chaos verification skipped: the flight ring wrapped (%d events dropped)\n", rep.EventsDropped)
+		case rep.ChaosInjected == 0:
+			fmt.Fprintln(os.Stderr, "obsreport: chaos verification failed: no chaos injections recorded")
+			os.Exit(3)
+		case rep.ChaosUncorrelated > 0:
+			fmt.Fprintf(os.Stderr, "obsreport: chaos verification failed: %d of %d injections uncorrelated\n", rep.ChaosUncorrelated, rep.ChaosInjected)
+			os.Exit(3)
+		default:
+			fmt.Fprintf(os.Stderr, "obsreport: chaos verification OK: all %d injections correlated\n", rep.ChaosInjected)
+		}
+	}
+}
+
+// loadTraceNames digests a JSONL trace into a fault-index → fault-name
+// map. Only the jsonl trace format carries one span per line; a chrome
+// trace (a single JSON array) is rejected with a hint.
+func loadTraceNames(path string) (map[int]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	names := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first && strings.HasPrefix(line, "[") {
+			return nil, fmt.Errorf("obsreport: %s looks like a chrome-format trace; fault names need -traceformat jsonl", path)
+		}
+		first = false
+		var ev struct {
+			Index int    `json:"i"`
+			Fault string `json:"fault"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // tolerate a torn tail like the checkpoint loader does
+		}
+		if ev.Fault != "" {
+			names[ev.Index] = ev.Fault
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsreport:", err)
+	os.Exit(1)
+}

@@ -212,7 +212,7 @@ func RunStuckAt(e *diffprop.Engine, fs []faults.StuckAt) StuckAtStudy {
 	study := stuckAtHeader(c)
 	study.Records = make([]StuckAtRecord, 0, len(fs))
 	for _, f := range fs {
-		rec, _ := analyzeStuckAt(e, f, toPO, levels, fb, nil)
+		rec, _ := analyzeStuckAt(e, f, toPO, levels, fb, nil, nil)
 		study.Records = append(study.Records, rec)
 	}
 	return study
@@ -227,7 +227,7 @@ func RunBridging(e *diffprop.Engine, bs []faults.Bridging, kind faults.BridgeKin
 	study := bridgingHeader(c, kind, population, sampled)
 	study.Records = make([]BridgingRecord, 0, len(bs))
 	for _, b := range bs {
-		rec, _ := analyzeBridging(e, b, toPO, fb, nil)
+		rec, _ := analyzeBridging(e, b, toPO, fb, nil, nil)
 		study.Records = append(study.Records, rec)
 	}
 	return study

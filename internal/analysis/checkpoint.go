@@ -123,11 +123,13 @@ type Checkpointer struct {
 	// package, 0 disables periodic fsync — Close still syncs).
 	FsyncEvery int
 
-	// Log, Appends and Fsyncs are optional observability hooks, wired by
-	// Instrument (or by hand) before the campaign starts. All nil-safe.
+	// Log, Appends, Fsyncs and Flight are optional observability hooks,
+	// wired by Instrument (or by hand) before the campaign starts. All
+	// nil-safe.
 	Log     *slog.Logger
 	Appends *obs.Counter
 	Fsyncs  *obs.Counter
+	Flight  *obs.FlightRecorder
 
 	mu       sync.Mutex
 	f        *os.File
@@ -175,6 +177,7 @@ func (cp *Checkpointer) Instrument(o *obs.Observer) {
 	cm := o.CampaignMetrics()
 	cp.Appends = cm.CheckpointAppends
 	cp.Fsyncs = cm.CheckpointFsyncs
+	cp.Flight = o.Flight
 	cp.Log = o.Log
 }
 
@@ -244,6 +247,7 @@ func (cp *Checkpointer) Append(index int, record any) error {
 	}
 	cp.appended++
 	cp.Appends.Inc()
+	cp.Flight.Record(obs.FlightCheckpointAppend, obs.FlightLabelNone, -1, index, int64(len(buf)), 0)
 	if cp.FsyncEvery > 0 && cp.appended%cp.FsyncEvery == 0 {
 		if err := cp.sync(); err != nil {
 			return cp.poison("fsync", index, err)
@@ -266,12 +270,18 @@ func (cp *Checkpointer) sync() error {
 		return err
 	}
 	cp.Fsyncs.Inc()
+	cp.Flight.Record(obs.FlightCheckpointFsync, obs.FlightLabelNone, -1, -1, int64(cp.appended), 0)
 	return nil
 }
 
 // poison records the first persistence failure (under mu) and returns it.
 func (cp *Checkpointer) poison(op string, index int, err error) *CheckpointError {
 	cp.err = &CheckpointError{Op: op, Index: index, Err: err}
+	label := obs.FlightLabelAppend
+	if op == "fsync" {
+		label = obs.FlightLabelFsync
+	}
+	cp.Flight.Record(obs.FlightCheckpointError, label, -1, index, 0, 0)
 	if cp.Log != nil {
 		cp.Log.Error("checkpoint poisoned", "op", op, "index", index, "err", err)
 	}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// countFlightKinds tallies a recorder's surviving events by kind name.
+func countFlightKinds(r *obs.FlightRecorder) map[string]int {
+	n := map[string]int{}
+	for _, ev := range r.Snapshot() {
+		n[ev.Kind]++
+	}
+	return n
+}
+
+// TestCampaignFlightEvents runs a 4-worker campaign with the flight
+// recorder attached and reconciles the event stream against the returned
+// stats: one start, one ok finish, exactly one fault event per analyzed
+// fault with no duplicates, and a claim/drain trail consistent with the
+// worker count.
+func TestCampaignFlightEvents(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	fs := faults.CheckpointStuckAts(c.Decompose2())
+	o := &obs.Observer{
+		Metrics: obs.NewRegistry(),
+		Flight:  obs.NewFlightRecorder(len(fs)*4 + 256),
+	}
+	study, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dropped := o.Flight.Total(); dropped != 0 {
+		t.Fatalf("ring wrapped (%d dropped); size the ring for the fault set", dropped)
+	}
+
+	kinds := countFlightKinds(o.Flight)
+	if kinds["campaign_start"] != 1 || kinds["campaign_finish"] != 1 {
+		t.Fatalf("start/finish = %d/%d, want 1/1", kinds["campaign_start"], kinds["campaign_finish"])
+	}
+	if kinds["worker_start"] != 4 {
+		t.Fatalf("worker_start = %d, want 4", kinds["worker_start"])
+	}
+	if kinds["fault"] != study.Stats.Faults {
+		t.Fatalf("fault events = %d, stats analyzed %d", kinds["fault"], study.Stats.Faults)
+	}
+	if kinds["claim"] == 0 || kinds["drain"] != 4 {
+		t.Fatalf("claim/drain = %d/%d, want claims > 0 and one drain per worker", kinds["claim"], kinds["drain"])
+	}
+
+	seen := map[int]bool{}
+	var outcomes = map[string]int{}
+	for _, ev := range o.Flight.Snapshot() {
+		switch ev.Kind {
+		case "fault":
+			if seen[ev.Index] {
+				t.Fatalf("fault #%d recorded twice", ev.Index)
+			}
+			seen[ev.Index] = true
+			outcomes[ev.Label]++
+			if ev.Worker < 0 || ev.Worker >= 4 {
+				t.Fatalf("fault #%d attributed to worker %d", ev.Index, ev.Worker)
+			}
+		case "campaign_start":
+			if ev.A != int64(len(fs)) {
+				t.Fatalf("campaign_start total = %d, want %d", ev.A, len(fs))
+			}
+		case "campaign_finish":
+			if ev.Label != "ok" || ev.A != int64(study.Stats.Faults) {
+				t.Fatalf("campaign_finish = %+v, want ok with a=%d", ev, study.Stats.Faults)
+			}
+		}
+	}
+	if len(seen) != len(fs) {
+		t.Fatalf("distinct fault indices = %d, want full coverage %d", len(seen), len(fs))
+	}
+	exact := study.Stats.Faults - study.Stats.Degraded - study.Stats.Errored - study.Stats.Rescued
+	if outcomes["exact"] != exact || outcomes["approximate"] != study.Stats.Degraded ||
+		outcomes["error"] != study.Stats.Errored || outcomes["rescued"] != study.Stats.Rescued {
+		t.Fatalf("outcome labels %v do not reconcile with stats %+v", outcomes, study.Stats)
+	}
+}
+
+// TestDebugServerConcurrentScrapes hammers /metrics and /timeline from
+// multiple goroutines while a live 4-worker campaign mutates every gauge
+// they read — the -race build is the actual assertion.
+func TestDebugServerConcurrentScrapes(t *testing.T) {
+	c := circuits.MustGet("c95s")
+	fs := faults.CheckpointStuckAts(c.Decompose2())
+	o := &obs.Observer{
+		Metrics: obs.NewRegistry(),
+		Flight:  obs.NewFlightRecorder(0),
+	}
+	tl := o.StartTimeline(0, 0) // default period: samples at least once at Stop
+	srv := httptest.NewServer(obs.NewMux(o))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		path := "/metrics"
+		if i%2 == 1 {
+			path = "/timeline"
+		}
+		go func(path string) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err != nil {
+					return // server closing down
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+
+	study, err := RunStuckAtCampaign(c, nil, fs, CampaignConfig{Workers: 4, Obs: o})
+	cancel()
+	wg.Wait()
+	tl.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Stats.Faults != len(fs) {
+		t.Fatalf("campaign analyzed %d/%d faults", study.Stats.Faults, len(fs))
+	}
+	if len(tl.Snapshot()) == 0 {
+		t.Fatal("timeline sampler took no samples")
+	}
+}

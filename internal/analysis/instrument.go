@@ -13,6 +13,7 @@ import (
 	"log/slog"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/diffprop"
 	"repro/internal/obs"
 )
@@ -23,7 +24,13 @@ type campaignInstr struct {
 	camp      *obs.Campaign
 	cm        *obs.CampaignMetrics
 	log       *slog.Logger
+	flight    *obs.FlightRecorder
 	faultName func(i int) string
+
+	// Per-worker cache-traffic baselines for the live hit/miss gauges:
+	// each worker folds only the delta since its last fault into the
+	// registry, and each slot is written only by its owning worker.
+	lastHits, lastMisses []int64
 }
 
 // newCampaignInstr builds the instrumentation for one campaign, or nil
@@ -39,13 +46,16 @@ func newCampaignInstr(cfg CampaignConfig, name string, total int, faultName func
 	if cfg.Checkpoint != nil {
 		cfg.Checkpoint.Instrument(cfg.Obs)
 	}
-	return &campaignInstr{
+	in := &campaignInstr{
 		o:         cfg.Obs,
 		camp:      cfg.Obs.StartCampaign(name, total),
 		cm:        cfg.Obs.CampaignMetrics(),
 		log:       cfg.Obs.Logger().With("campaign", name),
+		flight:    cfg.Obs.Flight,
 		faultName: faultName,
 	}
+	in.flight.Record(obs.FlightCampaignStart, obs.FlightLabelNone, -1, -1, int64(total), 0)
+	return in
 }
 
 // setup arms per-engine observability before workers start: a structured
@@ -56,6 +66,8 @@ func (in *campaignInstr) setup(engines []*diffprop.Engine) {
 		return
 	}
 	trace := in.o.Tracer.Enabled()
+	in.lastHits = make([]int64, len(engines))
+	in.lastMisses = make([]int64, len(engines))
 	for w, e := range engines {
 		if in.o.Log != nil {
 			e.SetLogger(in.o.Log.With("worker", w))
@@ -63,9 +75,25 @@ func (in *campaignInstr) setup(engines []*diffprop.Engine) {
 		if trace {
 			e.EnablePhaseTiming(true)
 		}
+		// Baseline the cache counters at the prototype-build state so the
+		// live gauges carry only campaign traffic.
+		in.lastHits[w], in.lastMisses[w] = e.CacheTraffic()
+		if in.flight != nil {
+			worker := w
+			e.Manager().SetGCHook(func(res bdd.GCResult) {
+				kind := obs.FlightGC
+				if res.Sifted {
+					kind = obs.FlightSift
+				}
+				in.flight.Record(kind, obs.FlightLabelNone, worker, -1,
+					int64(res.Reclaimed()), int64(res.After))
+			})
+		}
 	}
 	if len(engines) > 0 {
 		in.cm.BDDTableViews.Set(int64(engines[0].Manager().Views()))
+		_, buckets := engines[0].Manager().TableLoad()
+		in.cm.BDDTableBuckets.Set(buckets)
 	}
 }
 
@@ -77,6 +105,7 @@ func (in *campaignInstr) resumed(n int) {
 	in.camp.AddResumed(n)
 	in.cm.FaultsDone.Add(int64(n))
 	in.cm.FaultsResumed.Add(int64(n))
+	in.flight.Record(obs.FlightResume, obs.FlightLabelNone, -1, -1, int64(n), 0)
 	in.log.Info("checkpoint resume", "records", n)
 }
 
@@ -84,6 +113,7 @@ func (in *campaignInstr) workerStart(w int) {
 	if in == nil {
 		return
 	}
+	in.flight.Record(obs.FlightWorkerStart, obs.FlightLabelNone, w, -1, 0, 0)
 	in.log.Debug("worker start", "worker", w)
 }
 
@@ -92,6 +122,7 @@ func (in *campaignInstr) workerClaim(w, lo, size int) {
 	if in == nil {
 		return
 	}
+	in.flight.Record(obs.FlightWorkerClaim, obs.FlightLabelNone, w, lo, int64(lo), int64(size))
 	in.log.Debug("worker claim", "worker", w, "lo", lo, "size", size)
 }
 
@@ -99,6 +130,7 @@ func (in *campaignInstr) workerDrain(w int) {
 	if in == nil {
 		return
 	}
+	in.flight.Record(obs.FlightWorkerDrain, obs.FlightLabelNone, w, -1, 0, 0)
 	in.log.Debug("worker drain", "worker", w)
 }
 
@@ -144,6 +176,16 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	in.cm.FaultLatency.Observe(dur.Seconds())
 	in.cm.BDDNodes.Set(int64(e.Manager().NodeCount()))
 	in.cm.BDDTableEpoch.Set(int64(e.Manager().TableEpoch()))
+	in.flight.Record(obs.FlightFaultDone, obs.FlightOutcomeLabel(oc), worker, i,
+		dur.Microseconds(), e.AnalysisOps())
+	if in.lastHits != nil && worker < len(in.lastHits) {
+		h, m := e.CacheTraffic()
+		in.cm.CacheHitsLive.Add(h - in.lastHits[worker])
+		in.cm.CacheMissesLive.Add(m - in.lastMisses[worker])
+		in.lastHits[worker], in.lastMisses[worker] = h, m
+	}
+	_, buckets := e.Manager().TableLoad()
+	in.cm.BDDTableBuckets.Set(buckets)
 	switch outcome {
 	case outcomeDegraded:
 		in.log.Warn("fault budget blown, degraded to simulation estimate",
@@ -174,6 +216,19 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 	}
 }
 
+// ladderHook builds the budget-blow observer passed to analyzeStuckAt /
+// analyzeBridging for fault i on worker w, or nil when nothing records
+// flight events — no closure is allocated then, preserving the zero-alloc
+// disabled hot path.
+func (in *campaignInstr) ladderHook(w, i int) func(attempt int, ops int64) {
+	if in == nil || in.flight == nil {
+		return nil
+	}
+	return func(attempt int, ops int64) {
+		in.flight.Record(obs.FlightBudgetBlow, obs.FlightLabelNone, w, i, int64(attempt), ops)
+	}
+}
+
 // calibrationUpdate records one published calibration generation: the
 // armed budget gauge, the update counter, and a log line tying the new
 // bounds to the sample population they came from.
@@ -183,6 +238,7 @@ func (in *campaignInstr) calibrationUpdate(budgetOps int64, retryMult float64, s
 	}
 	in.cm.CalibrationBudgetOps.Set(budgetOps)
 	in.cm.CalibrationUpdates.Inc()
+	in.flight.Record(obs.FlightCalibration, obs.FlightLabelNone, -1, -1, budgetOps, int64(samples))
 	in.log.Info("budget calibration published",
 		"budget_ops", budgetOps, "retry_multiplier", retryMult, "samples", samples)
 }
@@ -195,6 +251,7 @@ func (in *campaignInstr) governorParked(w, parked int, heap int64) {
 	}
 	in.cm.GovernorParkEvents.Inc()
 	in.cm.GovernorParked.Set(int64(parked))
+	in.flight.Record(obs.FlightPark, obs.FlightLabelNone, w, -1, int64(parked), heap)
 	in.log.Info("memory governor parked worker",
 		"worker", w, "parked", parked, "heap_bytes", heap)
 }
@@ -205,6 +262,7 @@ func (in *campaignInstr) governorUnparked(w, parked int) {
 		return
 	}
 	in.cm.GovernorParked.Set(int64(parked))
+	in.flight.Record(obs.FlightUnpark, obs.FlightLabelNone, w, -1, int64(parked), 0)
 	in.log.Info("memory governor resumed worker", "worker", w, "parked", parked)
 }
 
@@ -224,6 +282,10 @@ func (in *campaignInstr) finish(stats CampaignStats) {
 	}
 	in.camp.Finish(stats.Canceled)
 	in.cm.CampaignsRunning.Add(-1)
+	finishLabel := obs.FlightLabelOK
+	if stats.Canceled {
+		finishLabel = obs.FlightLabelCanceled
+	}
 	in.cm.GateEvaluations.Add(stats.GateEvaluations)
 	in.cm.BDDRebuilds.Add(int64(stats.Rebuilds))
 	in.cm.BDDPeakNodes.SetMax(int64(stats.PeakNodes))
@@ -235,6 +297,7 @@ func (in *campaignInstr) finish(stats CampaignStats) {
 	in.cm.ChaosInjected.Add(stats.ChaosInjected)
 	snap := in.camp.Snapshot()
 	in.cm.FaultsSkipped.Add(snap.Skipped)
+	in.flight.Record(obs.FlightCampaignFinish, finishLabel, -1, -1, int64(stats.Faults), snap.Skipped)
 	in.log.Info("campaign finished",
 		"faults", stats.Faults, "degraded", stats.Degraded, "errored", stats.Errored,
 		"retried", stats.Retried, "rescued", stats.Rescued,

@@ -263,6 +263,9 @@ func TestObsOffHotPathAllocs(t *testing.T) {
 		t0 := in.faultStart()
 		in.faultDone(e, 0, 0, outcomeExact, t0)
 		in.workerClaim(0, 0, 1)
+		if in.ladderHook(0, 0) != nil {
+			t.Error("disabled ladderHook returned a closure")
+		}
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocated %.1f times per fault, want 0", allocs)

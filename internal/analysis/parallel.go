@@ -312,8 +312,9 @@ func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, iso
 }
 
 // runCampaign drains indices 0..total-1 through the worker engines via an
-// atomic work-stealing counter. analyze(e, i) must write its result to its
-// own index; it runs concurrently on distinct engines and reports how the
+// atomic work-stealing counter. analyze(e, w, i) must write its result to
+// its own index; it runs concurrently on distinct engines (w is the
+// engine's worker slot, for event attribution) and reports how the
 // record was produced plus any fatal persistence error. skip[i] (nil for
 // none) marks indices restored from a checkpoint, which are counted as
 // done without being re-analyzed.
@@ -335,7 +336,7 @@ func prepareEngines(c *netlist.Circuit, opts *diffprop.Options, workers int, iso
 // worker between faults: one atomic generation load on the hot path, a
 // re-arm of the worker's own engine when the calibrator published new
 // bounds — never touching an engine whose fault is in flight.
-func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, instr *campaignInstr, inj *chaos.Injector, cal *calibrator, analyze func(e *diffprop.Engine, i int) (faultOutcome, error)) (CampaignStats, error) {
+func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip []bool, instr *campaignInstr, inj *chaos.Injector, cal *calibrator, analyze func(e *diffprop.Engine, w, i int) (faultOutcome, error)) (CampaignStats, error) {
 	start := time.Now()
 	ctx := cfg.ctx()
 	instr.setup(engines)
@@ -418,7 +419,7 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 					// cannot re-root the good functions mid-fault. Unshared
 					// engines get a no-op unlock.
 					unlock := e.AnalysisLock()
-					outcome, err := analyze(e, i)
+					outcome, err := analyze(e, w, i)
 					unlock()
 					if cal != nil {
 						cal.observe(outcome, e.AnalysisOps())
@@ -478,15 +479,22 @@ func runCampaign(engines []*diffprop.Engine, total int, cfg CampaignConfig, skip
 
 // newCampaignInjector builds the chaos injector for one campaign run (nil
 // when cfg.Chaos is unset or rule-less — every injector method is then a
-// nil-receiver no-op) and attaches it to the observability logger and the
-// checkpointer's write/fsync seams.
-func newCampaignInjector(cfg CampaignConfig) *chaos.Injector {
+// nil-receiver no-op) and attaches it to the observability logger, the
+// flight recorder's injection audit trail, and the checkpointer's
+// write/fsync seams.
+func newCampaignInjector(cfg CampaignConfig, instr *campaignInstr) *chaos.Injector {
 	inj := chaos.New(cfg.Chaos)
 	if inj == nil {
 		return nil
 	}
 	if cfg.Obs != nil {
 		inj.SetLogger(cfg.Obs.Logger())
+	}
+	if instr != nil && instr.flight != nil {
+		fl := instr.flight
+		inj.SetEventHook(func(p chaos.Point, key int) {
+			fl.Record(obs.FlightChaos, obs.FlightLabelByName(p.String()), -1, key, 0, 0)
+		})
 	}
 	if cfg.Checkpoint != nil {
 		cfg.Checkpoint.SetChaos(inj)
@@ -568,11 +576,11 @@ func RunStuckAtCampaign(c *netlist.Circuit, opts *diffprop.Options, fs []faults.
 	instr := newCampaignInstr(cfg, "stuckat "+work.Name, len(fs), func(i int) string {
 		return fs[i].Describe(work)
 	})
-	inj := newCampaignInjector(cfg)
+	inj := newCampaignInjector(cfg, instr)
 	cal := newCalibrator(cfg, instr)
 	analyzed := make([]bool, len(fs))
-	stats, runErr := runCampaign(engines, len(fs), cfg, skip, instr, inj, cal, func(e *diffprop.Engine, i int) (faultOutcome, error) {
-		rec, outcome := analyzeStuckAt(e, fs[i], toPO, levels, fb, chaosHook(inj, e, i))
+	stats, runErr := runCampaign(engines, len(fs), cfg, skip, instr, inj, cal, func(e *diffprop.Engine, w, i int) (faultOutcome, error) {
+		rec, outcome := analyzeStuckAt(e, fs[i], toPO, levels, fb, chaosHook(inj, e, i), instr.ladderHook(w, i))
 		records[i] = rec
 		analyzed[i] = true
 		if cfg.Checkpoint != nil {
@@ -639,11 +647,11 @@ func RunBridgingCampaign(c *netlist.Circuit, opts *diffprop.Options, bs []faults
 	instr := newCampaignInstr(cfg, "bridging "+work.Name, len(bs), func(i int) string {
 		return bs[i].Describe(work)
 	})
-	inj := newCampaignInjector(cfg)
+	inj := newCampaignInjector(cfg, instr)
 	cal := newCalibrator(cfg, instr)
 	analyzed := make([]bool, len(bs))
-	stats, runErr := runCampaign(engines, len(bs), cfg, skip, instr, inj, cal, func(e *diffprop.Engine, i int) (faultOutcome, error) {
-		rec, outcome := analyzeBridging(e, bs[i], toPO, fb, chaosHook(inj, e, i))
+	stats, runErr := runCampaign(engines, len(bs), cfg, skip, instr, inj, cal, func(e *diffprop.Engine, w, i int) (faultOutcome, error) {
+		rec, outcome := analyzeBridging(e, bs[i], toPO, fb, chaosHook(inj, e, i), instr.ladderHook(w, i))
 		records[i] = rec
 		analyzed[i] = true
 		if cfg.Checkpoint != nil {

@@ -150,14 +150,20 @@ func tryBridgingRecord(e *diffprop.Engine, b faults.Bridging, toPO []int, hook f
 // analyzeStuckAt produces the record for one stuck-at fault: exact when
 // the analysis completes, a simulation estimate when it blows its budget,
 // an error record when it panics. Shared by the serial and work-stealing
-// runners.
-func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb *fallback, hook func()) (StuckAtRecord, faultOutcome) {
+// runners. blown, when non-nil, observes each budget/node-limit abort
+// with the attempt number (1 = first, 2 = relaxed retry) and the ops
+// charged at abort — the flight recorder's ladder seam; nil (no
+// allocation) in normal unobserved operation.
+func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb *fallback, hook func(), blown func(attempt int, ops int64)) (StuckAtRecord, faultOutcome) {
 	rec, budget, errMsg := tryStuckAtRecord(e, f, toPO, levels, hook)
 	if errMsg != "" {
 		return StuckAtRecord{Fault: f, Err: errMsg}, outcomeErrored
 	}
 	if !budget {
 		return rec, outcomeExact
+	}
+	if blown != nil {
+		blown(1, e.LastAbortOps())
 	}
 	outcome := outcomeDegraded
 	// Retry rung: the GC and sift rungs already ran inside Recover; when a
@@ -174,6 +180,9 @@ func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb
 		}
 		if !budget {
 			return rec, outcomeRescued
+		}
+		if blown != nil {
+			blown(2, e.LastAbortOps())
 		}
 		outcome = outcomeDegradedAfterRetry
 	}
@@ -235,13 +244,16 @@ func chaosHook(inj *chaos.Injector, e *diffprop.Engine, i int) func() {
 // analyzeBridging is the bridging counterpart of analyzeStuckAt. A budget
 // blow implies the bridge already passed the engine's feedback screen, so
 // the estimator's own screen cannot fire.
-func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fallback, hook func()) (BridgingRecord, faultOutcome) {
+func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fallback, hook func(), blown func(attempt int, ops int64)) (BridgingRecord, faultOutcome) {
 	rec, budget, errMsg := tryBridgingRecord(e, b, toPO, hook)
 	if errMsg != "" {
 		return BridgingRecord{Fault: b, Err: errMsg}, outcomeErrored
 	}
 	if !budget {
 		return rec, outcomeExact
+	}
+	if blown != nil {
+		blown(1, e.LastAbortOps())
 	}
 	outcome := outcomeDegraded
 	if restore, ok := e.RelaxBudget(); ok {
@@ -252,6 +264,9 @@ func analyzeBridging(e *diffprop.Engine, b faults.Bridging, toPO []int, fb *fall
 		}
 		if !budget {
 			return rec, outcomeRescued
+		}
+		if blown != nil {
+			blown(2, e.LastAbortOps())
 		}
 		outcome = outcomeDegradedAfterRetry
 	}

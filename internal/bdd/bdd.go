@@ -135,6 +135,10 @@ type Manager struct {
 	// log receives structured manager events; nil = silent.
 	log *slog.Logger
 
+	// gcHook, when non-nil, observes each completed GC/ReduceUnder pass
+	// (SetGCHook) — the flight-recorder seam. Per-view, like the logger.
+	gcHook func(GCResult)
+
 	// satC caches satisfying-set counts keyed by regular (uncomplemented)
 	// ref, normalized to each node's own level. satEpoch tracks the table
 	// epoch the cache was filled under; an in-place adoption (GC/sift)
@@ -146,6 +150,14 @@ type Manager struct {
 // SetLogger attaches a structured logger for manager events. A nil logger
 // silences them (the default).
 func (m *Manager) SetLogger(log *slog.Logger) { m.log = log }
+
+// SetGCHook registers an observer for completed GC and ReduceUnder
+// passes: the hook receives each pass's final GCResult, exactly once per
+// public collection call. The hook runs on the collecting goroutine with
+// the table quiescent, so it must be cheap and must not touch the
+// manager. A nil hook disables it (the default). Per-view, like the
+// logger: each worker engine installs its own.
+func (m *Manager) SetGCHook(hook func(GCResult)) { m.gcHook = hook }
 
 // deadlineCheckMask throttles the wall-clock check of an armed budget to
 // one time.Now() call per 1024 charged operations. Once the deadline is
@@ -217,6 +229,22 @@ func (m *Manager) ClearBudget() { m.SetBudget(0, time.Time{}) }
 // OpsCharged reports the operations charged since the last SetBudget (or
 // manager creation).
 func (m *Manager) OpsCharged() int64 { return m.ops }
+
+// TableLoad reports the unique table's occupancy: resident nodes and
+// hash-bucket capacity summed over all shards. nodes/buckets is the load
+// factor the timeline sampler plots. Safe for concurrent use (briefly
+// locks each shard in turn); the two sums are each internally consistent
+// per shard but not across a concurrent resize — fine for telemetry.
+func (m *Manager) TableLoad() (nodes, buckets int64) {
+	for i := range m.t.shards {
+		s := &m.t.shards[i]
+		s.mu.Lock()
+		nodes += int64(s.count)
+		buckets += int64(len(s.buckets))
+		s.mu.Unlock()
+	}
+	return nodes, buckets
+}
 
 // chargeOp records one operation against the armed budget, aborting with
 // panic(ErrBudget) when the budget is blown. It is called only at points

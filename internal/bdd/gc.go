@@ -60,6 +60,17 @@ func (m *Manager) adopt(dst *Manager) {
 // manager handle. The copy runs on the destination, which has no
 // watermark armed, so GC itself can never raise ErrNodeLimit.
 func (m *Manager) GC(roots []Ref) ([]Ref, GCResult) {
+	out, res := m.gc(roots)
+	if m.gcHook != nil {
+		m.gcHook(res)
+	}
+	return out, res
+}
+
+// gc is the collection body shared by GC and ReduceUnder; it does not
+// fire the GC hook, so each public entry point reports exactly one
+// (final) result per call.
+func (m *Manager) gc(roots []Ref) ([]Ref, GCResult) {
 	res := GCResult{Before: m.NodeCount()}
 	dst := New(m.t.names...)
 	out := m.Transfer(dst, roots...)
@@ -80,8 +91,11 @@ func (m *Manager) GC(roots []Ref) ([]Ref, GCResult) {
 // sat-count cache is dropped in that case (counts are order-normalized
 // per node and rebuilt lazily).
 func (m *Manager) ReduceUnder(roots []Ref, watermark, siftPasses int) ([]Ref, GCResult) {
-	out, res := m.GC(roots)
+	out, res := m.gc(roots)
 	if watermark <= 0 || siftPasses <= 0 || res.AfterGC <= watermark {
+		if m.gcHook != nil {
+			m.gcHook(res)
+		}
 		return out, res
 	}
 	// Full sifting tries every variable at every position — affordable for
@@ -100,5 +114,8 @@ func (m *Manager) ReduceUnder(roots []Ref, watermark, siftPasses int) ([]Ref, GC
 	m.adopt(next)
 	res.Sifted = true
 	res.After = m.NodeCount()
+	if m.gcHook != nil {
+		m.gcHook(res)
+	}
 	return newRoots, res
 }

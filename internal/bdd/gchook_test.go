@@ -1,0 +1,80 @@
+package bdd
+
+import "testing"
+
+func TestGCHookFiresOncePerGC(t *testing.T) {
+	m := NewAnon(16)
+	live := buildHeavy(m, 8)
+	buildHeavy(m, 64) // garbage
+	var fired []GCResult
+	m.SetGCHook(func(res GCResult) { fired = append(fired, res) })
+	_, res := m.GC([]Ref{live})
+	if len(fired) != 1 {
+		t.Fatalf("hook fired %d times for one GC, want 1", len(fired))
+	}
+	if fired[0] != res {
+		t.Fatalf("hook saw %+v, GC returned %+v", fired[0], res)
+	}
+	if fired[0].Reclaimed() <= 0 {
+		t.Fatalf("hook result reclaimed %d, want > 0", fired[0].Reclaimed())
+	}
+
+	// Disarming stops the callbacks.
+	m.SetGCHook(nil)
+	m.GC([]Ref{live})
+	if len(fired) != 1 {
+		t.Fatalf("disarmed hook still fired (%d calls)", len(fired))
+	}
+}
+
+func TestGCHookFiresOncePerReduceUnder(t *testing.T) {
+	// Early-return path: live set under the watermark, no sift needed.
+	m := NewAnon(16)
+	live := buildHeavy(m, 8)
+	var fired []GCResult
+	m.SetGCHook(func(res GCResult) { fired = append(fired, res) })
+	_, res := m.ReduceUnder([]Ref{live}, 1<<20, 4)
+	if len(fired) != 1 || fired[0].Sifted {
+		t.Fatalf("no-sift ReduceUnder: %d fires (sifted=%v), want exactly 1 plain fire",
+			len(fired), len(fired) > 0 && fired[0].Sifted)
+	}
+	if fired[0] != res {
+		t.Fatalf("hook saw %+v, ReduceUnder returned %+v", fired[0], res)
+	}
+
+	// Sift path: interleaved pair function over a tiny watermark.
+	const pairs = 6
+	names := make([]string, 2*pairs)
+	for i := range names {
+		names[i] = "v" + string(rune('a'+i))
+	}
+	m2 := New(names...)
+	f := False
+	for i := 0; i < pairs; i++ {
+		f = m2.Or(f, m2.And(m2.Var(i), m2.Var(pairs+i)))
+	}
+	fired = nil
+	m2.SetGCHook(func(res GCResult) { fired = append(fired, res) })
+	_, res2 := m2.ReduceUnder([]Ref{f}, 32, 4)
+	if !res2.Sifted {
+		t.Fatal("sift rung did not engage") // precondition, not the hook
+	}
+	if len(fired) != 1 || !fired[0].Sifted {
+		t.Fatalf("sifting ReduceUnder: %d fires, want exactly 1 carrying Sifted", len(fired))
+	}
+	if fired[0] != res2 {
+		t.Fatalf("hook saw %+v, ReduceUnder returned %+v", fired[0], res2)
+	}
+}
+
+func TestTableLoad(t *testing.T) {
+	m := NewAnon(16)
+	buildHeavy(m, 32)
+	nodes, buckets := m.TableLoad()
+	if nodes <= 0 || buckets <= 0 {
+		t.Fatalf("TableLoad() = (%d, %d), want positive counts", nodes, buckets)
+	}
+	if got := int64(m.NodeCount()); nodes != got {
+		t.Fatalf("TableLoad nodes = %d, NodeCount = %d", nodes, got)
+	}
+}

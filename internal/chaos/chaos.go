@@ -190,6 +190,7 @@ type Injector struct {
 	seed  int64
 	rules [numPoints][]*compiledRule
 	log   *slog.Logger
+	hook  func(p Point, key int) // observer for every firing; nil = off
 	fired atomic.Int64
 	seq   [numPoints]atomic.Int64 // per-point evaluation counters (sequence-keyed points)
 }
@@ -229,6 +230,18 @@ func (in *Injector) SetLogger(log *slog.Logger) {
 	in.log = log
 }
 
+// SetEventHook registers an observer called for every firing with its
+// point and key (the flight-recorder seam — the audit trail a post-mortem
+// correlates injections against). The hook runs on the firing goroutine;
+// it must be cheap and must not inject. Set before the campaign starts; a
+// nil hook disables it (the default).
+func (in *Injector) SetEventHook(hook func(p Point, key int)) {
+	if in == nil {
+		return
+	}
+	in.hook = hook
+}
+
 // Injected reports how many injections have fired so far.
 func (in *Injector) Injected() int64 {
 	if in == nil {
@@ -253,6 +266,9 @@ func (in *Injector) fires(p Point, key int) *compiledRule {
 			in.fired.Add(1)
 			if in.log != nil {
 				in.log.Info("chaos injection fired", "point", p.String(), "key", key)
+			}
+			if in.hook != nil {
+				in.hook(p, key)
 			}
 			return r
 		}

@@ -210,3 +210,31 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestSetEventHookSeesEveryInjection(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointBudget, Indices: []int{3, 17}, AtOp: 5}}})
+	type hit struct {
+		p   Point
+		key int
+	}
+	var hits []hit
+	in.SetEventHook(func(p Point, key int) { hits = append(hits, hit{p, key}) })
+	for i := 0; i < 20; i++ {
+		in.BudgetAbort(i)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hook saw %d injections, want 2 (scripted indices 3 and 17)", len(hits))
+	}
+	if hits[0] != (hit{PointBudget, 3}) || hits[1] != (hit{PointBudget, 17}) {
+		t.Fatalf("hook saw %v, want budget at keys 3 then 17", hits)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("Injected() = %d after hook installed, want 2", in.Injected())
+	}
+
+	// Nil-safe on a nil injector and after disarming.
+	var nilIn *Injector
+	nilIn.SetEventHook(func(Point, int) { t.Fatal("hook on nil injector fired") })
+	in.SetEventHook(nil)
+	in.BudgetAbort(3)
+}

@@ -291,6 +291,16 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// CacheTraffic sums the engine's op-cache hits and misses across the
+// apply, ite and not caches — the live feed behind the timeline
+// sampler's hit-ratio curve. Cheaper than Stats() when only the cache
+// counters are wanted: it skips the node-count walk.
+func (e *Engine) CacheTraffic() (hits, misses int64) {
+	cs := e.m.CacheStats()
+	return cs.ApplyHits + cs.IteHits + cs.NotHits,
+		cs.ApplyMisses + cs.IteMisses + cs.NotMisses
+}
+
 // New builds an engine for the circuit. The circuit is decomposed to
 // two-input gates internally (original net names are preserved, so
 // NetByName lookups carry over); use Engine.Circuit for fault generation.

@@ -75,9 +75,12 @@ type Config struct {
 	// -v to stream progress to stderr.
 	Progress func(circuit string, done, total int)
 	// Obs, when non-nil, attaches the observability layer to every
-	// campaign the runner launches: live /progress heartbeats, metrics,
-	// structured logs, and per-fault traces (see
-	// analysis.CampaignConfig.Obs).
+	// campaign the runner launches: live /progress and /timeline
+	// heartbeats, metrics, structured logs, per-fault traces, and —
+	// when Obs.Flight is set — flight-recorder events for cmd/obsreport
+	// post-mortems (see analysis.CampaignConfig.Obs). All campaigns of
+	// a run share the one observer, so a flight dump covers the whole
+	// figure-generation sequence.
 	Obs *obs.Observer
 }
 

@@ -181,6 +181,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank, the standard
+// Prometheus-style histogram_quantile estimate. The first bucket
+// interpolates from 0; ranks landing in the +Inf overflow bucket clamp to
+// the last finite bound (there is no upper edge to interpolate toward).
+// An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) < rank {
+			cum += float64(n)
+			continue
+		}
+		if i >= len(s.Bounds) {
+			break // +Inf bucket: clamp below
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		return lower + (upper-lower)*(rank-cum)/float64(n)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // metricKind tags a registry entry.
 type metricKind int
 

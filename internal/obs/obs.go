@@ -65,10 +65,14 @@ type Observer struct {
 	Metrics *Registry
 	// Tracer, when non-nil, streams one span event per analyzed fault.
 	Tracer *Tracer
+	// Flight, when non-nil, retains a bounded ring of structured campaign
+	// events for post-mortem dumps (see flight.go).
+	Flight *FlightRecorder
 
 	mu        sync.Mutex
 	campaigns []*Campaign
 	cm        *CampaignMetrics
+	timeline  *Timeline
 }
 
 // Logger returns the observer's logger, or a no-op logger when the
@@ -110,6 +114,18 @@ func (o *Observer) Campaigns() []*Campaign {
 // ProgressSnapshot is the JSON body of the /progress heartbeat endpoint.
 type ProgressSnapshot struct {
 	Campaigns []CampaignSnapshot `json:"campaigns"`
+	// FaultLatency carries p50/p95/p99 of per-fault analysis time,
+	// present once the latency histogram has observations.
+	FaultLatency *LatencyQuantiles `json:"fault_latency,omitempty"`
+}
+
+// LatencyQuantiles summarizes the fault-latency histogram for /progress
+// and post-mortem reports.
+type LatencyQuantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
 }
 
 // Progress snapshots every campaign (nil-safe).
@@ -117,6 +133,17 @@ func (o *Observer) Progress() ProgressSnapshot {
 	snap := ProgressSnapshot{Campaigns: []CampaignSnapshot{}}
 	for _, c := range o.Campaigns() {
 		snap.Campaigns = append(snap.Campaigns, c.Snapshot())
+	}
+	if o != nil && o.Metrics != nil {
+		if h := o.CampaignMetrics().FaultLatency; h.Count() > 0 {
+			s := h.Snapshot()
+			snap.FaultLatency = &LatencyQuantiles{
+				Count: s.Count,
+				P50:   s.Quantile(0.50),
+				P95:   s.Quantile(0.95),
+				P99:   s.Quantile(0.99),
+			}
+		}
 	}
 	return snap
 }
@@ -141,8 +168,17 @@ type CampaignMetrics struct {
 	// views attached to the campaign's node table, and the table's
 	// in-place adoption generation (GC/sift count visible to all views).
 	BDDTableViews, BDDTableEpoch *Gauge
-	// bdd_cache_hits_total / bdd_cache_misses_total: operation caches.
+	// bdd_cache_hits_total / bdd_cache_misses_total: operation caches,
+	// folded in once at campaign finish.
 	CacheHits, CacheMisses *Counter
+	// bdd_cache_hits_live / bdd_cache_misses_live: the same cache traffic
+	// accumulated continuously during the run (per-worker deltas folded
+	// after every fault), so the timeline sampler can compute an
+	// interval-local hit ratio mid-campaign.
+	CacheHitsLive, CacheMissesLive *Gauge
+	// bdd_table_buckets: hash-bucket capacity of the campaign's unique
+	// table; with bdd_nodes it yields the table occupancy (load factor).
+	BDDTableBuckets *Gauge
 	// checkpoint_appends_total / checkpoint_fsyncs_total: persistence I/O.
 	CheckpointAppends, CheckpointFsyncs *Counter
 	// campaign_faults_rescued_total: faults the recovery-ladder retry
@@ -200,6 +236,9 @@ func (o *Observer) CampaignMetrics() *CampaignMetrics {
 		BDDTableEpoch:     r.Gauge("bdd_table_epoch", "In-place adoption generation of the shared node table (bumps on GC/sift)."),
 		CacheHits:         r.Counter("bdd_cache_hits_total", "BDD apply/ite/not operation-cache hits."),
 		CacheMisses:       r.Counter("bdd_cache_misses_total", "BDD apply/ite/not operation-cache misses."),
+		CacheHitsLive:     r.Gauge("bdd_cache_hits_live", "Operation-cache hits accumulated live during the run (timeline source)."),
+		CacheMissesLive:   r.Gauge("bdd_cache_misses_live", "Operation-cache misses accumulated live during the run (timeline source)."),
+		BDDTableBuckets:   r.Gauge("bdd_table_buckets", "Hash-bucket capacity of the campaign's BDD unique table."),
 		CheckpointAppends: r.Counter("checkpoint_appends_total", "Fault records appended to the checkpoint file."),
 		CheckpointFsyncs:  r.Counter("checkpoint_fsyncs_total", "fsync calls issued by the checkpointer."),
 
@@ -232,11 +271,30 @@ type Campaign struct {
 	name  string
 	total int64
 	start time.Time
+	now   func() time.Time // test clock; nil = time.Now
 
 	done, exact, degraded, errored, resumed, skipped atomic.Int64
 	rescued                                          atomic.Int64
 	canceled, finished                               atomic.Bool
 	elapsedNS                                        atomic.Int64
+
+	// Sliding window of recent completion times (ns since start) feeding
+	// the ETA projection, so early slow faults or a bulk checkpoint
+	// restore don't skew the forecast for the rest of the run.
+	winMu  sync.Mutex
+	win    [etaWindow]int64
+	winLen int
+	winPos int
+}
+
+// etaWindow is how many recent completions the ETA projection looks at.
+const etaWindow = 64
+
+func (c *Campaign) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
 }
 
 // FaultDone records one finished fault with its outcome. OutcomeRescued
@@ -247,6 +305,13 @@ func (c *Campaign) FaultDone(o Outcome) {
 		return
 	}
 	c.done.Add(1)
+	c.winMu.Lock()
+	c.win[c.winPos] = int64(c.clock().Sub(c.start))
+	c.winPos = (c.winPos + 1) % etaWindow
+	if c.winLen < etaWindow {
+		c.winLen++
+	}
+	c.winMu.Unlock()
 	switch o {
 	case OutcomeExact:
 		c.exact.Add(1)
@@ -302,9 +367,12 @@ type CampaignSnapshot struct {
 	Canceled bool  `json:"canceled"`
 	Finished bool  `json:"finished"`
 	// ElapsedSec is wall-clock time since campaign start (frozen at
-	// Finish); FaultsPerSec the analysis throughput over it; ETASec the
-	// projected remaining time from the work-stealing dispatch counter
-	// (zero when finished or no fault has completed yet).
+	// Finish); FaultsPerSec the whole-run analysis throughput over it;
+	// ETASec the projected remaining time. The projection divides by the
+	// completion rate of a sliding window of recent faults (falling back
+	// to the whole-run average until the window has two entries), so a
+	// slow warmup or a bulk checkpoint restore doesn't skew it for the
+	// rest of the run. Zero when finished or nothing has completed yet.
 	ElapsedSec   float64 `json:"elapsed_s"`
 	FaultsPerSec float64 `json:"faults_per_s"`
 	ETASec       float64 `json:"eta_s"`
@@ -329,16 +397,40 @@ func (c *Campaign) Snapshot() CampaignSnapshot {
 		Finished: c.finished.Load(),
 	}
 	s.Analyzed = s.Exact + s.Degraded + s.Errored
+	now := c.clock()
 	elapsed := time.Duration(c.elapsedNS.Load())
 	if !s.Finished {
-		elapsed = time.Since(c.start)
+		elapsed = now.Sub(c.start)
 	}
 	s.ElapsedSec = elapsed.Seconds()
 	if s.ElapsedSec > 0 && s.Analyzed > 0 {
 		s.FaultsPerSec = float64(s.Analyzed) / s.ElapsedSec
 		if !s.Finished {
-			s.ETASec = float64(c.total-s.Done) / s.FaultsPerSec
+			rate := s.FaultsPerSec
+			if r := c.recentRate(now); r > 0 {
+				rate = r
+			}
+			s.ETASec = float64(c.total-s.Done) / rate
 		}
 	}
 	return s
+}
+
+// recentRate is the completion rate (faults/sec) over the sliding window:
+// the window's fault count divided by the wall-clock span from its oldest
+// completion to now — so a stall since the last completion lowers the
+// rate instead of hiding behind a stale average. Zero until the window
+// has at least two completions.
+func (c *Campaign) recentRate(now time.Time) float64 {
+	c.winMu.Lock()
+	defer c.winMu.Unlock()
+	if c.winLen < 2 {
+		return 0
+	}
+	oldest := c.win[(c.winPos-c.winLen+etaWindow)%etaWindow]
+	span := float64(int64(now.Sub(c.start))-oldest) / float64(time.Second)
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.winLen) / span
 }

@@ -26,6 +26,18 @@ func NewMux(o *Observer) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		enc.Encode(o.Progress()) //nolint:errcheck // best-effort over HTTP
 	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		samples := o.Timeline().Snapshot()
+		if samples == nil {
+			samples = []TimelineSample{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Samples []TimelineSample `json:"samples"`
+		}{samples}) //nolint:errcheck // best-effort over HTTP
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -37,7 +49,7 @@ func NewMux(o *Observer) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "diffprop debug server\n\n/metrics\n/progress\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "diffprop debug server\n\n/metrics\n/progress\n/timeline\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -47,8 +47,8 @@ type FaultSpan struct {
 	// Start and Dur delimit the whole analysis; Build, Propagate and
 	// SatCount break it into the engine's phases (zero when the engine
 	// had phase timing off or the fault was degraded mid-phase).
-	Start                     time.Time
-	Dur                       time.Duration
+	Start                      time.Time
+	Dur                        time.Duration
 	Build, Propagate, SatCount time.Duration
 }
 
