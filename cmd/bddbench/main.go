@@ -12,10 +12,18 @@
 //     with per-worker cloned managers (CampaignConfig.Isolate) — and
 //     compared on wall-clock throughput and peak heap.
 //
+// A second suite, -mode sched, compares propagation paths and dispatch
+// orders on one campaign — the full-gate-scan reference under raw index
+// order (the seed baseline) against the cone-restricted worklist under
+// index, cone-cluster, and level order — and reports the throughput
+// ratios, the gates-visited/skipped footprints, and whether every
+// configuration produced bit-identical records (BENCH_sched.json).
+//
 // Usage:
 //
 //	bddbench                              # defaults: c1908s, 4 workers
 //	bddbench -circuit c1355s -workers 8 -max 120 -out BENCH_bdd.json
+//	bddbench -mode sched -circuit c1908s -workers 4 -max 120 -out BENCH_sched.json
 package main
 
 import (
@@ -72,9 +80,20 @@ func main() {
 		circuit = flag.String("circuit", "c1908s", "benchmark circuit name")
 		workers = flag.Int("workers", 4, "campaign worker count")
 		maxF    = flag.Int("max", 80, "cap on the stuck-at fault set (0 = all)")
+		mode    = flag.String("mode", "bdd", "benchmark suite: bdd (backend + shared-vs-isolated campaign) or sched (propagation path and dispatch-order comparison)")
+		reps    = flag.Int("reps", 3, "repetitions per configuration in -mode sched (best wall clock wins)")
 		out     = flag.String("out", "BENCH_bdd.json", "output JSON path (- for stdout)")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "sched":
+		schedMain(*circuit, *workers, *maxF, *reps, *out)
+		return
+	case "bdd":
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want bdd or sched)", *mode))
+	}
 
 	rep := report{
 		Circuit:   *circuit,

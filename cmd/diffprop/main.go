@@ -68,6 +68,8 @@ func main() {
 		summary    = flag.Bool("summary", false, "print aggregates only")
 		dotOut     = flag.String("dot", "", "write the first analyzed fault's complete-test-set BDD as Graphviz DOT to this file")
 		workers    = flag.Int("workers", 1, "parallel analysis workers (0 = one per CPU)")
+		order      = flag.String("order", "index", "fault dispatch order: index (raw), cone (cluster by dominating output cone), level (by topological depth); results are bit-identical under any policy")
+		fullScan   = flag.Bool("fullscan", false, "use the full-gate-scan propagation reference instead of the cone-restricted worklist (differential-testing baseline; results are bit-identical)")
 		verbose    = flag.Bool("v", false, "stream progress and campaign runtime stats to stderr")
 		budget     = flag.Int64("budget", 0, "per-fault BDD operation budget (0 = unlimited); blown faults degrade to simulation estimates")
 		timeout    = flag.Duration("timeout", 0, "per-fault wall-clock budget (0 = unlimited)")
@@ -104,6 +106,10 @@ func main() {
 	chaosCfg, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		fatal(fmt.Errorf("-chaos: %w", err))
+	}
+	orderPolicy, err := analysis.ParseOrderPolicy(*order)
+	if err != nil {
+		fatal(fmt.Errorf("-order: %w", err))
 	}
 
 	o := setupObs("diffprop", *httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt, *flightPath)
@@ -169,6 +175,8 @@ func main() {
 		Obs:             o,
 		Chaos:           chaosCfg,
 		Calibrate:       analysis.Calibration{Enabled: *calibrate},
+		Order:           orderPolicy,
+		FullScan:        *fullScan,
 	}
 	if *verbose {
 		ccfg.Progress = func(done, total int) {

@@ -27,10 +27,12 @@ type campaignInstr struct {
 	flight    *obs.FlightRecorder
 	faultName func(i int) string
 
-	// Per-worker cache-traffic baselines for the live hit/miss gauges:
-	// each worker folds only the delta since its last fault into the
-	// registry, and each slot is written only by its owning worker.
-	lastHits, lastMisses []int64
+	// Per-worker cache-traffic and gate-walk baselines for the live
+	// gauges/counters: each worker folds only the delta since its last
+	// fault into the registry, and each slot is written only by its
+	// owning worker.
+	lastHits, lastMisses     []int64
+	lastVisited, lastSkipped []int64
 }
 
 // newCampaignInstr builds the instrumentation for one campaign, or nil
@@ -54,6 +56,7 @@ func newCampaignInstr(cfg CampaignConfig, name string, total int, faultName func
 		flight:    cfg.Obs.Flight,
 		faultName: faultName,
 	}
+	in.camp.SetOrder(cfg.Order.String())
 	in.flight.Record(obs.FlightCampaignStart, obs.FlightLabelNone, -1, -1, int64(total), 0)
 	return in
 }
@@ -68,6 +71,8 @@ func (in *campaignInstr) setup(engines []*diffprop.Engine) {
 	trace := in.o.Tracer.Enabled()
 	in.lastHits = make([]int64, len(engines))
 	in.lastMisses = make([]int64, len(engines))
+	in.lastVisited = make([]int64, len(engines))
+	in.lastSkipped = make([]int64, len(engines))
 	for w, e := range engines {
 		if in.o.Log != nil {
 			e.SetLogger(in.o.Log.With("worker", w))
@@ -75,9 +80,10 @@ func (in *campaignInstr) setup(engines []*diffprop.Engine) {
 		if trace {
 			e.EnablePhaseTiming(true)
 		}
-		// Baseline the cache counters at the prototype-build state so the
-		// live gauges carry only campaign traffic.
+		// Baseline the cache and gate-walk counters at the prototype-build
+		// state so the live gauges carry only campaign traffic.
 		in.lastHits[w], in.lastMisses[w] = e.CacheTraffic()
+		in.lastVisited[w], in.lastSkipped[w] = e.GateWalk()
 		if in.flight != nil {
 			worker := w
 			e.Manager().SetGCHook(func(res bdd.GCResult) {
@@ -183,6 +189,18 @@ func (in *campaignInstr) faultDone(e *diffprop.Engine, worker, i int, outcome fa
 		in.cm.CacheHitsLive.Add(h - in.lastHits[worker])
 		in.cm.CacheMissesLive.Add(m - in.lastMisses[worker])
 		in.lastHits[worker], in.lastMisses[worker] = h, m
+	}
+	in.cm.ConeGates.Observe(float64(e.LastConeGates()))
+	if in.lastVisited != nil && worker < len(in.lastVisited) {
+		// Cumulative engine deltas (not LastConeGates) so retried faults
+		// count every attempt's walk, keeping the counters reconcilable
+		// with CampaignStats.GatesVisited/GatesSkipped at finish.
+		v, sk := e.GateWalk()
+		dv, ds := v-in.lastVisited[worker], sk-in.lastSkipped[worker]
+		in.cm.GatesVisited.Add(dv)
+		in.cm.GatesSkipped.Add(ds)
+		in.camp.AddGateWalk(dv, ds)
+		in.lastVisited[worker], in.lastSkipped[worker] = v, sk
 	}
 	_, buckets := e.Manager().TableLoad()
 	in.cm.BDDTableBuckets.Set(buckets)
@@ -302,6 +320,8 @@ func (in *campaignInstr) finish(stats CampaignStats) {
 		"faults", stats.Faults, "degraded", stats.Degraded, "errored", stats.Errored,
 		"retried", stats.Retried, "rescued", stats.Rescued,
 		"resumed", stats.Resumed, "skipped", snap.Skipped, "canceled", stats.Canceled,
+		"order", stats.Order.String(),
+		"gates_visited", stats.GatesVisited, "gates_skipped", stats.GatesSkipped,
 		"elapsed", stats.Elapsed, "gate_evals", stats.GateEvaluations,
 		"rebuilds", stats.Rebuilds, "nodes_reclaimed", stats.NodesReclaimed,
 		"sifts", stats.Sifts, "peak_nodes", stats.PeakNodes,

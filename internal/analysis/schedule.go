@@ -1,0 +1,177 @@
+// Cone-locality fault scheduling.
+//
+// The work-stealing dispatcher historically claimed contiguous blocks of
+// raw fault indices. Index order follows fault-list generation order,
+// which interleaves sites from unrelated regions of the circuit, so
+// consecutive analyses on one worker rarely share fan-out cones and the
+// shared op-cache stays colder than it needs to be. The scheduler here
+// reorders the dispatch sequence by topology — clustering faults whose
+// cones overlap — while keeping every record at its original index, so
+// studies stay index-aligned and results remain bit-identical to the
+// serial runner under any policy (each fault is still analyzed exactly
+// once by the same record builder; only the visit order changes).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// OrderPolicy selects the campaign dispatch order.
+type OrderPolicy int
+
+const (
+	// OrderIndex dispatches faults in raw index order — the historical
+	// behavior, and the right choice for tiny circuits (scheduling cannot
+	// pay for its sort) or when replaying a chaos schedule that was
+	// recorded under index order.
+	OrderIndex OrderPolicy = iota
+	// OrderCone clusters faults by the dominating output cone of their
+	// site (the first primary output the site feeds), reverse-topological
+	// within a cluster, so consecutive faults on a worker share fan-out
+	// cones and reuse each other's cached difference functions.
+	OrderCone
+	// OrderLevel sorts faults by the topological level of their site
+	// (distance from the primary inputs), clustering faults of equal
+	// depth: a cheaper ordering than OrderCone that still groups
+	// structurally similar faults.
+	OrderLevel
+)
+
+// String names the policy as accepted by ParseOrderPolicy.
+func (p OrderPolicy) String() string {
+	switch p {
+	case OrderCone:
+		return "cone"
+	case OrderLevel:
+		return "level"
+	default:
+		return "index"
+	}
+}
+
+// ParseOrderPolicy parses the -order flag value.
+func ParseOrderPolicy(s string) (OrderPolicy, error) {
+	switch s {
+	case "", "index":
+		return OrderIndex, nil
+	case "cone":
+		return OrderCone, nil
+	case "level":
+		return OrderLevel, nil
+	}
+	return OrderIndex, fmt.Errorf("analysis: unknown order policy %q (want index, cone or level)", s)
+}
+
+// schedule maps dispatch positions to original fault indices. perm[j] is
+// the fault analyzed at position j; clusterStart[j] is the first position
+// of the cluster containing j, letting the dispatcher align claimed
+// blocks to cluster boundaries in O(1). A nil *schedule is the identity
+// (index order) and adds nothing to the dispatch hot path.
+type schedule struct {
+	perm         []int
+	clusterStart []int
+}
+
+// index maps a dispatch position to the original fault index.
+func (s *schedule) index(j int) int {
+	if s == nil {
+		return j
+	}
+	return s.perm[j]
+}
+
+// trim aligns a tentative claim [lo,hi) to a cluster boundary: a block
+// ending mid-cluster drops the partial trailing cluster (the next worker
+// picks it up whole), unless the whole block lies inside one cluster —
+// a cluster larger than the guided block size is split rather than
+// serialized onto one worker. Never returns a bound at or below lo.
+func (s *schedule) trim(lo, hi int) int {
+	if s == nil || hi >= len(s.perm) {
+		return hi
+	}
+	if cs := s.clusterStart[hi]; cs > lo && cs < hi {
+		return cs
+	}
+	return hi
+}
+
+// newSchedule builds the dispatch order for a fault set. site(i) returns
+// the fault's seed net in the working circuit (a branch fault's consumer
+// gate, a bridge's lower wire). reach is only consulted for OrderCone.
+// OrderIndex (and an empty set) returns nil: the identity schedule.
+func newSchedule(policy OrderPolicy, total int, site func(i int) int, c *netlist.Circuit, reach *faults.Reachability) *schedule {
+	if policy == OrderIndex || total == 0 {
+		return nil
+	}
+	// key: the cluster a fault belongs to; ord: its rank within the
+	// cluster. Original index breaks all remaining ties, keeping the
+	// permutation deterministic for any fault set.
+	key := make([]int, total)
+	ord := make([]int, total)
+	switch policy {
+	case OrderLevel:
+		levels := c.Levels()
+		for i := 0; i < total; i++ {
+			s := site(i)
+			key[i], ord[i] = levels[s], s
+		}
+	case OrderCone:
+		outs := c.Outputs
+		for i := 0; i < total; i++ {
+			s := site(i)
+			// Dominating output cone: the first PO the site feeds. Sites
+			// feeding no PO (structurally dead) share a trailing cluster.
+			k := len(outs)
+			for oi, po := range outs {
+				if po == s || reach.Reaches(s, po) {
+					k = oi
+					break
+				}
+			}
+			// Net ids are topological, so descending id within a cone
+			// group is reverse-topological: deepest sites first, which
+			// builds the cone's shared suffix functions while they are
+			// hottest in the op cache.
+			key[i], ord[i] = k, -s
+		}
+	}
+	perm := make([]int, total)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ia, ib := perm[a], perm[b]
+		if key[ia] != key[ib] {
+			return key[ia] < key[ib]
+		}
+		if ord[ia] != ord[ib] {
+			return ord[ia] < ord[ib]
+		}
+		return ia < ib
+	})
+	clusterStart := make([]int, total)
+	start := 0
+	for j := 1; j <= total; j++ {
+		if j == total || key[perm[j]] != key[perm[j-1]] {
+			for p := start; p < j; p++ {
+				clusterStart[p] = start
+			}
+			start = j
+		}
+	}
+	return &schedule{perm: perm, clusterStart: clusterStart}
+}
+
+// stuckAtSite returns the seed net of a stuck-at fault in the working
+// circuit: the consumer gate for a branch fault (differences enter at its
+// input pin), the faulted net itself otherwise.
+func stuckAtSite(f faults.StuckAt) int {
+	if f.IsBranch() {
+		return f.Gate
+	}
+	return f.Net
+}

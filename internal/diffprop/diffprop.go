@@ -23,6 +23,7 @@ package diffprop
 import (
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -130,9 +131,32 @@ type Engine struct {
 	// for the engine's lifetime, so it is computed once in New.
 	varToInput []int
 
-	// reach is the lazily built fan-out reachability table used to screen
-	// feedback bridges in O(1) per fault instead of re-tracing two cones.
+	// reach is the fan-out reachability table: one packed bitset row per
+	// net, built once in New and aliased by every Share view and Clone. It
+	// doubles as the levelized cone index behind the worklist propagation
+	// (rows are in topological order by construction) and as the O(1)
+	// feedback screen for bridging faults.
 	reach *faults.Reachability
+
+	// fullScan forces the reference full-gate-scan propagation instead of
+	// the cone-restricted worklist (see SetFullScanReference). The two are
+	// bit-identical; the scan is kept for differential testing and as the
+	// seed-baseline arm of the scheduling benchmark.
+	fullScan bool
+
+	// coneBuf and deltaBuf are per-view scratch for the worklist
+	// propagation: the merged fan-out-cone bitset of the current fault's
+	// seed sites, and the per-net difference functions (bdd.False = none).
+	// Both are cleaned between analyses by walking the cone bits only, so
+	// per-fault cost stays O(|cone|), not O(|circuit|).
+	coneBuf  []uint64
+	deltaBuf []bdd.Ref
+
+	// notMemo caches complements of good functions for forced sites within
+	// one analysis (cleared by begin). Complement edges make Not itself
+	// free, but multi-fault seeds re-derive the same forced difference once
+	// per consuming pin; the memo bounds that to once per site per fault.
+	notMemo map[int]bdd.Ref
 
 	// faultBudget bounds each analysis when active (see SetFaultBudget);
 	// recovery configures the ladder run when a bound fires (SetRecovery).
@@ -185,6 +209,16 @@ type Engine struct {
 	peakNodes      int
 	nodesReclaimed int64
 	sifts          int
+
+	// gatesVisited/gatesSkipped split each analysis's gate walk: visited
+	// gates entered the propagation loop (the fault's merged cone under the
+	// worklist, every gate under the full scan); skipped gates were proven
+	// unreachable from the seed sites and never touched. lastConeGates is
+	// the visited count of the most recent analysis (the cone-size sample
+	// behind the obs histogram).
+	gatesVisited  int64
+	gatesSkipped  int64
+	lastConeGates int
 }
 
 // PhaseTimes breaks one fault analysis into the engine's phases:
@@ -244,6 +278,14 @@ type Stats struct {
 	// GateEvaluations totals the gates whose difference function was
 	// computed; selective trace skipped the rest.
 	GateEvaluations int64
+	// GatesVisited totals the gates the propagation loop examined and
+	// GatesSkipped the gates it never touched: under the cone-restricted
+	// worklist only the seed sites' merged fan-out cone is visited, so
+	// Visited+Skipped = analyses x gate count and Skipped measures the walk
+	// work the cone index saved over the full scan (which visits every
+	// gate, skipping none).
+	GatesVisited int64
+	GatesSkipped int64
 	// Rebuilds counts generational GC passes of the BDD manager.
 	Rebuilds int
 	// NodesReclaimed totals the dead nodes those GC passes dropped.
@@ -265,6 +307,8 @@ type Stats struct {
 func (s *Stats) Merge(other Stats) {
 	s.Analyses += other.Analyses
 	s.GateEvaluations += other.GateEvaluations
+	s.GatesVisited += other.GatesVisited
+	s.GatesSkipped += other.GatesSkipped
 	s.Rebuilds += other.Rebuilds
 	s.NodesReclaimed += other.NodesReclaimed
 	s.Sifts += other.Sifts
@@ -283,6 +327,8 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Analyses:        e.analyses,
 		GateEvaluations: e.gateEvals,
+		GatesVisited:    e.gatesVisited,
+		GatesSkipped:    e.gatesSkipped,
 		Rebuilds:        e.rebuilds,
 		NodesReclaimed:  e.nodesReclaimed,
 		Sifts:           e.sifts,
@@ -299,6 +345,33 @@ func (e *Engine) CacheTraffic() (hits, misses int64) {
 	cs := e.m.CacheStats()
 	return cs.ApplyHits + cs.IteHits + cs.NotHits,
 		cs.ApplyMisses + cs.IteMisses + cs.NotMisses
+}
+
+// SetFullScanReference toggles the propagation strategy: off (the
+// default) runs the cone-restricted worklist, which walks only the seed
+// sites' merged fan-out cone; on forces the historical full-gate scan.
+// Both produce bit-identical Results — same BDD operations in the same
+// order — because every gate outside the merged cone provably sees only
+// zero input differences and contributes nothing. The scan is retained as
+// the differential-testing reference and the seed-baseline arm of the
+// scheduling benchmark.
+func (e *Engine) SetFullScanReference(on bool) { e.fullScan = on }
+
+// FullScanReference reports whether the reference full-gate scan is
+// forced.
+func (e *Engine) FullScanReference() bool { return e.fullScan }
+
+// LastConeGates returns the number of gates the most recent analysis's
+// propagation loop visited: the fault's merged fan-out-cone size under
+// the worklist, the full gate count under the scan reference. This is the
+// per-fault sample behind the campaign cone-size histogram.
+func (e *Engine) LastConeGates() int { return e.lastConeGates }
+
+// GateWalk returns the engine's cumulative propagation-walk footprint:
+// gates the loops examined and gates cone restriction never touched.
+// Cheaper than Stats for per-fault delta accounting.
+func (e *Engine) GateWalk() (visited, skipped int64) {
+	return e.gatesVisited, e.gatesSkipped
 }
 
 // New builds an engine for the circuit. The circuit is decomposed to
@@ -384,6 +457,10 @@ func New(c *netlist.Circuit, opts *Options) (*Engine, error) {
 		}
 	}
 	e.varToInput = buildVarToInput(work, m)
+	// The reachability table serves double duty as the cone index of the
+	// worklist propagation, so it is built eagerly: one reverse-topological
+	// sweep here, aliased by every Share view and Clone thereafter.
+	e.reach = faults.NewReachability(work)
 	e.peakNodes = m.NodeCount()
 	return e, nil
 }
@@ -429,6 +506,7 @@ func (e *Engine) Clone() *Engine {
 		synValid:     append([]bool(nil), e.synValid...),
 		varToInput:   e.varToInput,
 		reach:        e.reach,
+		fullScan:     e.fullScan,
 		faultBudget:  e.faultBudget,
 		recovery:     e.recovery,
 		lastSiftSize: e.lastSiftSize,
@@ -470,6 +548,7 @@ func (e *Engine) Share() *Engine {
 		synValid:     append([]bool(nil), e.synValid...),
 		varToInput:   e.varToInput,
 		reach:        e.reach,
+		fullScan:     e.fullScan,
 		faultBudget:  e.faultBudget,
 		recovery:     e.recovery,
 		shared:       e.shared,
@@ -618,6 +697,9 @@ func (e *Engine) begin() {
 		e.phaseStart = time.Now()
 		e.lastPhases = PhaseTimes{}
 	}
+	// The complement memo caches refs, which die at the next compaction or
+	// recovery; its lifetime is exactly one analysis.
+	clear(e.notMemo)
 	lim := e.recovery.NodeLimit
 	if lim > 0 {
 		// Headroom guarantee: the live good functions plus half again can
@@ -819,7 +901,207 @@ func (e *Engine) propagate(netSeeds map[int]bdd.Ref, pinSeeds map[pinKey]bdd.Ref
 	return e.propagateSeeds(seeds{net: netSeeds, pin: pinSeeds})
 }
 
+// propagateSeeds dispatches between the cone-restricted worklist (the
+// default) and the retained full-gate-scan reference. The two are
+// bit-identical: a gate outside the seed sites' merged fan-out cone can
+// receive only zero input differences (differences originate at seed
+// sites and flow along fan-out edges, and cones are transitively closed),
+// so the full scan does no BDD work there and the worklist may skip it
+// entirely. Within the cone both walk gates in ascending net id — the
+// topological order Validate guarantees — so they issue the same BDD
+// operations in the same order.
 func (e *Engine) propagateSeeds(sd seeds) Result {
+	if e.fullScan {
+		return e.propagateSeedsFullScan(sd)
+	}
+	return e.propagateSeedsWorklist(sd)
+}
+
+// pinDelta resolves the difference arriving at one gate input pin:
+// forced-pin constants override pin seeds, which override whatever
+// difference the fan-in net carries (bdd.False for none).
+func (e *Engine) pinDelta(sd seeds, delta []bdd.Ref, id, pin, fanin int) bdd.Ref {
+	if sd.forcePin != nil {
+		if v, ok := sd.forcePin[pinKey{id, pin}]; ok {
+			return e.forcedDelta(fanin, v)
+		}
+	}
+	if sd.pin != nil {
+		if d, ok := sd.pin[pinKey{id, pin}]; ok {
+			return d
+		}
+	}
+	return delta[fanin]
+}
+
+// propagateSeedsWorklist is the cone-restricted propagation: it ORs the
+// packed reachability rows of every seed site into a merged-cone bitset
+// and walks only those nets, in ascending id (= topological) order. Gate
+// bodies are identical to the full scan's; per-fault walk cost drops from
+// O(|circuit|) to O(|cone|).
+func (e *Engine) propagateSeedsWorklist(sd seeds) Result {
+	var clk time.Time
+	if e.phaseClock {
+		clk = time.Now()
+		// Everything between begin() and here built the difference seeds.
+		e.lastPhases.Build = clk.Sub(e.phaseStart)
+	}
+	m := e.m
+	c := e.Circuit
+	n := c.NumNets()
+	words := (n + 63) / 64
+	if len(e.coneBuf) < words {
+		e.coneBuf = make([]uint64, words)
+	}
+	if len(e.deltaBuf) < n {
+		e.deltaBuf = make([]bdd.Ref, n)
+	}
+	cone, delta := e.coneBuf, e.deltaBuf
+	// Every delta write below lands on a net whose cone bit is already
+	// set, so walking the set bits scrubs both buffers back to zero — even
+	// when a budget abort panics out mid-propagation (the abort would
+	// otherwise leave stale refs for the next fault to misread).
+	defer func() {
+		for w, wbits := range cone {
+			for wbits != 0 {
+				delta[w*64+bits.TrailingZeros64(wbits)] = bdd.False
+				wbits &= wbits - 1
+			}
+			cone[w] = 0
+		}
+	}()
+	// mark adds a seed site to the worklist: the site itself (a seeded
+	// site inside another seed's cone must still be recomputed, and a
+	// site's own difference is read when it is a primary output) plus its
+	// whole fan-out cone.
+	mark := func(net int) {
+		cone[net>>6] |= 1 << uint(net&63)
+		for w, row := range e.reach.Row(net) {
+			cone[w] |= row
+		}
+	}
+	for net, d := range sd.net {
+		mark(net)
+		if d != bdd.False {
+			delta[net] = d
+		}
+	}
+	// A forced primary input differs wherever its good value disagrees
+	// with the forced constant; forced gate outputs are handled at their
+	// gate, inside the walk.
+	for net, v := range sd.forceNet {
+		mark(net)
+		if c.Gates[net].Type == netlist.Input {
+			if d := e.forcedDelta(net, v); d != bdd.False {
+				delta[net] = d
+			}
+		}
+	}
+	for k := range sd.pin {
+		mark(k.gate)
+	}
+	for k := range sd.forcePin {
+		mark(k.gate)
+	}
+	evaluated, visited := 0, 0
+	for w, wbits := range cone {
+		for wbits != 0 {
+			id := w*64 + bits.TrailingZeros64(wbits)
+			wbits &= wbits - 1
+			g := &c.Gates[id]
+			if g.Type == netlist.Input {
+				continue
+			}
+			visited++
+			// A forced gate output overrides any arriving difference: the
+			// faulty value is the constant no matter what happens upstream.
+			if sd.forceNet != nil {
+				if v, ok := sd.forceNet[id]; ok {
+					delta[id] = e.forcedDelta(id, v)
+					continue
+				}
+			}
+			var out bdd.Ref
+			switch g.Type {
+			case netlist.Not, netlist.Buff:
+				out = e.pinDelta(sd, delta, id, 0, g.Fanin[0])
+				if out == bdd.False {
+					continue
+				}
+			case netlist.Xor, netlist.Xnor:
+				da := e.pinDelta(sd, delta, id, 0, g.Fanin[0])
+				db := e.pinDelta(sd, delta, id, 1, g.Fanin[1])
+				if da == bdd.False && db == bdd.False {
+					continue // selective trace: no difference reaches this gate
+				}
+				evaluated++
+				out = m.Xor(da, db)
+			case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+				da := e.pinDelta(sd, delta, id, 0, g.Fanin[0])
+				db := e.pinDelta(sd, delta, id, 1, g.Fanin[1])
+				if da == bdd.False && db == bdd.False {
+					continue // selective trace: no difference reaches this gate
+				}
+				evaluated++
+				fa, fb := e.good[g.Fanin[0]], e.good[g.Fanin[1]]
+				if g.Type == netlist.Or || g.Type == netlist.Nor {
+					fa, fb = m.Not(fa), m.Not(fb)
+				}
+				// ΔC = fA·ΔB ⊕ fB·ΔA ⊕ ΔA·ΔB, with the usual short cuts when
+				// one input carries no difference.
+				switch {
+				case da == bdd.False:
+					out = m.And(fa, db)
+				case db == bdd.False:
+					out = m.And(fb, da)
+				default:
+					t := m.Xor(m.And(fa, db), m.And(fb, da))
+					out = m.Xor(t, m.And(da, db))
+				}
+			default:
+				panic(fmt.Sprintf("diffprop: unexpected gate type %v", g.Type))
+			}
+			if out != bdd.False {
+				delta[id] = out
+			}
+		}
+	}
+	res := Result{PerPO: make([]bdd.Ref, len(c.Outputs)), Complete: bdd.False, GatesEvaluated: evaluated}
+	for i, o := range c.Outputs {
+		// An unvisited, unseeded net holds the zero Ref, which is
+		// bdd.False: a difference that never reached this output.
+		d := delta[o]
+		res.PerPO[i] = d
+		if d != bdd.False {
+			res.ObservedPOs = append(res.ObservedPOs, i)
+			res.Complete = m.Or(res.Complete, d)
+		}
+	}
+	if e.phaseClock {
+		now := time.Now()
+		e.lastPhases.Propagate = now.Sub(clk)
+		clk = now
+	}
+	res.Detectability = m.SatFrac(res.Complete)
+	if e.phaseClock {
+		e.lastPhases.SatCount = time.Since(clk)
+	}
+	e.analyses++
+	e.gateEvals += int64(evaluated)
+	e.gatesVisited += int64(visited)
+	e.gatesSkipped += int64(c.NumGates() - visited)
+	e.lastConeGates = visited
+	if nc := m.NodeCount(); nc > e.peakNodes {
+		e.peakNodes = nc
+	}
+	return res
+}
+
+// propagateSeedsFullScan is the historical O(|circuit|) propagation: every
+// gate is examined in index order and selective trace skips those with
+// all-False input differences. Kept verbatim as the differential-testing
+// reference for the worklist (see SetFullScanReference).
+func (e *Engine) propagateSeedsFullScan(sd seeds) Result {
 	var clk time.Time
 	if e.phaseClock {
 		clk = time.Now()
@@ -934,6 +1216,9 @@ func (e *Engine) propagateSeeds(sd seeds) Result {
 	}
 	e.analyses++
 	e.gateEvals += int64(evaluated)
+	// The scan examines every gate; it restricts nothing and skips none.
+	e.gatesVisited += int64(c.NumGates())
+	e.lastConeGates = c.NumGates()
 	if nc := m.NodeCount(); nc > e.peakNodes {
 		e.peakNodes = nc
 	}
@@ -958,12 +1243,24 @@ func (e *Engine) StuckAt(f faults.StuckAt) Result {
 }
 
 // forcedDelta returns the difference of a line forced to the constant v:
-// where the good value disagrees with v.
+// where the good value disagrees with v. Complements are memoized per
+// analysis (begin clears the memo): with complement edges Not itself is a
+// free ref flip, but a multi-fault seed re-derives the same forced
+// difference once per consuming pin, and the memo keeps that to one
+// derivation per site however many pins read it.
 func (e *Engine) forcedDelta(net int, v bool) bdd.Ref {
-	if v {
-		return e.m.Not(e.good[net])
+	if !v {
+		return e.good[net]
 	}
-	return e.good[net]
+	if d, ok := e.notMemo[net]; ok {
+		return d
+	}
+	d := e.m.Not(e.good[net])
+	if e.notMemo == nil {
+		e.notMemo = make(map[int]bdd.Ref, 8)
+	}
+	e.notMemo[net] = d
+	return d
 }
 
 // MultipleStuckAt computes the complete test set of a multiple stuck-at
@@ -1030,12 +1327,13 @@ func (e *Engine) GateSubstitution(gate int, wrongType netlist.GateType) Result {
 	return e.propagate(map[int]bdd.Ref{gate: d}, nil)
 }
 
-// FeedbackChecker returns the engine's fan-out reachability table,
-// building it on first use. It is immutable once built, shared with
-// clones, and screens feedback bridges in O(1) per pair instead of
-// re-tracing two fan-out cones per fault.
+// FeedbackChecker returns the engine's fan-out reachability table (built
+// in New, immutable, aliased by every Share view and Clone). It screens
+// feedback bridges in O(1) per pair and provides the packed cone rows the
+// worklist propagation merges per fault.
 func (e *Engine) FeedbackChecker() *faults.Reachability {
 	if e.reach == nil {
+		// Zero-value safety only; New always populates the table.
 		e.reach = faults.NewReachability(e.Circuit)
 	}
 	return e.reach

@@ -253,8 +253,32 @@ func (c *Circuit) OutputNames() []string {
 	return out
 }
 
+// TopologyError reports a violation of the topological-order invariant:
+// every gate's fan-ins must have strictly smaller net indices than the
+// gate itself, so that iterating c.Gates in index order visits producers
+// before consumers. Difference propagation, levelization and the
+// cone-restricted worklist all rely on this invariant; Validate returns a
+// *TopologyError (match with errors.As) when it is broken.
+type TopologyError struct {
+	Circuit string // circuit name
+	Gate    string // consumer gate name
+	Fanin   string // offending fan-in net name
+	Net     int    // consumer net index
+	FaninID int    // offending fan-in net index (>= Net)
+}
+
+func (e *TopologyError) Error() string {
+	return fmt.Sprintf("circuit %s: net %s: fan-in %s (net %d) not topologically earlier than net %d",
+		e.Circuit, e.Gate, e.Fanin, e.FaninID, e.Net)
+}
+
 // Validate checks structural well-formedness: fan-in arities, topological
-// construction order, at least one input and output, no dangling outputs.
+// construction order (a violation yields a *TopologyError), at least one
+// input and output, no dangling outputs. ParseBench validates parsed
+// circuits before returning them, and the structural transforms
+// (Decompose2, ExpandXOR, InjectBridge) build through AddGate, which
+// enforces the same producer-before-consumer order at construction time —
+// so a circuit obtained from any of those paths satisfies the invariant.
 func (c *Circuit) Validate() error {
 	if len(c.Inputs) == 0 {
 		return fmt.Errorf("circuit %s: no primary inputs", c.Name)
@@ -279,7 +303,10 @@ func (c *Circuit) Validate() error {
 		}
 		for _, f := range g.Fanin {
 			if f >= id {
-				return fmt.Errorf("net %s: fan-in %s not topologically earlier", g.Name, c.Gates[f].Name)
+				return &TopologyError{
+					Circuit: c.Name, Gate: g.Name, Fanin: c.Gates[f].Name,
+					Net: id, FaninID: f,
+				}
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidateTopologyError pins the typed topological-order violation:
+// a gate whose fan-in does not precede it must surface a *TopologyError
+// carrying the offending nets, because difference propagation, Levels and
+// the cone-restricted worklist all iterate gates in index order assuming
+// producers come first.
+func TestValidateTopologyError(t *testing.T) {
+	build := func() *Circuit {
+		c := New("topo")
+		a := c.AddInput("a")
+		b := c.AddInput("b")
+		g := c.AddGate("g", And, a, b)
+		h := c.AddGate("h", Not, g)
+		c.MarkOutput(h)
+		return c
+	}
+
+	if err := build().Validate(); err != nil {
+		t.Fatalf("well-formed circuit failed validation: %v", err)
+	}
+
+	// A forward reference (fan-in id >= gate id) breaks the invariant.
+	for _, tc := range []struct {
+		name  string
+		fanin int // what gate g's first fan-in is rewired to
+	}{
+		{"self-loop", 2},
+		{"forward-edge", 3},
+	} {
+		c := build()
+		c.Gates[2].Fanin[0] = tc.fanin
+		err := c.Validate()
+		if err == nil {
+			t.Fatalf("%s: validation passed on a broken topology", tc.name)
+		}
+		var topo *TopologyError
+		if !errors.As(err, &topo) {
+			t.Fatalf("%s: error %v (type %T) is not a *TopologyError", tc.name, err, err)
+		}
+		if topo.Circuit != "topo" || topo.Gate != "g" || topo.Net != 2 || topo.FaninID != tc.fanin {
+			t.Fatalf("%s: wrong error detail: %+v", tc.name, topo)
+		}
+		if topo.Fanin != c.Gates[tc.fanin].Name {
+			t.Fatalf("%s: fan-in name %q, want %q", tc.name, topo.Fanin, c.Gates[tc.fanin].Name)
+		}
+		for _, name := range []string{"topo", "g", c.Gates[tc.fanin].Name} {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("%s: message %q does not name %q", tc.name, err.Error(), name)
+			}
+		}
+	}
+
+	// Other structural violations stay plain errors: the typed match must
+	// not catch them.
+	c := build()
+	c.Gates[2].Fanin = c.Gates[2].Fanin[:1] // AND with one input
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("arity violation passed validation")
+	}
+	var topo *TopologyError
+	if errors.As(err, &topo) {
+		t.Fatalf("arity violation matched *TopologyError: %v", err)
+	}
+}

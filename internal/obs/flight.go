@@ -323,7 +323,10 @@ type FlightDump struct {
 	Events       []FlightEvent      `json:"events"`
 	Timeline     []TimelineSample   `json:"timeline,omitempty"`
 	FaultLatency *HistogramSnapshot `json:"fault_latency,omitempty"`
-	Campaigns    []CampaignSnapshot `json:"campaigns,omitempty"`
+	// ConeGates is the per-fault merged fan-out-cone-size distribution
+	// (the post-mortem scheduling section's raw material).
+	ConeGates *HistogramSnapshot `json:"cone_gates,omitempty"`
+	Campaigns []CampaignSnapshot `json:"campaigns,omitempty"`
 }
 
 // BuildFlightDump assembles a dump document from the observer's flight
@@ -351,6 +354,10 @@ func (o *Observer) BuildFlightDump(program, reason string) *FlightDump {
 		if h := o.CampaignMetrics().FaultLatency; h.Count() > 0 {
 			s := h.Snapshot()
 			d.FaultLatency = &s
+		}
+		if h := o.CampaignMetrics().ConeGates; h.Count() > 0 {
+			s := h.Snapshot()
+			d.ConeGates = &s
 		}
 	}
 	if cs := o.Progress().Campaigns; len(cs) > 0 {

@@ -158,6 +158,15 @@ type CampaignMetrics struct {
 	FaultLatency *Histogram
 	// campaign_gate_evaluations_total: selective-trace work actually done.
 	GateEvaluations *Counter
+	// campaign_cone_gates: per-fault size of the merged fan-out cone the
+	// propagation loop walked (the full gate count under the full-scan
+	// reference) — the cone-size distribution behind scheduling reports.
+	ConeGates *Histogram
+	// campaign_gates_visited_total / campaign_gates_skipped_total: gates
+	// the propagation loops examined versus gates cone restriction never
+	// touched, accumulated live (per-worker deltas folded after every
+	// fault) so the timeline can track the skip ratio mid-campaign.
+	GatesVisited, GatesSkipped *Counter
 	// campaigns_running: currently active campaign count.
 	CampaignsRunning *Gauge
 	// bdd_nodes / bdd_peak_nodes: live and high-water node-table sizes.
@@ -220,14 +229,18 @@ func (o *Observer) CampaignMetrics() *CampaignMetrics {
 	}
 	r := o.Metrics
 	cm := &CampaignMetrics{
-		FaultsDone:        r.Counter("campaign_faults_done_total", "Faults finished (analyzed or restored from checkpoint)."),
-		FaultsExact:       r.Counter("campaign_faults_exact_total", "Faults analyzed exactly."),
-		FaultsDegraded:    r.Counter("campaign_faults_degraded_total", "Faults that blew their budget and degraded to simulation estimates."),
-		FaultsErrored:     r.Counter("campaign_faults_errored_total", "Faults whose analysis panicked (isolated per-fault errors)."),
-		FaultsResumed:     r.Counter("campaign_faults_resumed_total", "Faults restored from a checkpoint instead of re-analyzed."),
-		FaultsSkipped:     r.Counter("campaign_faults_skipped_total", "Faults never reached because the campaign was cancelled."),
-		FaultLatency:      r.Histogram("campaign_fault_latency_seconds", "Per-fault analysis wall-clock latency."),
-		GateEvaluations:   r.Counter("campaign_gate_evaluations_total", "Gates whose difference function was computed (selective trace skipped the rest)."),
+		FaultsDone:      r.Counter("campaign_faults_done_total", "Faults finished (analyzed or restored from checkpoint)."),
+		FaultsExact:     r.Counter("campaign_faults_exact_total", "Faults analyzed exactly."),
+		FaultsDegraded:  r.Counter("campaign_faults_degraded_total", "Faults that blew their budget and degraded to simulation estimates."),
+		FaultsErrored:   r.Counter("campaign_faults_errored_total", "Faults whose analysis panicked (isolated per-fault errors)."),
+		FaultsResumed:   r.Counter("campaign_faults_resumed_total", "Faults restored from a checkpoint instead of re-analyzed."),
+		FaultsSkipped:   r.Counter("campaign_faults_skipped_total", "Faults never reached because the campaign was cancelled."),
+		FaultLatency:    r.Histogram("campaign_fault_latency_seconds", "Per-fault analysis wall-clock latency."),
+		GateEvaluations: r.Counter("campaign_gate_evaluations_total", "Gates whose difference function was computed (selective trace skipped the rest)."),
+		ConeGates: r.Histogram("campaign_cone_gates", "Per-fault merged fan-out-cone size walked by cone-restricted propagation.",
+			1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536),
+		GatesVisited:      r.Counter("campaign_gates_visited_total", "Gates examined by the propagation loops across all analyses."),
+		GatesSkipped:      r.Counter("campaign_gates_skipped_total", "Gates cone-restricted propagation never touched (0 under the full-scan reference)."),
 		CampaignsRunning:  r.Gauge("campaigns_running", "Campaigns currently running."),
 		BDDNodes:          r.Gauge("bdd_nodes", "Most recently observed BDD node-table size of any worker engine."),
 		BDDPeakNodes:      r.Gauge("bdd_peak_nodes", "Largest BDD node table any single engine reached."),
@@ -275,6 +288,8 @@ type Campaign struct {
 
 	done, exact, degraded, errored, resumed, skipped atomic.Int64
 	rescued                                          atomic.Int64
+	gatesVisited, gatesSkipped                       atomic.Int64
+	order                                            atomic.Pointer[string]
 	canceled, finished                               atomic.Bool
 	elapsedNS                                        atomic.Int64
 
@@ -325,6 +340,25 @@ func (c *Campaign) FaultDone(o Outcome) {
 	}
 }
 
+// SetOrder labels the heartbeat with the campaign's fault dispatch policy
+// (index, cone, level). Empty names are ignored.
+func (c *Campaign) SetOrder(name string) {
+	if c == nil || name == "" {
+		return
+	}
+	c.order.Store(&name)
+}
+
+// AddGateWalk accumulates one fault's propagation-walk footprint: gates
+// the loop visited and gates cone restriction skipped.
+func (c *Campaign) AddGateWalk(visited, skipped int64) {
+	if c == nil {
+		return
+	}
+	c.gatesVisited.Add(visited)
+	c.gatesSkipped.Add(skipped)
+}
+
 // AddResumed records n faults restored from a checkpoint (they count as
 // done without being analyzed).
 func (c *Campaign) AddResumed(n int) {
@@ -366,6 +400,14 @@ type CampaignSnapshot struct {
 	Skipped  int64 `json:"skipped"`
 	Canceled bool  `json:"canceled"`
 	Finished bool  `json:"finished"`
+	// Order is the fault dispatch policy (index, cone, level); empty when
+	// the runner predates scheduling or never labeled the heartbeat.
+	Order string `json:"order,omitempty"`
+	// GatesVisited / GatesSkipped total the propagation loops' walk
+	// footprint: their ratio is the structural saving of cone-restricted
+	// propagation over the full-gate scan.
+	GatesVisited int64 `json:"gates_visited,omitempty"`
+	GatesSkipped int64 `json:"gates_skipped,omitempty"`
 	// ElapsedSec is wall-clock time since campaign start (frozen at
 	// Finish); FaultsPerSec the whole-run analysis throughput over it;
 	// ETASec the projected remaining time. The projection divides by the
@@ -396,6 +438,11 @@ func (c *Campaign) Snapshot() CampaignSnapshot {
 		Canceled: c.canceled.Load(),
 		Finished: c.finished.Load(),
 	}
+	if p := c.order.Load(); p != nil {
+		s.Order = *p
+	}
+	s.GatesVisited = c.gatesVisited.Load()
+	s.GatesSkipped = c.gatesSkipped.Load()
 	s.Analyzed = s.Exact + s.Degraded + s.Errored
 	now := c.clock()
 	elapsed := time.Duration(c.elapsedNS.Load())

@@ -26,6 +26,11 @@ type TimelineSample struct {
 	FaultsPerSec         float64 `json:"faults_per_s"`
 	ParkedWorkers        int64   `json:"parked_workers"`
 	CalibrationBudgetOps int64   `json:"calibration_budget_ops"`
+	// GatesVisited is the cumulative propagation-walk footprint;
+	// ConeSkipRatio the interval-local fraction of gates cone-restricted
+	// propagation skipped (0 while the full-scan reference runs).
+	GatesVisited  int64   `json:"gates_visited"`
+	ConeSkipRatio float64 `json:"cone_skip_ratio"`
 }
 
 // Default timeline cadence: one sample every 500ms, last ~17 minutes
@@ -50,6 +55,7 @@ type Timeline struct {
 
 	// previous-sample state for interval deltas
 	lastHits, lastMisses, lastDone int64
+	lastVisited, lastSkipped       int64
 	lastT                          time.Time
 }
 
@@ -149,14 +155,20 @@ func (t *Timeline) sample() {
 		s.TableLoad = float64(s.BDDNodes) / float64(buckets)
 	}
 	hits, misses := t.cm.CacheHitsLive.Value(), t.cm.CacheMissesLive.Value()
+	visited, skipped := t.cm.GatesVisited.Value(), t.cm.GatesSkipped.Value()
+	s.GatesVisited = visited
 
 	t.mu.Lock()
 	if dh, dm := hits-t.lastHits, misses-t.lastMisses; dh+dm > 0 {
 		s.CacheHitRatio = float64(dh) / float64(dh+dm)
 	}
+	if dv, ds := visited-t.lastVisited, skipped-t.lastSkipped; dv+ds > 0 {
+		s.ConeSkipRatio = float64(ds) / float64(dv+ds)
+	}
 	if dt := now.Sub(t.lastT).Seconds(); dt > 0 {
 		s.FaultsPerSec = float64(s.FaultsDone-t.lastDone) / dt
 	}
+	t.lastVisited, t.lastSkipped = visited, skipped
 	t.lastHits, t.lastMisses, t.lastDone, t.lastT = hits, misses, s.FaultsDone, now
 	t.ring[t.next%uint64(len(t.ring))] = s
 	t.next++

@@ -403,6 +403,58 @@ func Analyze(dumps []*obs.FlightDump, opts Options) (*Report, error) {
 		}
 	}
 
+	// ---- Scheduling ----
+	b.WriteString("\n## Scheduling\n\n")
+	type schedRow struct {
+		name    string
+		order   string
+		visited int64
+		skipped int64
+	}
+	var schedRows []schedRow
+	for _, d := range dumps {
+		for _, c := range d.Campaigns {
+			if c.Order == "" && c.GatesVisited == 0 && c.GatesSkipped == 0 {
+				continue
+			}
+			schedRows = append(schedRows, schedRow{c.Name, c.Order, c.GatesVisited, c.GatesSkipped})
+		}
+	}
+	if len(schedRows) == 0 {
+		b.WriteString("No scheduling telemetry recorded (runner predates the -order policies).\n")
+	} else {
+		b.WriteString("| campaign | order | gates visited | gates skipped | skip ratio |\n")
+		b.WriteString("|----------|-------|--------------:|--------------:|-----------:|\n")
+		for _, r := range schedRows {
+			order := r.order
+			if order == "" {
+				order = "index"
+			}
+			ratio := 0.0
+			if tot := r.visited + r.skipped; tot > 0 {
+				ratio = float64(r.skipped) / float64(tot)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %d | %d | %.1f%% |\n",
+				r.name, order, r.visited, r.skipped, 100*ratio)
+			// A cone- or level-ordered campaign that skips almost nothing is
+			// paying the scheduling overhead without the locality payoff —
+			// typically a tiny circuit or a fault set whose merged cones
+			// cover the whole netlist.
+			if order != "index" && r.visited > 0 && float64(r.skipped) < 0.05*float64(r.visited+r.skipped) {
+				rep.Anomalies = append(rep.Anomalies, fmt.Sprintf(
+					"cone scheduling ineffective: campaign %q ran order=%s but skipped only %.1f%% of gate visits — index order is likely faster here",
+					r.name, order, 100*ratio))
+			}
+		}
+	}
+	if h := lastConeGates(dumps); h != nil && h.Count > 0 {
+		fmt.Fprintf(&b, "\nMerged fan-out-cone size per fault over %d samples: p50 %.0f, p95 %.0f, p99 %.0f gates.\n",
+			h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	if mean, n, ok := meanCacheHitRatio(dumps); ok {
+		fmt.Fprintf(&b, "\nOp-cache hit ratio under this schedule: %.2f mean over %d timeline samples.\n", mean, n)
+	}
+
 	// ---- Chaos audit ----
 	b.WriteString("\n## Chaos audit\n\n")
 	rep.ChaosInjected = len(chaosEvents)
@@ -511,6 +563,35 @@ func lastHistogram(dumps []*obs.FlightDump) *obs.HistogramSnapshot {
 		}
 	}
 	return nil
+}
+
+// lastConeGates returns the cone-size histogram of the final dump that
+// carries one, mirroring lastHistogram's per-run semantics.
+func lastConeGates(dumps []*obs.FlightDump) *obs.HistogramSnapshot {
+	for i := len(dumps) - 1; i >= 0; i-- {
+		if dumps[i].ConeGates != nil {
+			return dumps[i].ConeGates
+		}
+	}
+	return nil
+}
+
+// meanCacheHitRatio averages the op-cache hit ratio across every timeline
+// sample that carries one; ok is false when no sample does.
+func meanCacheHitRatio(dumps []*obs.FlightDump) (mean float64, n int, ok bool) {
+	var sum float64
+	for _, d := range dumps {
+		for _, s := range d.Timeline {
+			if s.CacheHitRatio > 0 {
+				sum += s.CacheHitRatio
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	return sum / float64(n), n, true
 }
 
 // cacheDegradation compares the mean op-cache hit ratio of the first and

@@ -26,6 +26,7 @@ func TestFlightDumpRoundTrip(t *testing.T) {
 	study, err := analysis.RunStuckAtCampaign(c, nil, fs, analysis.CampaignConfig{
 		Workers:  4,
 		Obs:      o,
+		Order:    analysis.OrderCone,
 		FaultOps: 50_000_000,
 		Recovery: diffprop.Recovery{RetryMultiplier: 8},
 		Chaos: &chaos.Config{Seed: 7, Rules: []chaos.Rule{
@@ -80,11 +81,44 @@ func TestFlightDumpRoundTrip(t *testing.T) {
 	for _, section := range []string{
 		"## Run overview", "## Outcomes", "## Fault latency", "## Throughput",
 		"## Worker utilization", "## Rescue ladder", "most expensive faults",
-		"## Checkpoint I/O", "## Chaos audit", "## Anomalies",
+		"## Checkpoint I/O", "## Scheduling", "## Chaos audit", "## Anomalies",
 	} {
 		if !strings.Contains(rep.Markdown, section) {
 			t.Errorf("report is missing section %q", section)
 		}
+	}
+	if !strings.Contains(rep.Markdown, "| cone |") {
+		t.Error("scheduling section does not report the cone dispatch policy")
+	}
+}
+
+// TestSchedulingSectionAndAnomaly feeds synthetic campaign heartbeats to
+// the analyzer: a healthy cone-ordered campaign renders its walk footprint
+// in the scheduling table, while a reordered campaign that skipped almost
+// nothing must raise the ineffective-scheduling anomaly.
+func TestSchedulingSectionAndAnomaly(t *testing.T) {
+	d := &obs.FlightDump{
+		Program: "test", Reason: "completed",
+		Campaigns: []obs.CampaignSnapshot{
+			{Name: "healthy", Order: "cone", GatesVisited: 400, GatesSkipped: 600},
+			{Name: "wasted", Order: "level", GatesVisited: 1000, GatesSkipped: 3},
+		},
+	}
+	rep, err := postmortem.Analyze([]*obs.FlightDump{d}, postmortem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Markdown, "| healthy | cone | 400 | 600 | 60.0% |") {
+		t.Fatalf("scheduling table missing the healthy campaign row:\n%s", rep.Markdown)
+	}
+	var flagged []string
+	for _, a := range rep.Anomalies {
+		if strings.Contains(a, "cone scheduling ineffective") {
+			flagged = append(flagged, a)
+		}
+	}
+	if len(flagged) != 1 || !strings.Contains(flagged[0], "wasted") {
+		t.Fatalf("want exactly the %q campaign flagged, got %v", "wasted", rep.Anomalies)
 	}
 }
 
