@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/chaos"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/supervise"
 )
 
 // shutdownObs flushes the trace file, stops the timeline sampler and the
@@ -90,6 +92,17 @@ func main() {
 		tracePath  = flag.String("trace", "", "stream one trace event per analyzed fault to this file")
 		traceFmt   = flag.String("traceformat", "jsonl", "trace file format: jsonl, chrome (chrome://tracing)")
 		flightPath = flag.String("flight", "", "record campaign events in a flight ring and dump them as JSON to this file on exit, panic, checkpoint failure or interrupt (convention: <checkpoint>.flight.json; analyze with cmd/obsreport)")
+
+		shards     = flag.Int("shards", 0, "supervisor mode: partition the fault set into N shards, each analyzed by a supervised, restartable worker subprocess; merged results are bit-identical to an unsupervised run (needs -checkpoint)")
+		shardProcs = flag.Int("shard-procs", 0, "supervisor: cap on concurrently running shard workers (0 = all shards at once)")
+		shardDir   = flag.String("shard-dir", "", "supervisor: directory for per-shard checkpoints (default <checkpoint>.shards); rerunning over the same directory resumes them")
+		hbTimeout  = flag.Duration("hb-timeout", supervise.DefaultHeartbeatTimeout, "supervisor: SIGKILL a worker after this much protocol silence and re-dispatch its shard")
+		maxRestart = flag.Int("max-restarts", supervise.DefaultMaxRestarts, "supervisor: per-shard worker restarts before bisecting toward poison-fault quarantine (-1 = escalate on the first death)")
+		workerBin  = flag.String("worker-binary", "", "supervisor: worker executable (default: this binary re-executed)")
+
+		workerShard   = flag.String("worker-shard", "", "internal: run as a shard worker over global faults lo-hi; the supervisor owns stdout (JSONL protocol) and stdin (orphan watchdog)")
+		workerAttempt = flag.Int("worker-attempt", 0, "internal: this worker's restart attempt (gates one-shot chaos process points)")
+		workerHB      = flag.Duration("worker-hb", time.Second, "internal: worker heartbeat period")
 	)
 	flag.Parse()
 
@@ -98,6 +111,15 @@ func main() {
 	}
 	if *retryDegr && !*resume {
 		fatal(fmt.Errorf("-retry-degraded needs -resume (it re-attempts faults restored from the checkpoint)"))
+	}
+	if *workerShard != "" && *shards > 0 {
+		fatal(fmt.Errorf("-worker-shard and -shards are mutually exclusive (one process is either a worker or its supervisor)"))
+	}
+	if (*workerShard != "" || *shards > 0) && *ckptPath == "" {
+		fatal(fmt.Errorf("-shards/-worker-shard need -checkpoint <file>"))
+	}
+	if *shards > 0 && *resume {
+		fmt.Fprintln(os.Stderr, "diffprop: note: -resume is implicit under -shards (per-shard checkpoints in -shard-dir resume automatically)")
 	}
 	memCeiling, err := analysis.ParseMemLimit(*memLimit)
 	if err != nil {
@@ -132,8 +154,11 @@ func main() {
 		fatal(err)
 	}
 	w := e.Circuit
-	fmt.Printf("circuit: %s (analyzed as %d two-input gates, %d PIs, %d POs)\n\n",
-		c, w.NumGates(), len(w.Inputs), len(w.Outputs))
+	if *workerShard == "" {
+		// Workers keep stdout clean: it is the supervision protocol pipe.
+		fmt.Printf("circuit: %s (analyzed as %d two-input gates, %d PIs, %d POs)\n\n",
+			c, w.NumGates(), len(w.Inputs), len(w.Outputs))
+	}
 
 	// First SIGINT cancels the campaign gracefully between faults; a second
 	// forces immediate exit so a wedged analysis cannot hold the process
@@ -187,15 +212,62 @@ func main() {
 		}
 	}
 
+	if *workerShard != "" {
+		wm := &workerMode{
+			shard:    *workerShard,
+			attempt:  *workerAttempt,
+			hbEvery:  *workerHB,
+			model:    *model,
+			max:      *max,
+			maxBFs:   *maxBFs,
+			theta:    *theta,
+			seed:     *seed,
+			ckptPath: *ckptPath,
+			chaosCfg: chaosCfg,
+			ccfg:     ccfg,
+		}
+		wm.run(c, w) // exits the process
+	}
+	var sup *supervisorMode
+	if *shards > 0 {
+		sup = &supervisorMode{
+			shards:      *shards,
+			procs:       *shardProcs,
+			dir:         *shardDir,
+			hbTimeout:   *hbTimeout,
+			maxRestarts: *maxRestart,
+			binary:      *workerBin,
+			ckptPath:    *ckptPath,
+			verbose:     *verbose,
+			obs:         o,
+			flags: workerFlagSet{
+				circuit: *circuit, bench: *bench, model: *model,
+				max: *max, maxBFs: *maxBFs, theta: *theta, seed: *seed,
+				workers: *workers, order: *order, fullScan: *fullScan,
+				budget: *budget, timeout: *timeout, nodeLimit: *nodeLimit,
+				gcAuto: *gcAuto, retryMult: *retryMult, memLimit: *memLimit,
+				estVectors: *estVectors, calibrate: *calibrate,
+				chaosSpec: *chaosSpec, logLevel: *logLevel, logJSON: *logJSON,
+				hbEvery: *workerHB,
+			},
+		}
+	}
+
 	switch strings.ToLower(*model) {
 	case "stuckat", "sa":
 		fs := faults.CheckpointStuckAts(w)
 		fs = truncateFaults(fs, *max)
-		cp := openCheckpoint(*ckptPath, *resume, *retryDegr, analysis.StuckAtCheckpointHeader(w, fs), &ccfg)
-		study, err := analysis.RunStuckAtCampaign(c, nil, fs, ccfg)
-		closeCheckpoint(cp)
-		if err != nil {
-			fatal(err)
+		var study analysis.StuckAtStudy
+		if sup != nil {
+			study = runShardedStuckAt(ctx, sup, c, w, fs, ccfg)
+		} else {
+			cp := openCheckpoint(*ckptPath, *resume, *retryDegr, analysis.StuckAtCheckpointHeader(w, fs), &ccfg)
+			var err error
+			study, err = analysis.RunStuckAtCampaign(c, nil, fs, ccfg)
+			closeCheckpoint(cp)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if *verbose {
 			fmt.Fprintln(os.Stderr, study.Stats)
@@ -224,11 +296,17 @@ func main() {
 		}
 		set, pop, sampled := analysis.BridgingSet(w, kind, *maxBFs, *theta, *seed)
 		set = truncateFaults(set, *max)
-		cp := openCheckpoint(*ckptPath, *resume, *retryDegr, analysis.BridgingCheckpointHeader(w, set), &ccfg)
-		study, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, ccfg)
-		closeCheckpoint(cp)
-		if err != nil {
-			fatal(err)
+		var study analysis.BridgingStudy
+		if sup != nil {
+			study = runShardedBridging(ctx, sup, c, w, set, kind, pop, sampled, ccfg)
+		} else {
+			cp := openCheckpoint(*ckptPath, *resume, *retryDegr, analysis.BridgingCheckpointHeader(w, set), &ccfg)
+			var err error
+			study, err = analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, ccfg)
+			closeCheckpoint(cp)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if *verbose {
 			fmt.Fprintln(os.Stderr, study.Stats)

@@ -1,0 +1,415 @@
+// Sharded campaign modes: the -shards supervisor (partition the fault
+// set, supervise worker subprocesses, merge bit-identical results) and
+// the internal -worker-shard worker (analyze one shard, speak the JSONL
+// protocol on stdout, die loudly rather than run orphaned).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/chaos"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/supervise"
+)
+
+// quarantineErr is the deterministic Err message stamped on a poison
+// fault's record: same fault, same message, every rerun.
+const quarantineErr = "quarantined: fault repeatedly killed its worker process"
+
+// Worker exit codes (beyond main's 0 = done, 1 = fatal, 130 = double
+// interrupt): a worker that loses its supervisor exits with exitOrphaned
+// instead of running on unsupervised.
+const exitOrphaned = 4
+
+// workerFlagSet carries the analysis flags a supervisor forwards to its
+// workers, so a worker derives exactly the campaign the supervisor
+// partitioned.
+type workerFlagSet struct {
+	circuit, bench string
+	model          string
+	max, maxBFs    int
+	theta          float64
+	seed           int64
+	workers        int
+	order          string
+	fullScan       bool
+	budget         int64
+	timeout        time.Duration
+	nodeLimit      int
+	gcAuto         bool
+	retryMult      float64
+	memLimit       string
+	estVectors     int
+	calibrate      bool
+	chaosSpec      string
+	logLevel       string
+	logJSON        bool
+	hbEvery        time.Duration
+}
+
+// supervisorMode is the -shards configuration.
+type supervisorMode struct {
+	shards      int
+	procs       int
+	dir         string
+	hbTimeout   time.Duration
+	maxRestarts int
+	binary      string // worker executable ("" = os.Executable())
+	ckptPath    string
+	verbose     bool
+	obs         *obs.Observer
+	flags       workerFlagSet
+}
+
+// workerArgs rebuilds a worker command line for one lease. A degraded
+// lease sheds analysis threads and tightens the node watermark: survival
+// over parameter fidelity after repeated memory-pressure deaths (the
+// README's "Fault tolerance" section spells out the trade).
+func (s *supervisorMode) workerArgs(sh supervise.Shard) []string {
+	f := s.flags
+	workers, nodeLimit := f.workers, f.nodeLimit
+	if sh.Degrade > 0 {
+		if workers <= 0 {
+			workers = 2 // "one per CPU" is what just OOMed; start shedding from a known point
+		}
+		if workers>>sh.Degrade >= 1 {
+			workers >>= sh.Degrade
+		} else {
+			workers = 1
+		}
+		if nodeLimit <= 0 {
+			nodeLimit = 1 << 20
+		}
+		if nodeLimit>>sh.Degrade >= 1<<16 {
+			nodeLimit >>= sh.Degrade
+		} else {
+			nodeLimit = 1 << 16
+		}
+	}
+	args := []string{
+		"-worker-shard", sh.Range(),
+		"-worker-attempt", strconv.Itoa(sh.Attempt),
+		"-worker-hb", f.hbEvery.String(),
+		"-checkpoint", sh.Path,
+		"-model", f.model,
+		"-max", strconv.Itoa(f.max),
+		"-maxbfs", strconv.Itoa(f.maxBFs),
+		"-theta", strconv.FormatFloat(f.theta, 'g', -1, 64),
+		"-seed", strconv.FormatInt(f.seed, 10),
+		"-workers", strconv.Itoa(workers),
+		"-order", f.order,
+		"-budget", strconv.FormatInt(f.budget, 10),
+		"-timeout", f.timeout.String(),
+		"-nodelimit", strconv.Itoa(nodeLimit),
+		"-retrybudget", strconv.FormatFloat(f.retryMult, 'g', -1, 64),
+		"-estvectors", strconv.Itoa(f.estVectors),
+	}
+	if f.circuit != "" {
+		args = append(args, "-circuit", f.circuit)
+	}
+	if f.bench != "" {
+		args = append(args, "-bench", f.bench)
+	}
+	if f.fullScan {
+		args = append(args, "-fullscan")
+	}
+	if f.gcAuto {
+		args = append(args, "-gcauto")
+	}
+	if f.calibrate {
+		args = append(args, "-calibrate")
+	}
+	if f.memLimit != "" {
+		args = append(args, "-memlimit", f.memLimit)
+	}
+	if f.chaosSpec != "" {
+		args = append(args, "-chaos", f.chaosSpec)
+	}
+	if f.logLevel != "" {
+		args = append(args, "-log", f.logLevel)
+	}
+	if f.logJSON {
+		args = append(args, "-logjson")
+	}
+	return args
+}
+
+// supervise runs the sharded campaign and returns the merged per-fault
+// records (global index -> record JSON), bit-identical to what an
+// unsupervised run would have checkpointed.
+func (s *supervisorMode) supervise(ctx context.Context, store supervise.Store, total int) map[int]json.RawMessage {
+	bin := s.binary
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			fatal(fmt.Errorf("-shards: locating worker binary: %w", err))
+		}
+		bin = exe
+	}
+	dir := s.dir
+	if dir == "" {
+		dir = s.ckptPath + ".shards"
+	}
+	launcher := &supervise.ExecLauncher{
+		Binary: bin,
+		Args:   s.workerArgs,
+		BadLine: func(err error) {
+			fmt.Fprintln(os.Stderr, "diffprop: supervisor:", err)
+		},
+	}
+	var progress func(done, total int)
+	if s.verbose {
+		progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d faults (supervised)", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := supervise.RunSharded(ctx, supervise.CampaignConfig{
+		Supervisor: supervise.Config{
+			Launcher:         launcher,
+			HeartbeatTimeout: s.hbTimeout,
+			MaxRestarts:      s.maxRestarts,
+			Log:              s.obs.Logger(),
+			Obs:              s.obs,
+			Progress:         progress,
+		},
+		Store:  store,
+		Faults: total,
+		Shards: s.shards,
+		Procs:  s.procs,
+		Dir:    dir,
+	})
+	sup := res.Supervision
+	if sup.Deaths > 0 || len(sup.Quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "diffprop: supervisor: %d worker death(s), %d restart(s), %d bisection(s), %d fault(s) quarantined, %d degraded relaunch(es)\n",
+			sup.Deaths, sup.Restarts, sup.Bisects, len(sup.Quarantined), sup.DegradedLaunches)
+	}
+	if err != nil {
+		fatal(fmt.Errorf("supervised campaign: %w", err))
+	}
+	return res.Records
+}
+
+// stuckAtStore adapts a stuck-at campaign to the supervisor's Store.
+type stuckAtStore struct {
+	w  *netlist.Circuit
+	fs []faults.StuckAt
+}
+
+func (s stuckAtStore) Header(lo, hi int) analysis.CheckpointHeader {
+	return analysis.StuckAtCheckpointHeader(s.w, s.fs[lo:hi]).WithShard(lo, hi)
+}
+
+func (s stuckAtStore) QuarantineRecord(global int) (json.RawMessage, error) {
+	return json.Marshal(analysis.StuckAtRecord{Fault: s.fs[global], Err: quarantineErr})
+}
+
+// bridgingStore adapts a bridging campaign to the supervisor's Store.
+type bridgingStore struct {
+	w  *netlist.Circuit
+	bs []faults.Bridging
+}
+
+func (s bridgingStore) Header(lo, hi int) analysis.CheckpointHeader {
+	return analysis.BridgingCheckpointHeader(s.w, s.bs[lo:hi]).WithShard(lo, hi)
+}
+
+func (s bridgingStore) QuarantineRecord(global int) (json.RawMessage, error) {
+	return json.Marshal(analysis.BridgingRecord{Fault: s.bs[global], Err: quarantineErr})
+}
+
+// finishSharded persists the merged records as the campaign checkpoint
+// (full-set header, ascending index order — directly usable by a later
+// unsupervised -resume) and returns them as the resume map for the final
+// study rebuild.
+func (s *supervisorMode) finishSharded(records map[int]json.RawMessage, hdr analysis.CheckpointHeader, ccfg analysis.CampaignConfig) analysis.CampaignConfig {
+	if err := analysis.WriteMergedCheckpoint(s.ckptPath, hdr, records); err != nil {
+		fatal(fmt.Errorf("writing merged checkpoint: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "diffprop: merged %d shard record(s) into %s\n", len(records), s.ckptPath)
+	// The study is rebuilt purely from the merged records: every fault is
+	// "resumed", nothing is re-analyzed, and the resulting records are the
+	// workers' bytes — bit-identical to an unsupervised run. Chaos and
+	// checkpointing stay out of the replay.
+	ccfg.Resume = records
+	ccfg.Checkpoint = nil
+	ccfg.Chaos = nil
+	ccfg.Progress = nil
+	return ccfg
+}
+
+// runShardedStuckAt is the -shards path of the stuckat model.
+func runShardedStuckAt(ctx context.Context, s *supervisorMode, c *netlist.Circuit, w *netlist.Circuit, fs []faults.StuckAt, ccfg analysis.CampaignConfig) analysis.StuckAtStudy {
+	records := s.supervise(ctx, stuckAtStore{w: w, fs: fs}, len(fs))
+	ccfg = s.finishSharded(records, analysis.StuckAtCheckpointHeader(w, fs), ccfg)
+	study, err := analysis.RunStuckAtCampaign(c, nil, fs, ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	return study
+}
+
+// runShardedBridging is the -shards path of the and/or models.
+func runShardedBridging(ctx context.Context, s *supervisorMode, c *netlist.Circuit, w *netlist.Circuit, set []faults.Bridging, kind faults.BridgeKind, pop int, sampled bool, ccfg analysis.CampaignConfig) analysis.BridgingStudy {
+	records := s.supervise(ctx, bridgingStore{w: w, bs: set}, len(set))
+	ccfg = s.finishSharded(records, analysis.BridgingCheckpointHeader(w, set), ccfg)
+	study, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	return study
+}
+
+// workerMode is the -worker-shard configuration: one shard of the fault
+// set, one checkpoint, the protocol on stdout.
+type workerMode struct {
+	shard    string
+	attempt  int
+	hbEvery  time.Duration
+	model    string
+	max      int
+	maxBFs   int
+	theta    float64
+	seed     int64
+	ckptPath string
+	chaosCfg *chaos.Config
+	ccfg     analysis.CampaignConfig
+}
+
+// run analyzes the worker's shard and exits the process: 0 after a done
+// message, 1 on a fatal error, exitOrphaned when the supervisor's stdin
+// pipe reaches EOF. It never returns.
+func (m *workerMode) run(c *netlist.Circuit, w *netlist.Circuit) {
+	lo, hi, err := supervise.ParseRange(m.shard)
+	if err != nil {
+		fatal(err)
+	}
+	rep := supervise.NewReporter(os.Stdout, lo, hi)
+	workerFatal := func(err error) {
+		rep.Error(err)
+		fatal(err)
+	}
+	// The orphan watchdog: the supervisor holds our stdin open for our
+	// whole life; EOF means it is gone — even by SIGKILL — and an
+	// unsupervised worker must not keep burning the machine.
+	supervise.WatchStdin(os.Stdin, func() {
+		fmt.Fprintf(os.Stderr, "diffprop: worker %s: supervisor is gone; exiting\n", m.shard)
+		os.Exit(exitOrphaned)
+	})
+
+	var (
+		hdr   analysis.CheckpointHeader
+		runIt func(cp *analysis.Checkpointer, resume map[int]json.RawMessage) (int, error)
+	)
+	switch strings.ToLower(m.model) {
+	case "stuckat", "sa":
+		fs := truncateFaults(faults.CheckpointStuckAts(w), m.max)
+		if hi > len(fs) {
+			workerFatal(fmt.Errorf("worker shard %s exceeds the %d-fault set (flag drift between supervisor and worker)", m.shard, len(fs)))
+		}
+		sub := fs[lo:hi]
+		hdr = analysis.StuckAtCheckpointHeader(w, sub).WithShard(lo, hi)
+		runIt = func(cp *analysis.Checkpointer, resume map[int]json.RawMessage) (int, error) {
+			ccfg := m.campaignConfig(cp, resume, lo, rep)
+			study, err := analysis.RunStuckAtCampaign(c, nil, sub, ccfg)
+			n := 0
+			for _, r := range study.Records {
+				if !r.Skipped {
+					n++
+				}
+			}
+			return n, err
+		}
+	case "and", "or":
+		kind := faults.WiredAND
+		if strings.ToLower(m.model) == "or" {
+			kind = faults.WiredOR
+		}
+		set, _, _ := analysis.BridgingSet(w, kind, m.maxBFs, m.theta, m.seed)
+		set = truncateFaults(set, m.max)
+		if hi > len(set) {
+			workerFatal(fmt.Errorf("worker shard %s exceeds the %d-fault set (flag drift between supervisor and worker)", m.shard, len(set)))
+		}
+		sub := set[lo:hi]
+		hdr = analysis.BridgingCheckpointHeader(w, sub).WithShard(lo, hi)
+		runIt = func(cp *analysis.Checkpointer, resume map[int]json.RawMessage) (int, error) {
+			ccfg := m.campaignConfig(cp, resume, lo, rep)
+			study, err := analysis.RunBridgingCampaign(c, nil, sub, kind, len(sub), false, ccfg)
+			n := 0
+			for _, r := range study.Records {
+				if !r.Skipped {
+					n++
+				}
+			}
+			return n, err
+		}
+	default:
+		workerFatal(fmt.Errorf("unknown fault model %q", m.model))
+	}
+
+	cp, resume, err := analysis.ResumeCheckpoint(m.ckptPath, hdr)
+	if err != nil {
+		workerFatal(err)
+	}
+	rep.Hello(os.Getpid(), hi-lo)
+	rep.Heartbeat(len(resume))
+	n, err := runIt(cp, resume)
+	if cerr := cp.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		workerFatal(err)
+	}
+	if n < hi-lo {
+		// Cancelled or partially skipped: this is not a completed shard,
+		// and claiming so would merge skip markers into the campaign.
+		workerFatal(fmt.Errorf("worker %s finished only %d of %d faults", m.shard, n, hi-lo))
+	}
+	rep.Done(n)
+	shutdownObs()
+	os.Exit(0)
+}
+
+// campaignConfig specializes the shared campaign config for this worker:
+// shard-local checkpointing/resume, heartbeat progress, and chaos keyed
+// so a sharded campaign fires the exact same injections as an unsharded
+// one (KeyOffset rebases fault keys; Attempt gates one-shot process
+// points on restarts).
+func (m *workerMode) campaignConfig(cp *analysis.Checkpointer, resume map[int]json.RawMessage, lo int, rep *supervise.Reporter) analysis.CampaignConfig {
+	ccfg := m.ccfg
+	ccfg.Checkpoint = cp
+	ccfg.Resume = resume
+	if m.chaosCfg != nil {
+		cc := *m.chaosCfg
+		cc.KeyOffset = lo
+		cc.Attempt = m.attempt
+		cc.Tear = cp.TearTail
+		ccfg.Chaos = &cc
+		// The reporter gets its own injector: hbstall is keyed by
+		// heartbeat sequence, not fault index.
+		rep.SetChaos(chaos.New(&cc))
+	}
+	var done atomic.Int64
+	done.Store(int64(len(resume)))
+	ccfg.Progress = func(d, total int) { done.Store(int64(d)) }
+	go func() {
+		t := time.NewTicker(m.hbEvery)
+		defer t.Stop()
+		for range t.C {
+			rep.Heartbeat(int(done.Load()))
+		}
+	}()
+	return ccfg
+}

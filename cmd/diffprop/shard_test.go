@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// diffpropBin is the real diffprop binary the integration tests exec —
+// both directly and, through -shards, as a self-re-executing supervisor.
+// Empty when the build failed (tests skip).
+var diffpropBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "diffprop-test-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "diffprop")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "shard_test: building diffprop: %v\n%s", err, out)
+	} else {
+		diffpropBin = bin
+	}
+	os.Exit(m.Run())
+}
+
+// runDiffprop execs the binary and returns stdout, stderr and exit code.
+func runDiffprop(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	if diffpropBin == "" {
+		t.Skip("diffprop binary unavailable (go build failed in TestMain)")
+	}
+	cmd := exec.Command(diffpropBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// checkpointRecords loads a checkpoint's record lines keyed by fault
+// index, raw bytes preserved for bit-identity comparison.
+func checkpointRecords(t *testing.T, path string) map[int]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs := make(map[int]string)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	first := true
+	for sc.Scan() {
+		if first {
+			first = false // header
+			continue
+		}
+		var line struct {
+			Index  int             `json:"i"`
+			Record json.RawMessage `json:"r"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("%s: %v: %s", path, err, sc.Bytes())
+		}
+		recs[line.Index] = string(line.Record)
+	}
+	return recs
+}
+
+// identicalExcept asserts got == want record-for-record, byte-for-byte,
+// for every index not in skip.
+func identicalExcept(t *testing.T, got, want map[int]string, skip map[int]bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("record counts differ: %d vs %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if skip[i] {
+			continue
+		}
+		if got[i] != w {
+			t.Errorf("record %d differs:\n  supervised:   %s\n  unsupervised: %s", i, got[i], w)
+		}
+	}
+}
+
+// singleProcessRun produces the unsupervised reference checkpoint once
+// per test that needs it.
+func singleProcessRun(t *testing.T) map[int]string {
+	t.Helper()
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "single.jsonl")
+	_, stderr, code := runDiffprop(t, "-circuit", "c17", "-checkpoint", ckpt, "-summary")
+	if code != 0 {
+		t.Fatalf("single-process run exited %d:\n%s", code, stderr)
+	}
+	return checkpointRecords(t, ckpt)
+}
+
+func TestSupervisedBitIdenticalToSingleProcess(t *testing.T) {
+	want := singleProcessRun(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sharded.jsonl")
+	stdout, stderr, code := runDiffprop(t, "-circuit", "c17", "-shards", "3", "-checkpoint", ckpt, "-summary")
+	if code != 0 {
+		t.Fatalf("supervised run exited %d:\n%s", code, stderr)
+	}
+	identicalExcept(t, checkpointRecords(t, ckpt), want, nil)
+	if !strings.Contains(stdout, "faults: 18") {
+		t.Errorf("supervised summary missing fault count:\n%s", stdout)
+	}
+	// The merged checkpoint must resume cleanly in an ordinary
+	// unsupervised run: nothing left to analyze.
+	_, stderr, code = runDiffprop(t, "-circuit", "c17", "-checkpoint", ckpt, "-resume", "-summary")
+	if code != 0 || !strings.Contains(stderr, "18 of 18 faults already analyzed") {
+		t.Fatalf("merged checkpoint did not resume cleanly (exit %d):\n%s", code, stderr)
+	}
+}
+
+func TestKillStormStaysBitIdentical(t *testing.T) {
+	want := singleProcessRun(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "storm.jsonl")
+	// Every worker dies at some fault on its first attempt (one-shot
+	// points are attempt-gated, so restarts converge).
+	_, stderr, code := runDiffprop(t,
+		"-circuit", "c17", "-shards", "3", "-checkpoint", ckpt,
+		"-chaos", "seed=7;workerkill:p=0.5", "-summary")
+	if code != 0 {
+		t.Fatalf("kill-storm run exited %d:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "worker death(s)") {
+		t.Fatalf("kill storm killed nobody; chaos wiring broken:\n%s", stderr)
+	}
+	identicalExcept(t, checkpointRecords(t, ckpt), want, nil)
+}
+
+func TestPoisonFaultQuarantined(t *testing.T) {
+	want := singleProcessRun(t)
+	const poison = 7
+	run := func(dir string) (map[int]string, string) {
+		ckpt := filepath.Join(dir, "poison.jsonl")
+		_, stderr, code := runDiffprop(t,
+			"-circuit", "c17", "-shards", "3", "-checkpoint", ckpt,
+			"-chaos", fmt.Sprintf("workerkill:i=%d,rep=1", poison),
+			"-max-restarts", "1", "-summary")
+		// Exit 2: campaign completed, with per-fault errors — the
+		// quarantined record. Never exit 1 (a failed campaign).
+		if code != 2 {
+			t.Fatalf("poison run exited %d, want 2:\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "quarantined") {
+			t.Fatalf("no quarantine reported:\n%s", stderr)
+		}
+		return checkpointRecords(t, ckpt), stderr
+	}
+	got, _ := run(t.TempDir())
+	identicalExcept(t, got, want, map[int]bool{poison: true})
+	var rec struct {
+		Err string
+	}
+	if err := json.Unmarshal([]byte(got[poison]), &rec); err != nil || !strings.Contains(rec.Err, "quarantined") {
+		t.Fatalf("poison record = %s (%v), want quarantine Err", got[poison], err)
+	}
+	// Quarantine must be reproducible: a rerun isolates the same fault
+	// with the bit-identical record.
+	again, _ := run(t.TempDir())
+	identicalExcept(t, again, got, nil)
+}
+
+func TestWorkerExitsOrphanedOnStdinEOF(t *testing.T) {
+	if diffpropBin == "" {
+		t.Skip("diffprop binary unavailable")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(diffpropBin,
+		"-circuit", "c17", "-worker-shard", "0-6",
+		"-checkpoint", filepath.Join(dir, "w.jsonl"))
+	cmd.Stdin = nil // stdin at EOF from the start: instantly orphaned
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 4 {
+		t.Fatalf("orphaned worker exited %v, want exit 4; stderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "supervisor is gone") {
+		t.Fatalf("orphan exit not explained:\n%s", stderr.String())
+	}
+}
+
+func TestSupervisorFlagValidation(t *testing.T) {
+	_, stderr, code := runDiffprop(t, "-circuit", "c17", "-shards", "2")
+	if code != 1 || !strings.Contains(stderr, "-checkpoint") {
+		t.Fatalf("-shards without -checkpoint: exit %d, stderr:\n%s", code, stderr)
+	}
+	_, stderr, code = runDiffprop(t, "-circuit", "c17", "-shards", "2", "-worker-shard", "0-3", "-checkpoint", "x.jsonl")
+	if code != 1 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("-shards with -worker-shard: exit %d, stderr:\n%s", code, stderr)
+	}
+}

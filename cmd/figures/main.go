@@ -62,6 +62,9 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a per-fault span trace covering every campaign to this file")
 		traceFmt   = flag.String("traceformat", "jsonl", "trace file format: jsonl, chrome (chrome://tracing)")
 		flightPath = flag.String("flight", "", "record campaign events in a flight ring and dump them as JSON to this file on exit or error (analyze with cmd/obsreport)")
+		shards     = flag.Int("shards", 0, "run each catalog-circuit campaign under the crash-tolerant process supervisor with this many worker shards (needs -diffprop; see internal/supervise)")
+		workerBin  = flag.String("diffprop", "", "path to the diffprop binary supervised -shards campaigns exec (it re-executes itself as the shard workers)")
+		shardDir   = flag.String("sharddir", "", "directory for supervised campaigns' merged and per-shard checkpoints (default: a temporary directory, removed on success; set it to keep and resume them)")
 	)
 	flag.Parse()
 
@@ -108,6 +111,25 @@ func main() {
 		fatal(fmt.Errorf("-order: %w", err))
 	}
 	cfg.FullScan = *fullScan
+	var cleanupShards = func() {}
+	if *shards > 0 {
+		if *workerBin == "" {
+			fatal(fmt.Errorf("-shards needs -diffprop <binary> (the supervised worker executable)"))
+		}
+		cfg.Shards = *shards
+		cfg.WorkerBinary = *workerBin
+		cfg.ShardDir = *shardDir
+		if cfg.ShardDir == "" {
+			dir, err := os.MkdirTemp("", "figures-shards-")
+			if err != nil {
+				fatal(err)
+			}
+			cfg.ShardDir = dir
+			// Removed on success only: after a fatal exit the checkpoints
+			// are what -sharddir reruns resume from.
+			cleanupShards = func() { os.RemoveAll(dir) }
+		}
+	}
 	cfg.Obs = setupObs(*httpAddr, *logLevel, *logJSON, *tracePath, *traceFmt, *flightPath)
 	if *verbose {
 		cfg.Progress = func(circuit string, done, total int) {
@@ -147,6 +169,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	cleanupShards()
 	dumpFlight("completed")
 	shutdownObs()
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/chaos"
@@ -54,6 +55,26 @@ func (e *CheckpointError) Error() string {
 
 func (e *CheckpointError) Unwrap() error { return e.Err }
 
+// RecordIndexError is the typed error LoadCheckpoint returns when a fully
+// decoded record line carries a fault index outside the header's declared
+// fault count. Unlike a torn tail (a crash artifact, tolerated), an
+// out-of-range index on an intact line means the file is corrupt or was
+// written for a different fault set: admitting it into the record map
+// would either be silently dropped or clobber a legitimate record on
+// resume.
+type RecordIndexError struct {
+	// Path is the checkpoint file.
+	Path string
+	// Index is the offending record index.
+	Index int
+	// Faults is the header's fault count (valid indices are [0, Faults)).
+	Faults int
+}
+
+func (e *RecordIndexError) Error() string {
+	return fmt.Sprintf("analysis: checkpoint %s: record index %d outside the header's %d faults (corrupt file or wrong fault set)", e.Path, e.Index, e.Faults)
+}
+
 // CheckpointVersion is the schema version written to (and required from)
 // checkpoint headers.
 const CheckpointVersion = 1
@@ -71,6 +92,22 @@ type CheckpointHeader struct {
 	Circuit     string `json:"circuit"`
 	Faults      int    `json:"faults"`
 	Fingerprint string `json:"fingerprint"`
+	// Shard marks a per-shard checkpoint written by a supervised worker:
+	// "lo-hi" names the global fault range [lo, hi) whose faults this file
+	// holds under LOCAL indices 0..hi-lo-1 (Faults and Fingerprint then
+	// cover the shard's subset, not the whole campaign). Empty for
+	// whole-campaign checkpoints; resume refuses a shard/whole mismatch
+	// like any other header disagreement.
+	Shard string `json:"shard,omitempty"`
+}
+
+// WithShard marks the header as covering the global fault range [lo, hi)
+// of a sharded campaign. The header must already have been built over
+// exactly that subset of the fault set (its count and fingerprint stay
+// untouched).
+func (h CheckpointHeader) WithShard(lo, hi int) CheckpointHeader {
+	h.Shard = fmt.Sprintf("%d-%d", lo, hi)
+	return h
 }
 
 // StuckAtCheckpointHeader builds the header for a stuck-at campaign over
@@ -133,6 +170,7 @@ type Checkpointer struct {
 
 	mu       sync.Mutex
 	f        *os.File
+	dir      string // parent directory, fsynced on create and Close
 	appended int
 
 	// err poisons the checkpointer after the first write/fsync failure:
@@ -181,8 +219,29 @@ func (cp *Checkpointer) Instrument(o *obs.Observer) {
 	cp.Log = o.Log
 }
 
+// syncDir fsyncs a directory so the directory entries themselves — a
+// freshly created checkpoint's name, its final length — survive a crash
+// plus power loss, not just the file's own data blocks. Filesystems
+// without directory fsync (it is Linux/POSIX behavior) surface EINVAL or
+// ENOTSUP here; that is reported, not ignored, since the caller asked for
+// the durability guarantee.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // CreateCheckpoint starts a fresh checkpoint file (truncating any existing
-// one) and persists the header immediately.
+// one), persists the header immediately, and fsyncs the parent directory
+// so the file's very existence survives a crash — without the directory
+// sync, a power cut after f.Sync can still lose the name and with it
+// every record the campaign goes on to append.
 func CreateCheckpoint(path string, hdr CheckpointHeader) (*Checkpointer, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -201,7 +260,12 @@ func CreateCheckpoint(path string, hdr CheckpointHeader) (*Checkpointer, error) 
 		f.Close()
 		return nil, fmt.Errorf("analysis: sync checkpoint header: %w", err)
 	}
-	return &Checkpointer{f: f, FsyncEvery: DefaultFsyncEvery}, nil
+	dir := filepath.Dir(path)
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("analysis: sync checkpoint directory: %w", err)
+	}
+	return &Checkpointer{f: f, dir: dir, FsyncEvery: DefaultFsyncEvery}, nil
 }
 
 // Append persists one finished record under its fault index. The first
@@ -288,10 +352,37 @@ func (cp *Checkpointer) poison(op string, index int, err error) *CheckpointError
 	return cp.err
 }
 
-// Close syncs and closes the checkpoint file. A poisoned checkpointer
-// skips the sync (the failure was already surfaced by Append; the file
-// keeps its valid prefix plus at most one torn final line, which resume
-// truncates) and closes without reporting a second error.
+// TearTail appends n unterminated garbage bytes to the checkpoint file —
+// the prefix of a record line that a crash interrupted mid-write — and
+// flushes them to disk, bypassing the Append poisoning machinery. This is
+// the chaos harness's shardtear seam (Config.Tear): the writer is about
+// to be SIGKILLed, so the tear must actually reach the disk for the
+// resuming worker's torn-tail truncation to have something to truncate.
+// Nil-safe and a no-op on a closed checkpointer or n <= 0.
+func (cp *Checkpointer) TearTail(n int) {
+	if cp == nil || n <= 0 {
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f == nil {
+		return
+	}
+	buf := make([]byte, n)
+	copy(buf, `{"i":`)
+	for i := len(`{"i":`); i < n; i++ {
+		buf[i] = '9'
+	}
+	cp.f.Write(buf) //nolint:errcheck // best-effort: the process dies next
+	cp.f.Sync()     //nolint:errcheck
+}
+
+// Close syncs and closes the checkpoint file, then fsyncs its parent
+// directory so the finished file's directory entry is as durable as its
+// contents. A poisoned checkpointer skips the syncs (the failure was
+// already surfaced by Append; the file keeps its valid prefix plus at
+// most one torn final line, which resume truncates) and closes without
+// reporting a second error.
 func (cp *Checkpointer) Close() error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
@@ -313,6 +404,11 @@ func (cp *Checkpointer) Close() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("analysis: close checkpoint: %w", err)
 	}
+	if cp.dir != "" {
+		if err := syncDir(cp.dir); err != nil {
+			return fmt.Errorf("analysis: sync checkpoint directory: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -320,7 +416,10 @@ func (cp *Checkpointer) Close() error {
 // records by fault index (when an index appears twice the later line
 // wins), and the byte offset where valid content ends. A torn final line
 // — no trailing newline, or undecodable JSON from a crash mid-append — is
-// tolerated: loading stops there and validEnd excludes it.
+// tolerated: loading stops there and validEnd excludes it. An intact line
+// whose index falls outside the header's fault count is NOT tolerated:
+// that is corruption, not a crash artifact, and loading fails with a
+// *RecordIndexError instead of silently admitting the record.
 func LoadCheckpoint(path string) (hdr CheckpointHeader, records map[int]json.RawMessage, validEnd int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -344,6 +443,9 @@ func LoadCheckpoint(path string) (hdr CheckpointHeader, records map[int]json.Raw
 		var line checkpointLine
 		if err := json.Unmarshal(rest[:nl], &line); err != nil {
 			break // torn tail: overwritten or truncated mid-write
+		}
+		if line.Index < 0 || line.Index >= hdr.Faults {
+			return CheckpointHeader{}, nil, 0, &RecordIndexError{Path: path, Index: line.Index, Faults: hdr.Faults}
 		}
 		records[line.Index] = line.Record
 		validEnd += int64(nl + 1)
@@ -379,6 +481,8 @@ func ResumeCheckpoint(path string, want CheckpointHeader) (*Checkpointer, map[in
 		err = fmt.Errorf("%d faults, want %d", hdr.Faults, want.Faults)
 	case hdr.Fingerprint != want.Fingerprint:
 		err = fmt.Errorf("fault-set fingerprint %s, want %s (same size but different faults)", hdr.Fingerprint, want.Fingerprint)
+	case hdr.Shard != want.Shard:
+		err = fmt.Errorf("shard range %q, want %q", hdr.Shard, want.Shard)
 	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("analysis: cannot resume %s: checkpoint has %v; it was written for a different fault set", path, err)
@@ -395,7 +499,7 @@ func ResumeCheckpoint(path string, want CheckpointHeader) (*Checkpointer, map[in
 		f.Close()
 		return nil, nil, fmt.Errorf("analysis: seek checkpoint: %w", err)
 	}
-	return &Checkpointer{f: f, FsyncEvery: DefaultFsyncEvery}, records, nil
+	return &Checkpointer{f: f, dir: filepath.Dir(path), FsyncEvery: DefaultFsyncEvery}, records, nil
 }
 
 // DropDegradedRecords removes non-exact records — Approximate (budget

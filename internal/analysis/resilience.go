@@ -215,7 +215,10 @@ func analyzeStuckAt(e *diffprop.Engine, f faults.StuckAt, toPO, levels []int, fb
 // zero-alloc hot path). The hook runs inside the try* recover scope,
 // before the analysis touches the engine:
 //
-//   - injected latency sleeps first (simulating a slow fault),
+//   - a process-level crash (workerkill/shardtear) fires first — the
+//     fault "arrives" and the worker dies before touching it, so its
+//     record is exactly what a resuming worker recomputes,
+//   - injected latency sleeps next (simulating a slow fault),
 //   - a forced budget/node-limit abort is armed on the engine, to fire at
 //     the chosen charged operation of THIS analysis only (one-shot, so
 //     the ladder's retry completes exactly),
@@ -226,6 +229,7 @@ func chaosHook(inj *chaos.Injector, e *diffprop.Engine, i int) func() {
 		return nil
 	}
 	return func() {
+		inj.WorkerCrash(i)
 		if d := inj.Latency(i); d > 0 {
 			time.Sleep(d)
 		}

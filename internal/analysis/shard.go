@@ -1,0 +1,121 @@
+// Shard partitioning and merging for supervised multi-process campaigns.
+//
+// A supervised campaign splits the fault set into contiguous global
+// ranges [lo, hi); each range becomes one worker subprocess analyzing its
+// faults as LOCAL indices 0..hi-lo-1 against a per-shard checkpoint
+// (header fingerprinted over exactly that subset, marked with
+// CheckpointHeader.WithShard). The helpers here are the pure data side of
+// that scheme — partitioning, rebasing local records to global indices,
+// slicing a parent shard's progress into a bisected child, and writing a
+// merged record map back out as a whole-campaign checkpoint — so the
+// supervisor (internal/supervise) and tests share one definition of the
+// index arithmetic.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// PartitionFaults splits total faults into at most shards contiguous
+// global ranges [lo, hi), each within one fault of total/shards long, in
+// ascending order and covering every index exactly once. Fewer ranges
+// come back when there are fewer faults than requested shards; zero
+// faults yield no ranges.
+func PartitionFaults(total, shards int) [][2]int {
+	if total <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > total {
+		shards = total
+	}
+	ranges := make([][2]int, 0, shards)
+	base, extra := total/shards, total%shards
+	lo := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		ranges = append(ranges, [2]int{lo, lo + size})
+		lo += size
+	}
+	return ranges
+}
+
+// MergeShardRecords rebases one shard's local-index records onto the
+// global index space, folding them into dst (created when nil). A local
+// index i becomes global lo+i; a global index outside [lo, hi) means the
+// shard file disagrees with its declared range and is rejected.
+func MergeShardRecords(dst map[int]json.RawMessage, shard map[int]json.RawMessage, lo, hi int) (map[int]json.RawMessage, error) {
+	if dst == nil {
+		dst = make(map[int]json.RawMessage, len(shard))
+	}
+	for i, raw := range shard {
+		g := lo + i
+		if g < lo || g >= hi {
+			return dst, fmt.Errorf("analysis: shard [%d,%d) record at local index %d falls outside the shard", lo, hi, i)
+		}
+		dst[g] = raw
+	}
+	return dst, nil
+}
+
+// ExtractShardRecords slices a parent shard's local-index records down to
+// the child range [lo, hi) — both expressed in the PARENT's local index
+// space — rebasing them to the child's own local indices. Bisection uses
+// this to seed each child checkpoint with the faults the parent already
+// finished, so no completed work is recomputed.
+func ExtractShardRecords(parent map[int]json.RawMessage, lo, hi int) map[int]json.RawMessage {
+	child := make(map[int]json.RawMessage)
+	for i, raw := range parent {
+		if i >= lo && i < hi {
+			child[i-lo] = raw
+		}
+	}
+	return child
+}
+
+// MissingRecords returns the indices in [0, total) absent from records,
+// ascending. A supervised merge uses it to refuse to declare a campaign
+// complete while any fault lacks a record.
+func MissingRecords(records map[int]json.RawMessage, total int) []int {
+	var missing []int
+	for i := 0; i < total; i++ {
+		if _, ok := records[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// WriteMergedCheckpoint writes a record map as a complete checkpoint file
+// — header line, then one record line per index in ascending order — and
+// syncs it durably (file and parent directory). The supervisor writes the
+// merged global map this way so a supervised campaign leaves behind the
+// same artifact a single-process -checkpoint run would, resumable and
+// obsreport-compatible; bisection writes child seeds the same way. Record
+// bytes are preserved verbatim, so a record round-trips bit-identically
+// from the shard file to the merged file.
+func WriteMergedCheckpoint(path string, hdr CheckpointHeader, records map[int]json.RawMessage) error {
+	cp, err := CreateCheckpoint(path, hdr)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, 0, len(records))
+	for i := range records {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		if err := cp.Append(i, records[i]); err != nil {
+			cp.Close()
+			return err
+		}
+	}
+	return cp.Close()
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testHeader(faults int) CheckpointHeader {
+	return CheckpointHeader{
+		Version:     CheckpointVersion,
+		Kind:        "stuckat",
+		Circuit:     "test",
+		Faults:      faults,
+		Fingerprint: "deadbeef",
+	}
+}
+
+func TestLoadCheckpointRejectsOutOfRangeIndex(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name  string
+		index int
+	}{
+		{"negative", -3},
+		{"past-count", 4},
+		{"far-past-count", 1 << 30},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".jsonl")
+			hdr, _ := json.Marshal(testHeader(4))
+			body := fmt.Sprintf("%s\n{\"i\":0,\"r\":{}}\n{\"i\":%d,\"r\":{}}\n", hdr, tc.index)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, _, err := LoadCheckpoint(path)
+			var rie *RecordIndexError
+			if !errors.As(err, &rie) {
+				t.Fatalf("LoadCheckpoint = %v, want *RecordIndexError", err)
+			}
+			if rie.Index != tc.index || rie.Faults != 4 || rie.Path != path {
+				t.Fatalf("RecordIndexError = %+v", rie)
+			}
+		})
+	}
+
+	// A torn final line is still a crash artifact, not corruption: the
+	// bounds check must not fire on bytes the parser never admitted.
+	path := filepath.Join(dir, "torn.jsonl")
+	hdr, _ := json.Marshal(testHeader(4))
+	body := string(hdr) + "\n{\"i\":0,\"r\":{}}\n{\"i\":99"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, records, _, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("torn-tail load kept %d records, want 1", len(records))
+	}
+}
+
+func TestWithShardHeaderGatesResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.jsonl")
+	shardHdr := testHeader(8).WithShard(16, 24)
+	if shardHdr.Shard != "16-24" {
+		t.Fatalf("WithShard = %q", shardHdr.Shard)
+	}
+	cp, err := CreateCheckpoint(path, shardHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Append(3, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resuming with the matching shard header restores the record…
+	cp, records, err := ResumeCheckpoint(path, shardHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if len(records) != 1 || records[3] == nil {
+		t.Fatalf("shard resume records = %v", records)
+	}
+	// …and a whole-campaign (or differently ranged) header is refused.
+	if _, _, err := ResumeCheckpoint(path, testHeader(8)); err == nil {
+		t.Fatal("whole-campaign resume accepted a shard checkpoint")
+	}
+	if _, _, err := ResumeCheckpoint(path, testHeader(8).WithShard(0, 8)); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different shard range")
+	}
+}
+
+// TearTail must leave exactly the artifact a crash mid-append leaves: the
+// valid prefix intact, an unterminated junk tail that LoadCheckpoint
+// tolerates and ResumeCheckpoint truncates before appending.
+func TestTearTailLeavesResumableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.jsonl")
+	hdr := testHeader(4)
+	cp, err := CreateCheckpoint(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Append(1, map[string]int{"x": 7}); err != nil {
+		t.Fatal(err)
+	}
+	cp.TearTail(23)
+	cp.f.Close() // simulate the SIGKILL: no Close() flush path runs
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] == '\n' {
+		t.Fatal("TearTail terminated its junk with a newline; the tail must look torn")
+	}
+
+	_, records, validEnd, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("load after tear: %v", err)
+	}
+	if len(records) != 1 || records[1] == nil {
+		t.Fatalf("records after tear = %v, want index 1 only", records)
+	}
+	if validEnd != int64(len(data)-23) {
+		t.Fatalf("validEnd = %d, want %d (tear excluded)", validEnd, len(data)-23)
+	}
+
+	cp2, restored, err := ResumeCheckpoint(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 {
+		t.Fatalf("resume restored %d records, want 1", len(restored))
+	}
+	if err := cp2.Append(2, map[string]int{"x": 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, records, _, err = LoadCheckpoint(path)
+	if err != nil || len(records) != 2 {
+		t.Fatalf("after resume+append: records=%v err=%v", records, err)
+	}
+
+	// Nil-safety and closed-checkpointer no-op.
+	var nilCP *Checkpointer
+	nilCP.TearTail(10)
+	cp2.TearTail(10)
+}
+
+func TestPartitionFaults(t *testing.T) {
+	for _, tc := range []struct {
+		total, shards int
+		want          [][2]int
+	}{
+		{0, 4, nil},
+		{10, 1, [][2]int{{0, 10}}},
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 8, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{8, 4, [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+		{5, 0, [][2]int{{0, 5}}},
+	} {
+		got := PartitionFaults(tc.total, tc.shards)
+		if len(got) != len(tc.want) {
+			t.Fatalf("PartitionFaults(%d,%d) = %v, want %v", tc.total, tc.shards, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("PartitionFaults(%d,%d) = %v, want %v", tc.total, tc.shards, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestMergeExtractMissingRoundTrip(t *testing.T) {
+	raw := func(s string) json.RawMessage { return json.RawMessage(s) }
+	// Two shards over 6 faults: [0,4) complete, [4,6) missing local 1.
+	shardA := map[int]json.RawMessage{0: raw(`{"a":0}`), 1: raw(`{"a":1}`), 2: raw(`{"a":2}`), 3: raw(`{"a":3}`)}
+	shardB := map[int]json.RawMessage{0: raw(`{"b":4}`)}
+	merged, err := MergeShardRecords(nil, shardA, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged, err = MergeShardRecords(merged, shardB, 4, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(merged[4]) != `{"b":4}` || string(merged[2]) != `{"a":2}` {
+		t.Fatalf("merged = %v", merged)
+	}
+	missing := MissingRecords(merged, 6)
+	if len(missing) != 1 || missing[0] != 5 {
+		t.Fatalf("missing = %v, want [5]", missing)
+	}
+	// A record outside its declared range is the shard file lying.
+	if _, err := MergeShardRecords(nil, map[int]json.RawMessage{2: raw(`{}`)}, 4, 6); err == nil {
+		t.Fatal("out-of-range shard record accepted")
+	}
+
+	// Bisecting shard A at local 2 seeds each child with its slice,
+	// rebased to child-local indices.
+	left := ExtractShardRecords(shardA, 0, 2)
+	right := ExtractShardRecords(shardA, 2, 4)
+	if len(left) != 2 || string(left[1]) != `{"a":1}` {
+		t.Fatalf("left child = %v", left)
+	}
+	if len(right) != 2 || string(right[0]) != `{"a":2}` || string(right[1]) != `{"a":3}` {
+		t.Fatalf("right child = %v", right)
+	}
+}
+
+// A merged checkpoint written from rebased shard records must reload to
+// byte-identical records under a header LoadCheckpoint accepts.
+func TestWriteMergedCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "merged.jsonl")
+	records := map[int]json.RawMessage{
+		0: json.RawMessage(`{"Detectability":0.5}`),
+		1: json.RawMessage(`{"Err":"quarantined"}`),
+		2: json.RawMessage(`{"Approximate":true}`),
+	}
+	if err := WriteMergedCheckpoint(path, testHeader(3), records); err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, _, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != testHeader(3) {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("reloaded %d records, want %d", len(got), len(records))
+	}
+	for i, want := range records {
+		if string(got[i]) != string(want) {
+			t.Fatalf("record %d = %s, want %s", i, got[i], want)
+		}
+	}
+}

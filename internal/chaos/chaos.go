@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -66,6 +67,27 @@ const (
 	// PointMemSample makes the memory governor's heap sampler lie,
 	// reporting Rule.MemBytes instead of the real heap occupancy.
 	PointMemSample
+	// PointWorkerKill SIGKILLs the worker process the moment the selected
+	// fault's analysis arrives — the supervision harness's storm point. A
+	// SIGKILL cannot be caught, so this is a true abrupt death: no defers,
+	// no checkpoint flush beyond what already hit the disk. Process-level
+	// points are fault-keyed by the shard-global index (Config.KeyOffset)
+	// and, unless Rule.Repeat is set, fire only on a worker's first attempt
+	// (Config.Attempt == 0) so restarted workers converge; Repeat makes the
+	// kill recur on every restart — the poison-fault scenario the
+	// supervisor answers with bisection and quarantine.
+	PointWorkerKill
+	// PointHeartbeatStall silences the worker's supervision heartbeats from
+	// the selected tick on while the analysis keeps running — simulating a
+	// wedged runtime the supervisor must detect by timeout and kill.
+	// Sequence-keyed by heartbeat tick; attempt-gated like PointWorkerKill.
+	PointHeartbeatStall
+	// PointShardTear appends a torn partial line to the shard checkpoint
+	// (via the Config.Tear seam; Rule.Bytes bytes, default 16) and then
+	// SIGKILLs the worker — a crash mid-append, exercising the resuming
+	// worker's torn-tail truncation. Fault-keyed and attempt-gated like
+	// PointWorkerKill.
+	PointShardTear
 
 	numPoints
 )
@@ -78,6 +100,16 @@ var pointNames = [numPoints]string{
 	PointCheckpointWrite: "ckptwrite",
 	PointCheckpointSync:  "ckptsync",
 	PointMemSample:       "memsample",
+	PointWorkerKill:      "workerkill",
+	PointHeartbeatStall:  "hbstall",
+	PointShardTear:       "shardtear",
+}
+
+// processPoint reports whether p is a process-level supervision point —
+// the group that is attempt-gated (fires on a worker's first attempt only
+// unless Rule.Repeat is set).
+func processPoint(p Point) bool {
+	return p == PointWorkerKill || p == PointHeartbeatStall || p == PointShardTear
 }
 
 // String returns the point's spec-grammar name.
@@ -141,6 +173,10 @@ type Rule struct {
 	Bytes int
 	// MemBytes is the fake heap occupancy reported by PointMemSample.
 	MemBytes int64
+	// Repeat lets a process-level point (workerkill, hbstall, shardtear)
+	// fire on every worker restart attempt instead of only the first —
+	// the poison-fault scenario. Ignored by every other point.
+	Repeat bool
 }
 
 // Config activates the harness: a seed (the replay key) plus the armed
@@ -148,6 +184,26 @@ type Rule struct {
 type Config struct {
 	Seed  int64
 	Rules []Rule
+
+	// KeyOffset shifts every fault-keyed decision by this amount: a shard
+	// worker analyzing global faults [lo, hi) as local indices [0, hi-lo)
+	// sets KeyOffset = lo, so a spec injects at the same global faults
+	// whether the campaign runs sharded or in one process. Zero (the
+	// default) leaves local indices as the keys.
+	KeyOffset int
+	// Attempt is the worker's restart attempt (0 = first launch). Rules on
+	// process-level points without Repeat only fire at attempt 0, so a
+	// restarted worker converges instead of dying at the same fault again.
+	Attempt int
+	// Tear is the shard-checkpoint tear seam consulted by PointShardTear:
+	// it must append the given number of unterminated garbage bytes to the
+	// checkpoint file (shard workers wire it to Checkpointer.TearTail).
+	// A firing shardtear rule with a nil Tear only kills.
+	Tear func(bytes int)
+	// Kill overrides the process self-destruct used by PointWorkerKill and
+	// PointShardTear; nil selects the real thing, SIGKILL to the own
+	// process. Tests substitute a recording stub.
+	Kill func()
 }
 
 // compiledRule is a Rule plus its runtime state.
@@ -187,12 +243,26 @@ func (r *compiledRule) take() bool {
 // Injector is a compiled Config. All methods are safe for concurrent use
 // and inert on a nil receiver.
 type Injector struct {
-	seed  int64
-	rules [numPoints][]*compiledRule
-	log   *slog.Logger
-	hook  func(p Point, key int) // observer for every firing; nil = off
-	fired atomic.Int64
-	seq   [numPoints]atomic.Int64 // per-point evaluation counters (sequence-keyed points)
+	seed    int64
+	offset  int // added to every fault-keyed decision key
+	attempt int // worker restart attempt gating process-level points
+	rules   [numPoints][]*compiledRule
+	tear    func(bytes int)
+	kill    func()
+	log     *slog.Logger
+	hook    func(p Point, key int) // observer for every firing; nil = off
+	fired   atomic.Int64
+	seq     [numPoints]atomic.Int64 // per-point evaluation counters (sequence-keyed points)
+}
+
+// killSelf is the real process self-destruct: SIGKILL, uncatchable, no
+// defers — exactly what the Linux OOM killer or an operator's kill -9
+// delivers.
+func killSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck // the process is gone either way
+	// SIGKILL delivery can lag the syscall return by a scheduler tick;
+	// block rather than let the analysis continue past its own death.
+	select {}
 }
 
 // New compiles a Config. A nil config (or one with no rules) yields a nil
@@ -201,7 +271,10 @@ func New(cfg *Config) *Injector {
 	if cfg == nil || len(cfg.Rules) == 0 {
 		return nil
 	}
-	in := &Injector{seed: cfg.Seed}
+	in := &Injector{seed: cfg.Seed, offset: cfg.KeyOffset, attempt: cfg.Attempt, tear: cfg.Tear, kill: cfg.Kill}
+	if in.kill == nil {
+		in.kill = killSelf
+	}
 	for i := range cfg.Rules {
 		r := &compiledRule{Rule: cfg.Rules[i]}
 		if r.Point >= numPoints {
@@ -215,6 +288,9 @@ func New(cfg *Config) *Injector {
 		}
 		if r.AtOp <= 0 {
 			r.AtOp = 1
+		}
+		if r.Point == PointShardTear && r.Bytes <= 0 {
+			r.Bytes = 16
 		}
 		in.rules[r.Point] = append(in.rules[r.Point], r)
 	}
@@ -262,6 +338,11 @@ func (in *Injector) fires(p Point, key int) *compiledRule {
 		return nil
 	}
 	for _, r := range in.rules[p] {
+		// Process-level points without Repeat arm only a worker's first
+		// attempt: a restarted worker must converge, not die again.
+		if processPoint(p) && in.attempt != 0 && !r.Repeat {
+			continue
+		}
 		if r.match(in.seed, key) && r.take() {
 			in.fired.Add(1)
 			if in.log != nil {
@@ -281,13 +362,21 @@ func (in *Injector) next(p Point) int {
 	return int(in.seq[p].Add(1) - 1)
 }
 
+// key maps a local fault index to its decision key: the shard-global
+// index when Config.KeyOffset is set, i itself otherwise. All fault-keyed
+// points go through this, so one spec selects the same global faults
+// whether the campaign runs sharded or in a single process.
+func (in *Injector) key(i int) int {
+	return i + in.offset
+}
+
 // BudgetAbort reports whether fault i's analysis should be aborted with a
 // forced bdd.ErrBudget, and at which charged operation.
 func (in *Injector) BudgetAbort(i int) (atOp int64, ok bool) {
 	if in == nil {
 		return 0, false
 	}
-	if r := in.fires(PointBudget, i); r != nil {
+	if r := in.fires(PointBudget, in.key(i)); r != nil {
 		return r.AtOp, true
 	}
 	return 0, false
@@ -298,7 +387,7 @@ func (in *Injector) NodeLimitAbort(i int) (atOp int64, ok bool) {
 	if in == nil {
 		return 0, false
 	}
-	if r := in.fires(PointNodeLimit, i); r != nil {
+	if r := in.fires(PointNodeLimit, in.key(i)); r != nil {
 		return r.AtOp, true
 	}
 	return 0, false
@@ -308,7 +397,10 @@ func (in *Injector) NodeLimitAbort(i int) (atOp int64, ok bool) {
 // raises the panic (inside its per-fault recover scope) with an error
 // wrapping ErrInjectedPanic.
 func (in *Injector) Panic(i int) bool {
-	return in.fires(PointPanic, i) != nil
+	if in == nil {
+		return false
+	}
+	return in.fires(PointPanic, in.key(i)) != nil
 }
 
 // Latency returns the injected sleep for fault i (0 = none).
@@ -316,10 +408,43 @@ func (in *Injector) Latency(i int) time.Duration {
 	if in == nil {
 		return 0
 	}
-	if r := in.fires(PointLatency, i); r != nil {
+	if r := in.fires(PointLatency, in.key(i)); r != nil {
 		return r.Latency
 	}
 	return 0
+}
+
+// WorkerCrash kills the worker process when a workerkill or shardtear
+// rule selects fault i (fault-keyed by shard-global index). A firing
+// shardtear first appends a torn partial line to the shard checkpoint
+// through the Tear seam, then kills — a crash mid-append. With the real
+// Kill (SIGKILL to self) this call never returns; tests substituting a
+// recording stub get control back.
+func (in *Injector) WorkerCrash(i int) {
+	if in == nil {
+		return
+	}
+	if r := in.fires(PointShardTear, in.key(i)); r != nil {
+		if in.tear != nil {
+			in.tear(r.Bytes)
+		}
+		in.kill()
+		return
+	}
+	if in.fires(PointWorkerKill, in.key(i)) != nil {
+		in.kill()
+	}
+}
+
+// HeartbeatStall reports whether the worker's supervision heartbeats
+// should fall silent from this tick on (sequence-keyed by heartbeat
+// tick). Once true, the heartbeat loop stops sending for the remainder
+// of the process lifetime; the caller enforces the latching.
+func (in *Injector) HeartbeatStall() bool {
+	if in == nil {
+		return false
+	}
+	return in.fires(PointHeartbeatStall, in.next(PointHeartbeatStall)) != nil
 }
 
 // CheckpointWrite decides the fate of the next checkpoint append. err is

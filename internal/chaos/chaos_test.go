@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"fmt"
 	"syscall"
 	"testing"
 	"time"
@@ -237,4 +238,146 @@ func TestSetEventHookSeesEveryInjection(t *testing.T) {
 	nilIn.SetEventHook(func(Point, int) { t.Fatal("hook on nil injector fired") })
 	in.SetEventHook(nil)
 	in.BudgetAbort(3)
+}
+
+// KeyOffset rebases every fault-keyed decision to shard-global indices: a
+// worker analyzing global faults [96, ...) as local [0, ...) fires the
+// same rules an unsharded run would at the global index.
+func TestKeyOffsetShiftsFaultKeyedPoints(t *testing.T) {
+	rules := []Rule{
+		{Point: PointBudget, Indices: []int{100}, AtOp: 3},
+		{Point: PointLatency, Indices: []int{100}, Latency: time.Millisecond},
+		{Point: PointPanic, Indices: []int{100}},
+	}
+	sharded := New(&Config{Rules: rules, KeyOffset: 96})
+	if _, ok := sharded.BudgetAbort(100); ok {
+		t.Fatal("local index 100 (global 196) fired a rule scripted for global 100")
+	}
+	if at, ok := sharded.BudgetAbort(4); !ok || at != 3 {
+		t.Fatalf("local 4 + offset 96: atOp=%d ok=%v, want the global-100 rule", at, ok)
+	}
+	if sharded.Latency(4) != time.Millisecond || !sharded.Panic(4) {
+		t.Fatal("latency/panic did not rebase to the global index")
+	}
+
+	// Probabilistic selection agrees with an unsharded injector on the
+	// same global keys.
+	probCfg := []Rule{{Point: PointBudget, Prob: 0.3}}
+	whole := New(&Config{Seed: 11, Rules: probCfg})
+	part := New(&Config{Seed: 11, Rules: probCfg, KeyOffset: 50})
+	for i := 0; i < 100; i++ {
+		_, w := whole.BudgetAbort(50 + i)
+		_, p := part.BudgetAbort(i)
+		if w != p {
+			t.Fatalf("global fault %d: unsharded fired=%v, sharded fired=%v", 50+i, w, p)
+		}
+	}
+}
+
+func TestWorkerCrashKillsAtScriptedFault(t *testing.T) {
+	kills := 0
+	in := New(&Config{
+		Rules: []Rule{{Point: PointWorkerKill, Indices: []int{10}}},
+		Kill:  func() { kills++ },
+	})
+	for i := 0; i < 20; i++ {
+		in.WorkerCrash(i)
+	}
+	if kills != 1 {
+		t.Fatalf("workerkill at i=10 killed %d times over 20 faults, want 1", kills)
+	}
+	var nilIn *Injector
+	nilIn.WorkerCrash(0) // must not crash
+}
+
+// A shardtear firing appends the torn bytes through the Tear seam BEFORE
+// killing — the order that models a crash mid-append.
+func TestShardTearTearsThenKills(t *testing.T) {
+	var events []string
+	in := New(&Config{
+		Rules: []Rule{{Point: PointShardTear, Indices: []int{5}}},
+		Tear:  func(n int) { events = append(events, fmt.Sprintf("tear(%d)", n)) },
+		Kill:  func() { events = append(events, "kill") },
+	})
+	in.WorkerCrash(4)
+	if len(events) != 0 {
+		t.Fatalf("unselected fault crashed: %v", events)
+	}
+	in.WorkerCrash(5)
+	if len(events) != 2 || events[0] != "tear(16)" || events[1] != "kill" {
+		t.Fatalf("shardtear events = %v, want [tear(16) kill] (default 16 torn bytes, tear before kill)", events)
+	}
+}
+
+// Process-level points are attempt-gated: without rep they arm only a
+// worker's first launch, so a restarted worker converges; with rep the
+// kill recurs on every attempt — the poison fault bisection quarantines.
+func TestProcessPointsAttemptGated(t *testing.T) {
+	for _, tc := range []struct {
+		attempt   int
+		repeat    bool
+		wantKills int
+	}{
+		{attempt: 0, repeat: false, wantKills: 1},
+		{attempt: 1, repeat: false, wantKills: 0},
+		{attempt: 3, repeat: true, wantKills: 1},
+	} {
+		kills := 0
+		in := New(&Config{
+			Rules:   []Rule{{Point: PointWorkerKill, Indices: []int{2}, Repeat: tc.repeat}},
+			Attempt: tc.attempt,
+			Kill:    func() { kills++ },
+		})
+		for i := 0; i < 5; i++ {
+			in.WorkerCrash(i)
+		}
+		if kills != tc.wantKills {
+			t.Errorf("attempt=%d rep=%v: %d kills, want %d", tc.attempt, tc.repeat, kills, tc.wantKills)
+		}
+	}
+
+	// Fault-keyed analysis points ignore the attempt gate entirely.
+	in := New(&Config{Rules: []Rule{{Point: PointBudget, Indices: []int{2}}}, Attempt: 4})
+	if _, ok := in.BudgetAbort(2); !ok {
+		t.Fatal("budget abort was attempt-gated; only process-level points may be")
+	}
+}
+
+func TestHeartbeatStallSequenceKeyed(t *testing.T) {
+	in := New(&Config{Rules: []Rule{{Point: PointHeartbeatStall, Indices: []int{2}}}})
+	got := []bool{in.HeartbeatStall(), in.HeartbeatStall(), in.HeartbeatStall(), in.HeartbeatStall()}
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heartbeat ticks stalled %v, want %v (scripted tick 2)", got, want)
+		}
+	}
+	var nilIn *Injector
+	if nilIn.HeartbeatStall() {
+		t.Fatal("nil injector stalled a heartbeat")
+	}
+}
+
+func TestParseProcessPoints(t *testing.T) {
+	cfg, err := Parse("seed=3;workerkill:i=7,rep=1;hbstall:i=2;shardtear:p=0.1,bytes=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(cfg.Rules))
+	}
+	k := cfg.Rules[0]
+	if k.Point != PointWorkerKill || !k.Repeat || len(k.Indices) != 1 || k.Indices[0] != 7 {
+		t.Fatalf("workerkill rule = %+v", k)
+	}
+	if cfg.Rules[1].Point != PointHeartbeatStall || cfg.Rules[1].Repeat {
+		t.Fatalf("hbstall rule = %+v", cfg.Rules[1])
+	}
+	s := cfg.Rules[2]
+	if s.Point != PointShardTear || s.Prob != 0.1 || s.Bytes != 20 {
+		t.Fatalf("shardtear rule = %+v", s)
+	}
+	if _, err := Parse("workerkill:rep=yes!"); err == nil {
+		t.Fatal("bad rep value accepted")
+	}
 }

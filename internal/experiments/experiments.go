@@ -90,6 +90,22 @@ type Config struct {
 	// a run share the one observer, so a flight dump covers the whole
 	// figure-generation sequence.
 	Obs *obs.Observer
+	// Shards, when positive, runs every catalog-circuit study campaign
+	// under the crash-tolerant process supervisor instead of in-process:
+	// the fault set is partitioned into Shards lease-tracked shards, each
+	// analyzed by a supervised, restartable diffprop worker subprocess
+	// (see internal/supervise), and the merged — bit-identical — records
+	// are resumed to build the study without recomputation. Campaigns
+	// over derived netlists (X7's re-minimized circuit) stay in-process.
+	Shards int
+	// WorkerBinary is the diffprop executable supervised campaigns exec
+	// (it re-executes itself as the shard workers). Required when
+	// Shards > 0.
+	WorkerBinary string
+	// ShardDir is the directory for supervised campaigns' merged and
+	// per-shard checkpoints. Required when Shards > 0; rerunning over
+	// the same directory resumes the shard checkpoints.
+	ShardDir string
 }
 
 // DefaultConfig reproduces the paper's choices.
@@ -218,7 +234,16 @@ func (r *Runner) StuckAtStudy(name string) (*analysis.StuckAtStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := analysis.RunStuckAtCampaign(c, nil, faults.CheckpointStuckAts(e.Circuit), r.campaignConfig(name+" stuck-at"))
+	fs := faults.CheckpointStuckAts(e.Circuit)
+	cfg := r.campaignConfig(name + " stuck-at")
+	if r.cfg.Shards > 0 {
+		recs, err := r.shardedRecords(name, "sa", len(fs))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Resume = recs
+	}
+	s, err := analysis.RunStuckAtCampaign(c, nil, fs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +266,19 @@ func (r *Runner) BridgingStudy(name string, kind faults.BridgeKind) (*analysis.B
 		return nil, err
 	}
 	set, pop, sampled := analysis.BridgingSet(e.Circuit, kind, r.cfg.MaxBFs, r.cfg.Theta, r.cfg.Seed)
-	s, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, r.campaignConfig(fmt.Sprintf("%s %v", name, kind)))
+	cfg := r.campaignConfig(fmt.Sprintf("%s %v", name, kind))
+	if r.cfg.Shards > 0 {
+		model := "and"
+		if kind == faults.WiredOR {
+			model = "or"
+		}
+		recs, err := r.shardedRecords(name, model, len(set))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Resume = recs
+	}
+	s, err := analysis.RunBridgingCampaign(c, nil, set, kind, pop, sampled, cfg)
 	if err != nil {
 		return nil, err
 	}

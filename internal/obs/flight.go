@@ -66,6 +66,25 @@ const (
 	// FlightCampaignFinish seals a campaign (label = ok or canceled,
 	// a = faults analyzed, b = faults skipped).
 	FlightCampaignFinish
+	// FlightSpawn records the supervisor launching a worker subprocess
+	// (worker = shard slot, index = shard lo, a = shard size, b = restart
+	// attempt).
+	FlightSpawn
+	// FlightWorkerDeath records a worker subprocess dying (label = exit,
+	// stall or oom; worker = shard slot, index = shard lo, a = exit code
+	// or -1, b = faults the shard had completed).
+	FlightWorkerDeath
+	// FlightRestart records the supervisor re-dispatching a dead worker's
+	// lease (label = degraded when the relaunch sheds threads/node budget;
+	// worker = shard slot, index = shard lo, a = restart attempt,
+	// b = backoff µs).
+	FlightRestart
+	// FlightBisect records a repeatedly-fatal shard being split (index =
+	// shard lo, a = shard size, b = split point as global index).
+	FlightBisect
+	// FlightQuarantine records a poison fault isolated as an Err record
+	// (index = global fault index, a = deaths the fault caused).
+	FlightQuarantine
 
 	flightKindCount
 )
@@ -88,6 +107,11 @@ var flightKindNames = [flightKindCount]string{
 	FlightCheckpointFsync:  "ckpt_fsync",
 	FlightCheckpointError:  "ckpt_error",
 	FlightCampaignFinish:   "campaign_finish",
+	FlightSpawn:            "spawn",
+	FlightWorkerDeath:      "worker_death",
+	FlightRestart:          "restart",
+	FlightBisect:           "bisect",
+	FlightQuarantine:       "quarantine",
 }
 
 // String returns the kind's wire name as used in flight dumps.
@@ -129,6 +153,13 @@ const (
 	FlightLabelFsync
 	FlightLabelOK
 	FlightLabelCanceled
+	FlightLabelExit
+	FlightLabelStall
+	FlightLabelOOM
+	FlightLabelDegraded
+	FlightLabelWorkerKill
+	FlightLabelHeartbeatStall
+	FlightLabelShardTear
 
 	flightLabelCount
 )
@@ -137,22 +168,29 @@ const (
 // chaos.Point.String() names, so FlightLabelByName(p.String()) maps an
 // injector's point straight to its flight label.
 var flightLabelNames = [flightLabelCount]string{
-	FlightLabelNone:        "",
-	FlightLabelExact:       "exact",
-	FlightLabelApproximate: "approximate",
-	FlightLabelRescued:     "rescued",
-	FlightLabelError:       "error",
-	FlightLabelBudget:      "budget",
-	FlightLabelNodeLimit:   "nodelimit",
-	FlightLabelPanic:       "panic",
-	FlightLabelLatency:     "latency",
-	FlightLabelCkptWrite:   "ckptwrite",
-	FlightLabelCkptSync:    "ckptsync",
-	FlightLabelMemSample:   "memsample",
-	FlightLabelAppend:      "append",
-	FlightLabelFsync:       "fsync",
-	FlightLabelOK:          "ok",
-	FlightLabelCanceled:    "canceled",
+	FlightLabelNone:           "",
+	FlightLabelExact:          "exact",
+	FlightLabelApproximate:    "approximate",
+	FlightLabelRescued:        "rescued",
+	FlightLabelError:          "error",
+	FlightLabelBudget:         "budget",
+	FlightLabelNodeLimit:      "nodelimit",
+	FlightLabelPanic:          "panic",
+	FlightLabelLatency:        "latency",
+	FlightLabelCkptWrite:      "ckptwrite",
+	FlightLabelCkptSync:       "ckptsync",
+	FlightLabelMemSample:      "memsample",
+	FlightLabelAppend:         "append",
+	FlightLabelFsync:          "fsync",
+	FlightLabelOK:             "ok",
+	FlightLabelCanceled:       "canceled",
+	FlightLabelExit:           "exit",
+	FlightLabelStall:          "stall",
+	FlightLabelOOM:            "oom",
+	FlightLabelDegraded:       "degraded",
+	FlightLabelWorkerKill:     "workerkill",
+	FlightLabelHeartbeatStall: "hbstall",
+	FlightLabelShardTear:      "shardtear",
 }
 
 // FlightLabelName returns a label's wire name ("" for none/unknown).

@@ -212,6 +212,17 @@ type CampaignMetrics struct {
 	// calibration_updates_total: budget re-derivations published by the
 	// calibrator (the first arming and every refresh that raised a bound).
 	CalibrationUpdates *Counter
+	// supervisor_worker_deaths_total: shard worker subprocesses that died
+	// (exit, heartbeat stall, or OOM-style kill) under supervision.
+	SupervisorWorkerDeaths *Counter
+	// supervisor_restarts_total: lease re-dispatches after worker death.
+	SupervisorRestarts *Counter
+	// supervisor_bisects_total: repeatedly-fatal shard splits.
+	SupervisorBisects *Counter
+	// supervisor_quarantined_total: poison faults isolated as Err records.
+	SupervisorQuarantined *Counter
+	// supervisor_workers_live: worker subprocesses currently running.
+	SupervisorWorkersLive *Gauge
 }
 
 // CampaignMetrics lazily registers (once) and returns the standard
@@ -265,6 +276,12 @@ func (o *Observer) CampaignMetrics() *CampaignMetrics {
 		ChaosInjected:          r.Counter("chaos_injected_total", "Failures fired by the chaos-injection harness."),
 		CalibrationBudgetOps:   r.Gauge("calibration_budget_ops", "Per-fault op budget currently armed by budget self-calibration."),
 		CalibrationUpdates:     r.Counter("calibration_updates_total", "Budget re-derivations published by the calibrator."),
+
+		SupervisorWorkerDeaths: r.Counter("supervisor_worker_deaths_total", "Shard worker subprocesses that died under supervision."),
+		SupervisorRestarts:     r.Counter("supervisor_restarts_total", "Lease re-dispatches after worker death."),
+		SupervisorBisects:      r.Counter("supervisor_bisects_total", "Repeatedly-fatal shard splits."),
+		SupervisorQuarantined:  r.Counter("supervisor_quarantined_total", "Poison faults isolated as Err records."),
+		SupervisorWorkersLive:  r.Gauge("supervisor_workers_live", "Worker subprocesses currently running."),
 	}
 	r.GaugeFunc("bdd_cache_hit_ratio", "Overall BDD operation-cache hit fraction.", func() float64 {
 		hits, misses := cm.CacheHits.Value(), cm.CacheMisses.Value()

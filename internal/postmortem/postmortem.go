@@ -2,7 +2,9 @@
 // post-mortem reports: throughput curves, outcome breakdowns, per-worker
 // utilization, rescue-ladder effectiveness, the most expensive faults,
 // checkpoint I/O health, a chaos audit correlating every injection with
-// the records it produced, and anomaly flags. It consumes only the
+// the records it produced, a supervision digest (worker deaths, lease
+// re-dispatches, shard bisections, poison-fault quarantines), and anomaly
+// flags. It consumes only the
 // obs.FlightDump schema — callers that want fault names or checkpoint
 // cross-checks digest those files themselves and pass the results in
 // through Options, keeping this package free of analysis dependencies.
@@ -58,6 +60,14 @@ type Report struct {
 	// EventsDropped sums ring overwrites across dumps; a non-zero value
 	// means counts reconstructed from events are lower bounds.
 	EventsDropped uint64
+	// WorkerDeaths counts supervised worker-subprocess deaths across
+	// dumps (zero for single-process runs).
+	WorkerDeaths int
+	// Restarts counts supervisor lease re-dispatches after those deaths.
+	Restarts int
+	// Quarantined lists the global fault indices the supervisor isolated
+	// as poison faults after bisection.
+	Quarantined []int
 	// Anomalies lists the detected anomaly flags, empty when healthy.
 	Anomalies []string
 }
@@ -117,6 +127,14 @@ func Analyze(dumps []*obs.FlightDump, opts Options) (*Report, error) {
 			ev  obs.FlightEvent
 		}
 		workerBusyUS = map[int]int64{}
+		spawns       int
+		deaths       []obs.FlightEvent
+		deathsPerRun = make([]int, len(dumps))
+		stallsPerRun = make([]int, len(dumps))
+		resumePerRun = make([]int, len(dumps))
+		degradedRe   int
+		bisectEvents []obs.FlightEvent
+		quarEvents   []obs.FlightEvent
 	)
 	for ri, d := range dumps {
 		rep.EventsDropped += d.EventsDropped
@@ -164,6 +182,27 @@ func Analyze(dumps []*obs.FlightDump, opts Options) (*Report, error) {
 					run int
 					ev  obs.FlightEvent
 				}{ri, ev})
+			case "resume":
+				resumePerRun[ri]++
+			case "spawn":
+				spawns++
+			case "worker_death":
+				deaths = append(deaths, ev)
+				deathsPerRun[ri]++
+				if ev.Label == "stall" {
+					stallsPerRun[ri]++
+				}
+				rep.WorkerDeaths++
+			case "restart":
+				rep.Restarts++
+				if ev.Label == "degraded" {
+					degradedRe++
+				}
+			case "bisect":
+				bisectEvents = append(bisectEvents, ev)
+			case "quarantine":
+				quarEvents = append(quarEvents, ev)
+				rep.Quarantined = append(rep.Quarantined, ev.Index)
 			}
 		}
 	}
@@ -494,6 +533,20 @@ func Analyze(dumps []*obs.FlightDump, opts Options) (*Report, error) {
 					// ignored by the governor; the injection still landed.
 					with = "governor heap sample (no park required)"
 				}
+			case point == "workerkill":
+				if deathsPerRun[run] > 0 {
+					with = fmt.Sprintf("worker death(s) in run %d", run+1)
+				}
+			case point == "hbstall":
+				if stallsPerRun[run] > 0 {
+					with = fmt.Sprintf("heartbeat-stall death(s) in run %d", run+1)
+				} else if deathsPerRun[run] > 0 {
+					with = fmt.Sprintf("worker death(s) in run %d", run+1)
+				}
+			case point == "shardtear":
+				if resumePerRun[run] > 0 || appends > 0 {
+					with = "torn checkpoint tail repaired on shard resume"
+				}
 			}
 			if with == "" {
 				with = "**uncorrelated**"
@@ -507,7 +560,50 @@ func Analyze(dumps []*obs.FlightDump, opts Options) (*Report, error) {
 		}
 	}
 
+	// ---- Supervision ----
+	b.WriteString("\n## Supervision\n\n")
+	if spawns+rep.WorkerDeaths+rep.Restarts+len(bisectEvents)+len(quarEvents) == 0 {
+		b.WriteString("No supervision events recorded (single-process run).\n")
+	} else {
+		fmt.Fprintf(&b, "- worker launches: %d\n- worker deaths: %d\n- lease re-dispatches: %d (%d degraded)\n- shard bisections: %d\n- quarantined faults: %d\n",
+			spawns, rep.WorkerDeaths, rep.Restarts, degradedRe, len(bisectEvents), len(quarEvents))
+		if len(deaths) > 0 {
+			b.WriteString("\n| shard lo | slot | cause | exit code | faults done |\n")
+			b.WriteString("|---------:|-----:|-------|----------:|------------:|\n")
+			for _, ev := range deaths {
+				code := "-"
+				if ev.A >= 0 {
+					code = fmt.Sprint(ev.A)
+				}
+				fmt.Fprintf(&b, "| %d | %d | %s | %s | %d |\n", ev.Index, ev.Worker, ev.Label, code, ev.B)
+			}
+		}
+		for _, ev := range bisectEvents {
+			fmt.Fprintf(&b, "\nShard at lo=%d (%d faults) bisected at global index %d.", ev.Index, ev.A, ev.B)
+		}
+		if len(bisectEvents) > 0 {
+			b.WriteString("\n")
+		}
+		for _, ev := range quarEvents {
+			name := opts.FaultNames[ev.Index]
+			if name == "" {
+				name = fmt.Sprintf("#%d", ev.Index)
+			}
+			fmt.Fprintf(&b, "\n**Quarantined:** fault %s isolated as an Err record after killing %d worker(s); the campaign completed around it.\n", name, ev.A)
+		}
+	}
+
 	// ---- Anomalies ----
+	for _, ev := range quarEvents {
+		rep.Anomalies = append(rep.Anomalies, fmt.Sprintf(
+			"poison fault: #%d quarantined after %d worker death(s) — reproduce with -worker-shard %d-%d to debug it in isolation",
+			ev.Index, ev.A, ev.Index, ev.Index+1))
+	}
+	if degradedRe > 0 {
+		rep.Anomalies = append(rep.Anomalies, fmt.Sprintf(
+			"memory-pressure degradation: %d relaunch(es) shed workers and node budget after repeated OOM kills — the shard size or node limit is too aggressive for this host",
+			degradedRe))
+	}
 	if len(quarterRates) == 4 && len(faultEvents) >= 40 {
 		maxRate := quarterRates[0]
 		for _, r := range quarterRates[1:] {

@@ -122,6 +122,71 @@ func TestSchedulingSectionAndAnomaly(t *testing.T) {
 	}
 }
 
+// TestSupervisionSectionAndQuarantineAnomaly replays a supervised
+// campaign's event trail — spawns, a stall death, a degraded restart, a
+// bisection and a poison-fault quarantine — and demands the Supervision
+// section render the lease history and the anomalies flag the poison
+// fault and the memory-pressure degradation.
+func TestSupervisionSectionAndQuarantineAnomaly(t *testing.T) {
+	fl := obs.NewFlightRecorder(0)
+	fl.Record(obs.FlightSpawn, obs.FlightLabelNone, 0, 0, 9, 0)
+	fl.Record(obs.FlightSpawn, obs.FlightLabelNone, 1, 9, 9, 0)
+	fl.Record(obs.FlightWorkerDeath, obs.FlightLabelStall, 0, 0, -1, 3)
+	fl.Record(obs.FlightRestart, obs.FlightLabelNone, 0, 0, 1, 50_000)
+	fl.Record(obs.FlightWorkerDeath, obs.FlightLabelOOM, 0, 0, -1, 3)
+	fl.Record(obs.FlightRestart, obs.FlightLabelDegraded, 0, 0, 2, 100_000)
+	fl.Record(obs.FlightWorkerDeath, obs.FlightLabelExit, 0, 0, 2, 3)
+	fl.Record(obs.FlightBisect, obs.FlightLabelNone, 0, 0, 9, 4)
+	fl.Record(obs.FlightQuarantine, obs.FlightLabelNone, 0, 7, 4, 0)
+	d := &obs.FlightDump{Program: "test", Reason: "completed", Events: fl.Snapshot()}
+
+	rep, err := postmortem.Analyze([]*obs.FlightDump{d}, postmortem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorkerDeaths != 3 || rep.Restarts != 2 {
+		t.Fatalf("supervision digest = %d deaths / %d restarts, want 3/2", rep.WorkerDeaths, rep.Restarts)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != 7 {
+		t.Fatalf("Quarantined = %v, want [7]", rep.Quarantined)
+	}
+	for _, want := range []string{
+		"## Supervision",
+		"worker deaths: 3",
+		"lease re-dispatches: 2 (1 degraded)",
+		"| 0 | 0 | stall | - | 3 |",
+		"| 0 | 0 | oom | - | 3 |",
+		"| 0 | 0 | exit | 2 | 3 |",
+		"bisected at global index 4",
+		"**Quarantined:** fault #7",
+	} {
+		if !strings.Contains(rep.Markdown, want) {
+			t.Errorf("supervision section missing %q:\n%s", want, rep.Markdown)
+		}
+	}
+	var poison, degraded bool
+	for _, a := range rep.Anomalies {
+		if strings.Contains(a, "poison fault: #7") {
+			poison = true
+		}
+		if strings.Contains(a, "memory-pressure degradation") {
+			degraded = true
+		}
+	}
+	if !poison || !degraded {
+		t.Fatalf("anomalies missing poison/degradation flags: %v", rep.Anomalies)
+	}
+
+	// A plain single-process dump renders the section's off state.
+	rep2, err := postmortem.Analyze([]*obs.FlightDump{{Program: "t", Reason: "completed"}}, postmortem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep2.Markdown, "No supervision events recorded") {
+		t.Fatal("single-process report should render the supervision off state")
+	}
+}
+
 // TestKillAndResumeReconstruction kills a checkpointed campaign a third
 // of the way in, resumes it, and feeds both flight dumps to the analyzer:
 // the union of per-run fault events must cover the fault set exactly once

@@ -1,0 +1,164 @@
+// Campaign orchestration: partition the fault set into shard leases,
+// supervise them to completion, and merge the per-shard checkpoints into
+// one campaign checkpoint bit-identical to an unsupervised run's records.
+package supervise
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// Store abstracts the campaign-specific checkpoint knowledge the
+// supervisor needs: how to stamp a shard checkpoint header (fingerprinted
+// over that shard's fault subset) and what an Err record for a
+// quarantined fault looks like. cmd/diffprop implements it per fault
+// model.
+type Store interface {
+	// Header returns the fingerprinted checkpoint header for the shard
+	// covering global faults [lo, hi). Implementations must derive it
+	// from the same circuit and fault subset the worker will, and stamp
+	// the shard range (see analysis.CheckpointHeader.WithShard).
+	Header(lo, hi int) analysis.CheckpointHeader
+	// QuarantineRecord renders the Err record persisted for a poison
+	// fault (by global index). The record must decode as the campaign's
+	// result type with a non-empty Err field and deterministic content,
+	// so reruns quarantine reproducibly and bit-identically.
+	QuarantineRecord(global int) (json.RawMessage, error)
+}
+
+// CampaignConfig configures RunSharded.
+type CampaignConfig struct {
+	// Supervisor carries the supervision tuning (Launcher, timeouts,
+	// restart budget, hooks). Total is overwritten with Faults.
+	Supervisor Config
+	// Store supplies shard headers and quarantine records.
+	Store Store
+	// Faults is the campaign's global fault count.
+	Faults int
+	// Shards is how many leases to partition the fault set into.
+	Shards int
+	// Procs caps concurrently running workers (0 = Shards).
+	Procs int
+	// Dir is the directory holding the per-shard checkpoints. Shard
+	// checkpoints are named shard-<lo>-<hi>.jsonl; pre-existing ones are
+	// resumed, so a killed supervisor can itself be rerun.
+	Dir string
+}
+
+// ShardPath returns the checkpoint path for the lease covering global
+// faults [lo, hi) inside dir.
+func ShardPath(dir string, lo, hi int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-%d.jsonl", lo, hi))
+}
+
+// CampaignResult is RunSharded's outcome.
+type CampaignResult struct {
+	// Records maps every global fault index in [0, Faults) to its JSON
+	// record, exactly as some worker's checkpoint persisted it (or the
+	// store's quarantine record for quarantined faults).
+	Records map[int]json.RawMessage
+	// Supervision is the underlying supervisor result.
+	Supervision Result
+}
+
+// RunSharded partitions the fault set, supervises the shard workers to
+// completion, and merges their checkpoints. On success every fault has a
+// record: analyzed ones carry the worker's output verbatim, quarantined
+// ones the store's Err record — a poison fault degrades one record, never
+// the campaign.
+func RunSharded(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
+	if cfg.Faults <= 0 {
+		return CampaignResult{}, fmt.Errorf("supervise: campaign has no faults")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return CampaignResult{}, fmt.Errorf("supervise: shard dir: %w", err)
+	}
+	var shards []Shard
+	for _, r := range analysis.PartitionFaults(cfg.Faults, cfg.Shards) {
+		shards = append(shards, Shard{Lo: r[0], Hi: r[1], Path: ShardPath(cfg.Dir, r[0], r[1])})
+	}
+
+	scfg := cfg.Supervisor
+	scfg.Total = cfg.Faults
+	if scfg.ChildShard == nil {
+		scfg.ChildShard = func(parent Shard, lo, hi int) (Shard, error) {
+			return seedChild(cfg.Store, parent, lo, hi, cfg.Dir)
+		}
+	}
+	if scfg.Quarantine == nil {
+		scfg.Quarantine = func(sh Shard) error {
+			return quarantine(cfg.Store, sh)
+		}
+	}
+	sup := New(scfg)
+	res, err := sup.Run(ctx, shards, cfg.Procs)
+	if err != nil {
+		return CampaignResult{Supervision: res}, err
+	}
+
+	merged := make(map[int]json.RawMessage, cfg.Faults)
+	for _, sh := range res.Completed {
+		want := cfg.Store.Header(sh.Lo, sh.Hi)
+		hdr, recs, _, lerr := analysis.LoadCheckpoint(sh.Path)
+		if lerr != nil {
+			return CampaignResult{Supervision: res}, fmt.Errorf("supervise: loading completed shard %s: %w", sh.Range(), lerr)
+		}
+		if hdr.Fingerprint != want.Fingerprint || hdr.Shard != want.Shard {
+			return CampaignResult{Supervision: res}, fmt.Errorf(
+				"supervise: shard %s checkpoint %s does not match the campaign's fault set (fingerprint %s, want %s)",
+				sh.Range(), sh.Path, hdr.Fingerprint, want.Fingerprint)
+		}
+		if merged, err = analysis.MergeShardRecords(merged, recs, sh.Lo, sh.Hi); err != nil {
+			return CampaignResult{Supervision: res}, err
+		}
+	}
+	if missing := analysis.MissingRecords(merged, cfg.Faults); len(missing) > 0 {
+		return CampaignResult{Supervision: res}, fmt.Errorf(
+			"supervise: merge hole: %d faults unrecorded after supervision (first %d) — a completed shard lost records", len(missing), missing[0])
+	}
+	return CampaignResult{Records: merged, Supervision: res}, nil
+}
+
+// seedChild materializes a bisected child lease: a fresh checkpoint at
+// the child's path seeded with the parent's completed records for the
+// child's range, so no fault is ever recomputed across a bisection.
+func seedChild(store Store, parent Shard, lo, hi int, dir string) (Shard, error) {
+	hdr, recs, _, err := analysis.LoadCheckpoint(parent.Path)
+	if err != nil || hdr.Fingerprint != store.Header(parent.Lo, parent.Hi).Fingerprint {
+		// A missing or corrupt parent checkpoint forfeits its resume
+		// value but not the campaign: the child starts empty and
+		// recomputes.
+		recs = nil
+	}
+	child := Shard{Lo: lo, Hi: hi, Path: ShardPath(dir, lo, hi)}
+	sub := analysis.ExtractShardRecords(recs, lo-parent.Lo, hi-parent.Lo)
+	if err := analysis.WriteMergedCheckpoint(child.Path, store.Header(lo, hi), sub); err != nil {
+		return Shard{}, fmt.Errorf("seeding child shard %s: %w", child.Range(), err)
+	}
+	return child, nil
+}
+
+// quarantine appends the store's Err record for the lease's single fault
+// to the shard checkpoint, leaving the shard complete without ever
+// running its poison fault again.
+func quarantine(store Store, sh Shard) error {
+	rec, err := store.QuarantineRecord(sh.Lo)
+	if err != nil {
+		return err
+	}
+	hdr := store.Header(sh.Lo, sh.Hi)
+	got, recs, _, lerr := analysis.LoadCheckpoint(sh.Path)
+	if lerr != nil || got.Fingerprint != hdr.Fingerprint {
+		recs = nil
+	}
+	if recs == nil {
+		recs = make(map[int]json.RawMessage, 1)
+	}
+	recs[0] = rec // local index: the lease holds exactly one fault
+	return analysis.WriteMergedCheckpoint(sh.Path, hdr, recs)
+}
